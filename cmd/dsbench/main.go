@@ -1,0 +1,97 @@
+// Command dsbench runs the complete TPC-DS benchmark test (paper §5,
+// Figure 11): load test, Query Run 1, Data Maintenance, Query Run 2, and
+// prints the QphDS@SF executive summary plus per-phase diagnostics.
+//
+// Usage:
+//
+//	dsbench -sf 0.01 -streams 2 -seed 1
+//	dsbench -sf 0.01 -mode star        # force the star transformation
+//	dsbench -sf 0.01 -queries 1,20,52  # development subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tpcds/internal/audit"
+	"tpcds/internal/driver"
+	"tpcds/internal/metric"
+	"tpcds/internal/plan"
+	"tpcds/internal/qgen"
+	"tpcds/internal/queries"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor")
+	streams := flag.Int("streams", 0, "query streams (0 = Figure 12 minimum)")
+	seed := flag.Uint64("seed", 1, "benchmark seed")
+	mode := flag.String("mode", "auto", "plan mode: auto|hash|star")
+	querySubset := flag.String("queries", "", "comma-separated template ids (development only)")
+	hw := flag.Float64("hw", 250000, "hardware cost (USD)")
+	sw := flag.Float64("sw", 150000, "software cost (USD)")
+	maint := flag.Float64("maint", 100000, "3-year maintenance cost (USD)")
+	topN := flag.Int("top", 10, "slowest queries to report")
+	dataDir := flag.String("data", "", "load from dsdgen flat files instead of generating")
+	parallel := flag.Bool("parallel", false, "generate tables concurrently during the load test")
+	runAudit := flag.Bool("audit", false, "audit the database after the benchmark (TPC audit checks)")
+	flag.Parse()
+
+	cfg := driver.Config{
+		SF: *sf, Streams: *streams, Seed: *seed,
+		DataDir: *dataDir, ParallelLoad: *parallel,
+		Price: metric.PriceModel{HardwareUSD: *hw, SoftwareUSD: *sw, MaintenanceUSD: *maint},
+	}
+	switch *mode {
+	case "auto":
+		cfg.Mode = plan.Auto
+	case "hash":
+		cfg.Mode = plan.ForceHashJoin
+	case "star":
+		cfg.Mode = plan.ForceStar
+	default:
+		fmt.Fprintf(os.Stderr, "dsbench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *querySubset != "" {
+		for _, part := range strings.Split(*querySubset, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsbench: bad query id %q\n", part)
+				os.Exit(2)
+			}
+			cfg.QueryIDs = append(cfg.QueryIDs, id)
+		}
+	}
+
+	res, err := driver.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Report.String())
+
+	fmt.Printf("\nData maintenance operations:\n")
+	for _, op := range res.DMStats.Ops {
+		fmt.Printf("  %-26s %8d rows  %v\n", op.Name, op.Rows, op.Duration)
+	}
+
+	fmt.Printf("\nSlowest queries:\n")
+	for _, qt := range res.SlowestQueries(*topN) {
+		t, _ := queries.ByID(qt.QueryID)
+		fmt.Printf("  run %d stream %d query %-3d (%-30s class %-9s) %8v  %6d rows\n",
+			qt.Run, qt.Stream, qt.QueryID, t.Name, qgen.ClassOf(t), qt.Duration, qt.Rows)
+	}
+
+	if *runAudit {
+		// Row counts shifted during data maintenance, so the SF check is
+		// off; the structural invariants must hold.
+		rep := audit.Run(res.Engine.DB(), audit.Options{})
+		fmt.Printf("\n%s", rep.String())
+		if !rep.Passed() {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command dsql runs ad-hoc SQL against a freshly generated TPC-DS
+// database — an interactive window into the system under test.
+//
+// Usage:
+//
+//	dsql -sf 0.001 -e "SELECT i_category, COUNT(*) c FROM item GROUP BY i_category ORDER BY c DESC"
+//	echo "SELECT ..." | dsql -sf 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tpcds/internal/datagen"
+	"tpcds/internal/exec"
+	"tpcds/internal/plan"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.001, "scale factor")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	query := flag.String("e", "", "query text (default: read stdin)")
+	mode := flag.String("mode", "auto", "plan mode: auto|hash|star")
+	explain := flag.Bool("explain", false, "print the optimizer decision after execution")
+	flag.Parse()
+
+	text := *query
+	if text == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
+			os.Exit(1)
+		}
+		text = string(data)
+	}
+
+	loadStart := time.Now()
+	eng := exec.New(datagen.New(*sf, *seed).GenerateAll())
+	switch *mode {
+	case "hash":
+		eng.SetMode(plan.ForceHashJoin)
+	case "star":
+		eng.SetMode(plan.ForceStar)
+	}
+	fmt.Fprintf(os.Stderr, "loaded SF %v in %v\n", *sf, time.Since(loadStart).Round(time.Millisecond))
+
+	start := time.Now()
+	res, err := eng.Query(text)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+	fmt.Fprintf(os.Stderr, "%d rows in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+	if *explain {
+		fmt.Fprint(os.Stderr, eng.LastTrace().String())
+	}
+}

@@ -1,0 +1,31 @@
+// Package tpcds is a from-scratch Go implementation of the TPC-DS
+// decision support benchmark as described in "The Making of TPC-DS"
+// (Othayoth & Poess, VLDB 2006): the 24-table snowstorm schema, the
+// hybrid synthetic/real data generator with comparability zones, the
+// 99-query template workload, the ETL data maintenance workload, the
+// execution rules, and the QphDS@SF metric — together with the columnar
+// SQL engine substrate the workload runs on and a TPC-H-style baseline
+// for the paper's comparisons.
+//
+// The package tree:
+//
+//	internal/schema      the snowstorm schema catalog (Table 1, Figure 1)
+//	internal/scaling     linear/sub-linear cardinality model (Table 2)
+//	internal/rng         seekable deterministic random streams
+//	internal/dist        data domains and comparability zones (Figures 2, 3, 5)
+//	internal/datagen     the data generator (dsdgen)
+//	internal/storage     columnar tables, values, flat files
+//	internal/index       bitmap, hash and sorted indexes
+//	internal/sql         SQL-99 subset lexer/parser/AST
+//	internal/plan        optimizer: star transformation vs hash joins (§2.1)
+//	internal/exec        execution engine (joins, aggregation, windows)
+//	internal/qgen        query template substitution model (§4.1, Figure 4)
+//	internal/queries     the 99 query templates (Figures 6, 7)
+//	internal/maintenance the ETL workload (§4.2, Figures 8-10)
+//	internal/driver      execution rules (§5.2, Figure 11)
+//	internal/metric      QphDS@SF and price-performance (§5.3, Figure 12)
+//	internal/tpchlite    the previous-generation baseline (§1)
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper; see EXPERIMENTS.md for the index and measured results.
+package tpcds

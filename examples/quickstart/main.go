@@ -1,0 +1,65 @@
+// Quickstart: generate a small TPC-DS database, run the paper's two
+// example queries (Query 52, Figure 6 and Query 20, Figure 7), and
+// print the results — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tpcds/internal/datagen"
+	"tpcds/internal/exec"
+	"tpcds/internal/qgen"
+	"tpcds/internal/queries"
+)
+
+func main() {
+	// 1. Generate the 24-table snowstorm schema at a development scale
+	// factor (0.001 ~ 1/1000 of the smallest official 100GB scale).
+	start := time.Now()
+	db := datagen.New(0.001, 1).GenerateAll()
+	fmt.Printf("generated %d rows across %d tables in %v\n\n",
+		db.TotalRows(), len(db.Names()), time.Since(start).Round(time.Millisecond))
+
+	// 2. Open an engine over the database.
+	eng := exec.New(db)
+
+	// 3. Instantiate and run the paper's example queries.
+	for _, id := range []int{52, 20} {
+		tpl, err := queries.ByID(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text, err := qgen.Instantiate(tpl, qgen.StreamSeed(1, 0, tpl.ID))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- Query %d (%s), %s query\n%s\n\n", tpl.ID, tpl.Name, qgen.ClassOf(tpl), text)
+		qStart := time.Now()
+		res, err := eng.Query(text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Print at most 8 rows to keep the tour readable.
+		if len(res.Rows) > 8 {
+			res.Rows = res.Rows[:8]
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%v)\n\n", time.Since(qStart).Round(time.Microsecond))
+	}
+
+	// 4. Ad-hoc SQL works too.
+	res, err := eng.Query(`
+		SELECT i_category, SUM(ss_ext_sales_price) revenue
+		FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk
+		GROUP BY i_category
+		ORDER BY revenue DESC
+		LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- Top categories by store revenue")
+	fmt.Print(res.String())
+}

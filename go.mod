@@ -1,0 +1,3 @@
+module tpcds
+
+go 1.22

@@ -1,0 +1,122 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"tpcds/internal/datagen"
+	"tpcds/internal/exec"
+	"tpcds/internal/maintenance"
+	"tpcds/internal/storage"
+)
+
+const testSF = 0.001
+
+var freshDB = datagen.New(testSF, 13).GenerateAll()
+
+func TestFreshDatabasePassesAudit(t *testing.T) {
+	r := Run(freshDB, Options{SF: testSF})
+	if !r.Passed() {
+		t.Fatalf("fresh database failed audit:\n%s", r.String())
+	}
+	if r.Checks < 5 {
+		t.Errorf("only %d checks ran", r.Checks)
+	}
+}
+
+func TestAuditAfterMaintenance(t *testing.T) {
+	db := datagen.New(testSF, 14).GenerateAll()
+	eng := exec.New(db)
+	rs, err := maintenance.GenerateRefresh(db, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := maintenance.Run(eng, rs); err != nil {
+		t.Fatal(err)
+	}
+	// Row counts shift after maintenance (SF check off), but every
+	// structural invariant must survive.
+	r := Run(db, Options{})
+	if !r.Passed() {
+		t.Fatalf("post-maintenance audit failed:\n%s", r.String())
+	}
+}
+
+func TestAuditDetectsMissingTable(t *testing.T) {
+	db := storage.NewDB() // empty database: everything missing
+	r := Run(db, Options{SkipSeasonality: true})
+	if r.Passed() {
+		t.Fatal("empty database passed the audit")
+	}
+	if !strings.Contains(r.String(), "table missing") {
+		t.Errorf("report does not mention missing tables:\n%s", r.String())
+	}
+}
+
+func TestAuditDetectsDanglingFK(t *testing.T) {
+	db := datagen.New(testSF, 15).GenerateAll()
+	// Corrupt a foreign key.
+	ss := db.Table("store_sales")
+	col := ss.Def.ColumnIndex("ss_item_sk")
+	ss.SetValue(0, col, storage.Int(99_999_999))
+	r := Run(db, Options{SkipSeasonality: true})
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "referential-integrity" && strings.Contains(f.Message, "ss_item_sk") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dangling FK not detected:\n%s", r.String())
+	}
+}
+
+func TestAuditDetectsSCDViolation(t *testing.T) {
+	db := datagen.New(testSF, 16).GenerateAll()
+	// Open a second revision for an item business key.
+	item := db.Table("item")
+	endCol := item.Def.ColumnIndex("i_rec_end_date")
+	// Find a closed revision and open it (its entity now has 2 open).
+	for r := 0; r < item.NumRows(); r++ {
+		if !item.Get(r, endCol).IsNull() {
+			item.SetValue(r, endCol, storage.Null)
+			break
+		}
+	}
+	rep := Run(db, Options{SkipSeasonality: true})
+	found := false
+	for _, f := range rep.Findings {
+		if f.Check == "scd-invariants" && strings.Contains(f.Message, "open revisions") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SCD violation not detected:\n%s", rep.String())
+	}
+}
+
+func TestAuditDetectsWrongRowCounts(t *testing.T) {
+	db := datagen.New(testSF, 17).GenerateAll()
+	db.Table("store").Delete([]int{0})
+	r := Run(db, Options{SF: testSF, SkipSeasonality: true})
+	found := false
+	for _, f := range r.Findings {
+		if f.Check == "row-counts" && f.Table == "store" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("row count violation not detected:\n%s", r.String())
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Check: "x", Table: "t", Message: "m"}
+	if f.String() != "[x] t: m" {
+		t.Errorf("Finding.String = %q", f.String())
+	}
+	g := Finding{Check: "x", Message: "m"}
+	if g.String() != "[x] m" {
+		t.Errorf("Finding.String = %q", g.String())
+	}
+}

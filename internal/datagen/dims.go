@@ -1,0 +1,249 @@
+package datagen
+
+import (
+	"fmt"
+
+	"tpcds/internal/dist"
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
+)
+
+var wordsVocab = dist.Words
+
+// genDateDim builds the static calendar dimension: one row per day from
+// 1900-01-01 through 2099-12-31 (73049 rows), surrogate key dense in day
+// order so DateSK arithmetic works.
+func (g *Generator) genDateDim(def *schema.Table) *storage.Table {
+	t := storage.NewTable(def)
+	t.Grow(storage.DateDimRows)
+	monthSeq, weekSeq, quarterSeq := 0, 1, 0
+	prevYear, prevMonth := 0, 0
+	for day := int64(0); day < storage.DateDimRows; day++ {
+		y, m, d := storage.YMDFromDays(day)
+		if y != prevYear || m != prevMonth {
+			monthSeq++
+			prevYear, prevMonth = y, m
+		}
+		if storage.Weekday(day) == 0 && day != 0 {
+			weekSeq++
+		}
+		qoy := (m-1)/3 + 1
+		quarterSeq = (y-1900)*4 + qoy
+		dow := storage.Weekday(day)
+		weekend := "N"
+		if dow == 0 || dow == 6 {
+			weekend = "Y"
+		}
+		holiday := "N"
+		if (m == 12 && d == 25) || (m == 1 && d == 1) || (m == 7 && d == 4) || (m == 11 && d >= 22 && d <= 28 && dow == 4) {
+			holiday = "Y"
+		}
+		firstDOM := storage.DaysFromYMD(y, m, 1)
+		lastDOM := firstDOM + int64(daysInMonthOf(y, m)) - 1
+		t.Append([]storage.Value{
+			storage.Int(storage.DateSK(day)),          // d_date_sk
+			storage.Str(bkey(storage.DateSK(day))),    // d_date_id
+			storage.DateV(day),                        // d_date
+			storage.Int(int64(monthSeq)),              // d_month_seq
+			storage.Int(int64(weekSeq)),               // d_week_seq
+			storage.Int(int64(quarterSeq)),            // d_quarter_seq
+			storage.Int(int64(y)),                     // d_year
+			storage.Int(int64(dow)),                   // d_dow
+			storage.Int(int64(m)),                     // d_moy
+			storage.Int(int64(d)),                     // d_dom
+			storage.Int(int64(qoy)),                   // d_qoy
+			storage.Int(int64(y)),                     // d_fy_year
+			storage.Int(int64(quarterSeq)),            // d_fy_quarter_seq
+			storage.Int(int64(weekSeq)),               // d_fy_week_seq
+			storage.Str(storage.DayName(day)),         // d_day_name
+			storage.Str(fmt.Sprintf("%dQ%d", y, qoy)), // d_quarter_name
+			storage.Str(holiday),                      // d_holiday
+			storage.Str(weekend),                      // d_weekend
+			storage.Str("N"),                          // d_following_holiday
+			storage.Int(storage.DateSK(firstDOM)),     // d_first_dom
+			storage.Int(storage.DateSK(lastDOM)),      // d_last_dom
+			storage.Int(storage.DateSK(day) - 365),    // d_same_day_ly
+			storage.Int(storage.DateSK(day) - 91),     // d_same_day_lq
+			storage.Str("N"), storage.Str("N"),        // d_current_day, d_current_week
+			storage.Str("N"), storage.Str("N"), // d_current_month, d_current_quarter
+			storage.Str("N"), // d_current_year
+		})
+	}
+	return t
+}
+
+func daysInMonthOf(year, month int) int {
+	days := [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	if month == 2 && storage.IsLeapYear(year) {
+		return 29
+	}
+	return days[month-1]
+}
+
+// genTimeDim builds the static time-of-day dimension: one row per second
+// of a day (86400 rows).
+func (g *Generator) genTimeDim(def *schema.Table) *storage.Table {
+	t := storage.NewTable(def)
+	t.Grow(86400)
+	for sec := int64(0); sec < 86400; sec++ {
+		h := sec / 3600
+		m := (sec % 3600) / 60
+		s := sec % 60
+		amPM := "AM"
+		if h >= 12 {
+			amPM = "PM"
+		}
+		shift := "first"
+		switch {
+		case h >= 8 && h < 16:
+			shift = "second"
+		case h >= 16:
+			shift = "third"
+		}
+		meal := ""
+		switch {
+		case h >= 6 && h < 9:
+			meal = "breakfast"
+		case h >= 11 && h < 14:
+			meal = "lunch"
+		case h >= 17 && h < 21:
+			meal = "dinner"
+		}
+		mealVal := storage.Null
+		if meal != "" {
+			mealVal = storage.Str(meal)
+		}
+		t.Append([]storage.Value{
+			storage.Int(sec + 1),       // t_time_sk
+			storage.Str(bkey(sec + 1)), // t_time_id
+			storage.Int(sec),           // t_time
+			storage.Int(h),             // t_hour
+			storage.Int(m),             // t_minute
+			storage.Int(s),             // t_second
+			storage.Str(amPM),          // t_am_pm
+			storage.Str(shift),         // t_shift
+			storage.Str(shift),         // t_sub_shift
+			mealVal,                    // t_meal_time
+		})
+	}
+	return t
+}
+
+// genIncomeBand builds the 20 income bands of 10,000 each.
+func (g *Generator) genIncomeBand(def *schema.Table) *storage.Table {
+	t := storage.NewTable(def)
+	for i := int64(1); i <= g.rows("income_band"); i++ {
+		lower := (i - 1) * 10000
+		if i > 1 {
+			lower++
+		}
+		t.Append([]storage.Value{
+			storage.Int(i),
+			storage.Int(lower),
+			storage.Int(i * 10000),
+		})
+	}
+	return t
+}
+
+// genCustomerDemographics builds the full demographic cross product
+// (1,920,800 rows = 2 genders x 5 marital x 7 education x 20 purchase
+// estimates x 4 credit ratings x 7^3 dependent counts).
+func (g *Generator) genCustomerDemographics(def *schema.Table) *storage.Table {
+	t := storage.NewTable(def)
+	t.Grow(1_920_800)
+	sk := int64(1)
+	for _, gender := range dist.Genders {
+		for _, ms := range dist.MaritalStatuses {
+			for _, edu := range dist.EducationStatuses {
+				for pe := 500; pe <= 10000; pe += 500 {
+					for _, cr := range dist.CreditRatings {
+						for depCount := 0; depCount < 7; depCount++ {
+							for depEmp := 0; depEmp < 7; depEmp++ {
+								for depCol := 0; depCol < 7; depCol++ {
+									t.Append([]storage.Value{
+										storage.Int(sk),
+										storage.Str(gender),
+										storage.Str(ms),
+										storage.Str(edu),
+										storage.Int(int64(pe)),
+										storage.Str(cr),
+										storage.Int(int64(depCount)),
+										storage.Int(int64(depEmp)),
+										storage.Int(int64(depCol)),
+									})
+									sk++
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// genHouseholdDemographics builds the 7200-row household cross product
+// (20 income bands x 6 buy potentials x 10 dep counts x 6 vehicles).
+func (g *Generator) genHouseholdDemographics(def *schema.Table) *storage.Table {
+	t := storage.NewTable(def)
+	sk := int64(1)
+	for ib := int64(1); ib <= 20; ib++ {
+		for _, bp := range dist.BuyPotentials {
+			for dep := 0; dep < 10; dep++ {
+				for veh := 0; veh < 6; veh++ {
+					t.Append([]storage.Value{
+						storage.Int(sk),
+						storage.Int(ib),
+						storage.Str(bp),
+						storage.Int(int64(dep)),
+						storage.Int(int64(veh)),
+					})
+					sk++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// genReason builds the return-reason dimension; the domain scales mildly
+// with SF (Table 2 regime for small dimensions).
+func (g *Generator) genReason(def *schema.Table) *storage.Table {
+	t := storage.NewTable(def)
+	n := g.rows("reason")
+	for i := int64(1); i <= n; i++ {
+		desc := dist.ReasonDescs[int(i-1)%len(dist.ReasonDescs)]
+		if int(i) > len(dist.ReasonDescs) {
+			desc = fmt.Sprintf("%s (%d)", desc, i)
+		}
+		t.Append([]storage.Value{
+			storage.Int(i),
+			storage.Str(bkey(i)),
+			storage.Str(desc),
+		})
+	}
+	return t
+}
+
+// genShipMode builds the 20-row ship mode dimension (5 types x 4 codes).
+func (g *Generator) genShipMode(def *schema.Table) *storage.Table {
+	t := storage.NewTable(def)
+	sk := int64(1)
+	for _, typ := range dist.ShipModeTypes {
+		for ci, code := range dist.ShipModeCodes {
+			carrier := dist.Carriers[(int(sk)-1)%len(dist.Carriers)]
+			t.Append([]storage.Value{
+				storage.Int(sk),
+				storage.Str(bkey(sk)),
+				storage.Str(typ),
+				storage.Str(code),
+				storage.Str(carrier),
+				storage.Str(fmt.Sprintf("contract-%d-%d", sk, ci)),
+			})
+			sk++
+		}
+	}
+	return t
+}

@@ -1,0 +1,178 @@
+// Package dist implements the data domains of the TPC-DS generator
+// (paper §3.2): hybrid synthetic / real-world distributions, most notably
+// the store-sales date distribution of Figure 2, which mimics the US
+// Census monthly retail series with three *comparability zones*:
+//
+//	Zone 1: January–July    (low sales likelihood)
+//	Zone 2: August–October  (medium likelihood)
+//	Zone 3: November–December (high likelihood)
+//
+// Within a zone every domain value occurs with identical likelihood; the
+// query generator only substitutes values from within a single zone, so
+// every substitution leaves the number of qualifying rows and the join
+// key distributions nearly identical — the four comparability rules the
+// paper lists in §3.2.
+package dist
+
+import "tpcds/internal/rng"
+
+// Zone identifies one of the three comparability zones of Figure 2.
+type Zone int
+
+const (
+	// ZoneLow is January through July.
+	ZoneLow Zone = iota + 1
+	// ZoneMedium is August through October.
+	ZoneMedium
+	// ZoneHigh is November and December (holiday season).
+	ZoneHigh
+)
+
+func (z Zone) String() string {
+	switch z {
+	case ZoneLow:
+		return "low (Jan-Jul)"
+	case ZoneMedium:
+		return "medium (Aug-Oct)"
+	case ZoneHigh:
+		return "high (Nov-Dec)"
+	default:
+		return "invalid"
+	}
+}
+
+// Months returns the 1-based calendar months belonging to the zone.
+func (z Zone) Months() []int {
+	switch z {
+	case ZoneLow:
+		return []int{1, 2, 3, 4, 5, 6, 7}
+	case ZoneMedium:
+		return []int{8, 9, 10}
+	case ZoneHigh:
+		return []int{11, 12}
+	default:
+		return nil
+	}
+}
+
+// ZoneOfMonth returns the comparability zone containing the 1-based
+// calendar month. It panics on months outside [1,12].
+func ZoneOfMonth(month int) Zone {
+	switch {
+	case month >= 1 && month <= 7:
+		return ZoneLow
+	case month >= 8 && month <= 10:
+		return ZoneMedium
+	case month >= 11 && month <= 12:
+		return ZoneHigh
+	default:
+		panic("dist: month out of range")
+	}
+}
+
+// CensusMonthlyWeights is the calibration series behind Figure 2: the US
+// Census Bureau's unadjusted 2001 monthly retail sales for department
+// stores (reference [12] of the paper), in millions of dollars. The
+// original URL is offline; the series below reproduces its well-known
+// shape — flat spring/summer, a back-to-school bump, and the
+// November/December holiday peak (December roughly 2.5x a spring month).
+var CensusMonthlyWeights = [12]float64{
+	4754,  // Jan
+	5481,  // Feb
+	6210,  // Mar
+	6217,  // Apr
+	6930,  // May
+	6347,  // Jun
+	6102,  // Jul
+	7243,  // Aug
+	6517,  // Sep
+	6921,  // Oct
+	8743,  // Nov
+	13913, // Dec
+}
+
+// ZoneWeights returns the per-month TPC-DS sales weights (the square
+// series of Figure 2): within each comparability zone the weight is the
+// mean of the census weights of that zone's months, making all domain
+// values inside a zone equally likely while preserving the census
+// low/medium/high ordering across zones.
+func ZoneWeights() [12]float64 {
+	var out [12]float64
+	for _, z := range []Zone{ZoneLow, ZoneMedium, ZoneHigh} {
+		months := z.Months()
+		var sum float64
+		for _, m := range months {
+			sum += CensusMonthlyWeights[m-1]
+		}
+		mean := sum / float64(len(months))
+		for _, m := range months {
+			out[m-1] = mean
+		}
+	}
+	return out
+}
+
+// MonthWeight returns the TPC-DS sales weight of the 1-based month,
+// normalized so the twelve weights sum to 1.
+func MonthWeight(month int) float64 {
+	w := ZoneWeights()
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	return w[month-1] / total
+}
+
+// PickSalesMonth draws a 1-based calendar month from the zoned TPC-DS
+// distribution. Fact-table generation uses this to give sales dates the
+// Figure 2 seasonality.
+func PickSalesMonth(s *rng.Stream) int {
+	w := ZoneWeights()
+	return s.PickWeighted(w[:]) + 1
+}
+
+// PickMonthInZone draws a month uniformly from within one comparability
+// zone. The query generator uses this so that all substitutions of a
+// date predicate stay comparable (identical qualifying-row counts).
+func PickMonthInZone(s *rng.Stream, z Zone) int {
+	months := z.Months()
+	return months[s.Intn(len(months))]
+}
+
+// SyntheticSalesDay draws a day-of-year from the purely synthetic
+// distribution of Figure 3: a Normal with mean 200 and standard
+// deviation 50, truncated to [1, 365]. The paper presents this as the
+// plausible-but-unsuitable alternative to comparability zones (it makes
+// bind-variable substitution incomparable); the ablation benchmark
+// contrasts the two.
+func SyntheticSalesDay(s *rng.Stream) int {
+	for {
+		d := int(s.Norm(200, 50) + 0.5)
+		if d >= 1 && d <= 365 {
+			return d
+		}
+	}
+}
+
+// DayOfYearToMonth converts a 1-based day of a non-leap year to its
+// 1-based calendar month.
+func DayOfYearToMonth(day int) int {
+	if day < 1 || day > 365 {
+		panic("dist: day of year out of range")
+	}
+	cum := [12]int{31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365}
+	for m, c := range cum {
+		if day <= c {
+			return m + 1
+		}
+	}
+	panic("unreachable")
+}
+
+// DaysInMonth returns the day count of the 1-based month in a non-leap
+// year (the generator's sales calendar uses non-leap years uniformly so
+// domain sizes stay identical across years, a comparability requirement).
+func DaysInMonth(month int) int {
+	days := [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	return days[month-1]
+}

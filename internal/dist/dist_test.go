@@ -1,0 +1,283 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpcds/internal/rng"
+)
+
+// TestComparabilityZones verifies the Figure 2 zone construction: three
+// zones covering all twelve months, ordered low < medium < high, with
+// identical likelihood for every month inside a zone.
+func TestComparabilityZones(t *testing.T) {
+	covered := map[int]Zone{}
+	for _, z := range []Zone{ZoneLow, ZoneMedium, ZoneHigh} {
+		for _, m := range z.Months() {
+			if prev, dup := covered[m]; dup {
+				t.Errorf("month %d in both %v and %v", m, prev, z)
+			}
+			covered[m] = z
+		}
+	}
+	if len(covered) != 12 {
+		t.Fatalf("zones cover %d months, want 12", len(covered))
+	}
+	w := ZoneWeights()
+	if !(w[0] < w[7] && w[7] < w[10]) {
+		t.Errorf("zone weights not ordered low<medium<high: %v %v %v", w[0], w[7], w[10])
+	}
+	// Uniform within zone.
+	for _, z := range []Zone{ZoneLow, ZoneMedium, ZoneHigh} {
+		months := z.Months()
+		for _, m := range months[1:] {
+			if w[m-1] != w[months[0]-1] {
+				t.Errorf("zone %v not uniform: month %d weight %v vs %v", z, m, w[m-1], w[months[0]-1])
+			}
+		}
+	}
+}
+
+func TestZoneOfMonth(t *testing.T) {
+	for m := 1; m <= 7; m++ {
+		if ZoneOfMonth(m) != ZoneLow {
+			t.Errorf("month %d should be ZoneLow", m)
+		}
+	}
+	for m := 8; m <= 10; m++ {
+		if ZoneOfMonth(m) != ZoneMedium {
+			t.Errorf("month %d should be ZoneMedium", m)
+		}
+	}
+	for m := 11; m <= 12; m++ {
+		if ZoneOfMonth(m) != ZoneHigh {
+			t.Errorf("month %d should be ZoneHigh", m)
+		}
+	}
+}
+
+func TestZoneOfMonthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ZoneOfMonth(13) did not panic")
+		}
+	}()
+	ZoneOfMonth(13)
+}
+
+// TestFigure2Shape checks the census calibration series has the
+// department-store shape: December is the yearly peak at roughly 2-3x a
+// typical spring month, November is second.
+func TestFigure2Shape(t *testing.T) {
+	dec, nov := CensusMonthlyWeights[11], CensusMonthlyWeights[10]
+	for m := 0; m < 10; m++ {
+		if CensusMonthlyWeights[m] >= nov {
+			t.Errorf("census month %d weight %.0f >= November %.0f", m+1, CensusMonthlyWeights[m], nov)
+		}
+	}
+	if nov >= dec {
+		t.Error("November should be below December")
+	}
+	ratio := dec / CensusMonthlyWeights[0]
+	if ratio < 2 || ratio > 3.5 {
+		t.Errorf("December/January ratio %.2f, want holiday peak 2-3.5x", ratio)
+	}
+}
+
+// TestZoneApproximationError: the TPC-DS square series should track the
+// census diamond series within ~35% per month (the price of uniformity
+// within zones, visible in Figure 2).
+func TestZoneApproximationError(t *testing.T) {
+	zw := ZoneWeights()
+	var censusTotal, zoneTotal float64
+	for m := 0; m < 12; m++ {
+		censusTotal += CensusMonthlyWeights[m]
+		zoneTotal += zw[m]
+	}
+	for m := 0; m < 12; m++ {
+		c := CensusMonthlyWeights[m] / censusTotal
+		z := zw[m] / zoneTotal
+		if rel := math.Abs(z-c) / c; rel > 0.35 {
+			t.Errorf("month %d: zone approximation off by %.0f%%", m+1, rel*100)
+		}
+	}
+}
+
+func TestMonthWeightNormalized(t *testing.T) {
+	var sum float64
+	for m := 1; m <= 12; m++ {
+		sum += MonthWeight(m)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("month weights sum to %v, want 1", sum)
+	}
+}
+
+// TestPickSalesMonthDistribution draws a large sample and verifies the
+// empirical frequencies follow the zoned weights: December >> June, and
+// months within a zone are statistically indistinguishable.
+func TestPickSalesMonthDistribution(t *testing.T) {
+	s := rng.NewStream(1)
+	counts := make([]int, 13)
+	const n = 240000
+	for i := 0; i < n; i++ {
+		counts[PickSalesMonth(s)]++
+	}
+	if counts[12] < counts[6]*3/2 {
+		t.Errorf("December count %d not clearly above June %d", counts[12], counts[6])
+	}
+	// Months within the low zone should be within 10% of each other.
+	for m := 2; m <= 7; m++ {
+		r := float64(counts[m]) / float64(counts[1])
+		if r < 0.9 || r > 1.1 {
+			t.Errorf("low-zone month %d frequency ratio %.2f vs January", m, r)
+		}
+	}
+}
+
+// TestPickMonthInZoneStaysInZone is the comparability guarantee the
+// query generator depends on.
+func TestPickMonthInZoneStaysInZone(t *testing.T) {
+	s := rng.NewStream(2)
+	for _, z := range []Zone{ZoneLow, ZoneMedium, ZoneHigh} {
+		for i := 0; i < 1000; i++ {
+			m := PickMonthInZone(s, z)
+			if ZoneOfMonth(m) != z {
+				t.Fatalf("PickMonthInZone(%v) returned month %d outside the zone", z, m)
+			}
+		}
+	}
+}
+
+// TestFigure3SyntheticDistribution: day-of-year ~ N(200, 50) truncated
+// to [1, 365], peaking near day 200 (week 28, as the paper notes).
+func TestFigure3SyntheticDistribution(t *testing.T) {
+	s := rng.NewStream(3)
+	const n = 100000
+	var sum float64
+	weekCounts := make([]int, 54)
+	for i := 0; i < n; i++ {
+		d := SyntheticSalesDay(s)
+		if d < 1 || d > 365 {
+			t.Fatalf("day %d out of range", d)
+		}
+		sum += float64(d)
+		weekCounts[(d-1)/7+1]++
+	}
+	if mean := sum / n; math.Abs(mean-200) > 2 {
+		t.Errorf("synthetic day mean %.1f, want ~200", mean)
+	}
+	peak := 1
+	for w := 1; w <= 53; w++ {
+		if weekCounts[w] > weekCounts[peak] {
+			peak = w
+		}
+	}
+	if peak < 27 || peak > 30 {
+		t.Errorf("synthetic sales peak in week %d, paper says week 28", peak)
+	}
+}
+
+func TestDayOfYearToMonth(t *testing.T) {
+	cases := map[int]int{1: 1, 31: 1, 32: 2, 59: 2, 60: 3, 200: 7, 365: 12}
+	for day, want := range cases {
+		if got := DayOfYearToMonth(day); got != want {
+			t.Errorf("DayOfYearToMonth(%d) = %d, want %d", day, got, want)
+		}
+	}
+}
+
+func TestDaysInMonthTotals365(t *testing.T) {
+	var total int
+	for m := 1; m <= 12; m++ {
+		total += DaysInMonth(m)
+	}
+	if total != 365 {
+		t.Errorf("days in year = %d, want 365", total)
+	}
+}
+
+// TestItemHierarchySingleInheritance (Figure 5): every class belongs to
+// exactly one category.
+func TestItemHierarchySingleInheritance(t *testing.T) {
+	owner := map[string]string{}
+	for cat, classes := range ClassesByCategory {
+		if len(classes) == 0 {
+			t.Errorf("category %s has no classes", cat)
+		}
+		for _, cl := range classes {
+			if prev, dup := owner[cl]; dup {
+				t.Errorf("class %q under both %q and %q", cl, prev, cat)
+			}
+			owner[cl] = cat
+		}
+	}
+	for _, cat := range Categories {
+		if _, ok := ClassesByCategory[cat]; !ok {
+			t.Errorf("category %s missing classes", cat)
+		}
+	}
+	if len(ClassesByCategory) != len(Categories) {
+		t.Errorf("ClassesByCategory has %d categories, want %d", len(ClassesByCategory), len(Categories))
+	}
+}
+
+func TestQ20CategoriesPresent(t *testing.T) {
+	// Query 20 (Figure 7) filters on these categories; they must exist.
+	want := map[string]bool{"Sports": true, "Books": true, "Home": true}
+	for _, c := range Categories {
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("categories missing for Query 20: %v", want)
+	}
+}
+
+func TestVocabulariesNonEmpty(t *testing.T) {
+	lists := map[string]int{
+		"FirstNames": len(FirstNames), "LastNames": len(LastNames),
+		"Cities": len(Cities), "Counties": len(Counties), "States": len(States),
+		"StreetNames": len(StreetNames), "StreetTypes": len(StreetTypes),
+		"Colors": len(Colors), "Units": len(Units), "Sizes": len(Sizes),
+		"ReasonDescs": len(ReasonDescs), "Words": len(Words),
+		"EducationStatuses": len(EducationStatuses), "CreditRatings": len(CreditRatings),
+		"BuyPotentials": len(BuyPotentials), "Salutations": len(Salutations),
+	}
+	for name, n := range lists {
+		if n == 0 {
+			t.Errorf("vocabulary %s is empty", name)
+		}
+	}
+	if len(States) != 50 {
+		t.Errorf("States has %d entries, want 50", len(States))
+	}
+	if len(ShipModeTypes)*len(ShipModeCodes) != 20 {
+		t.Errorf("ship mode cross product = %d, want 20", len(ShipModeTypes)*len(ShipModeCodes))
+	}
+}
+
+func TestDomainScale(t *testing.T) {
+	// §3.1's example: ~1800 counties scaled down for 200 stores.
+	if got := DomainScale(1800, 200); got != 200 {
+		t.Errorf("DomainScale(1800, 200) = %d, want 200", got)
+	}
+	if got := DomainScale(50, 1_000_000); got != 50 {
+		t.Errorf("DomainScale(50, 1M) = %d, want full domain 50", got)
+	}
+	if got := DomainScale(100, 0); got != 1 {
+		t.Errorf("DomainScale floor broken: %d", got)
+	}
+}
+
+// Property: DomainScale never exceeds the domain or drops below 1.
+func TestQuickDomainScaleBounds(t *testing.T) {
+	f := func(domain uint16, rows uint32) bool {
+		d := int(domain%5000) + 1
+		got := DomainScale(d, int64(rows))
+		return got >= 1 && got <= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+package dist
+
+// Vocabularies for the hybrid real-world data domains (§3.2: "real world
+// data are used to populate each table with common data skews, such as
+// seasonal sales and frequent names"). Name lists follow US census
+// frequency ordering, so Gaussian index selection over them yields the
+// "frequent names" skew; the geographic and merchandising lists give
+// queries realistic predicates (Q20 filters i_category IN
+// ('Sports','Books','Home')).
+
+// FirstNames is ordered by real-world frequency (most common first).
+var FirstNames = []string{
+	"James", "Mary", "John", "Patricia", "Robert", "Linda", "Michael",
+	"Barbara", "William", "Elizabeth", "David", "Jennifer", "Richard",
+	"Maria", "Charles", "Susan", "Joseph", "Margaret", "Thomas", "Dorothy",
+	"Daniel", "Lisa", "Paul", "Nancy", "Mark", "Karen", "Donald", "Betty",
+	"George", "Helen", "Kenneth", "Sandra", "Steven", "Donna", "Edward",
+	"Carol", "Brian", "Ruth", "Ronald", "Sharon", "Anthony", "Michelle",
+	"Kevin", "Laura", "Jason", "Sarah", "Matthew", "Kimberly", "Gary",
+	"Deborah", "Timothy", "Jessica", "Jose", "Shirley", "Larry", "Cynthia",
+	"Jeffrey", "Angela", "Frank", "Melissa", "Scott", "Brenda", "Eric",
+	"Amy", "Stephen", "Anna", "Andrew", "Rebecca", "Raymond", "Virginia",
+	"Gregory", "Kathleen", "Joshua", "Pamela", "Jerry", "Martha", "Dennis",
+	"Debra", "Walter", "Amanda", "Patrick", "Stephanie", "Peter", "Carolyn",
+	"Harold", "Christine", "Douglas", "Marie", "Henry", "Janet", "Carl",
+	"Catherine", "Arthur", "Frances", "Ryan", "Ann", "Roger", "Joyce",
+	"Joe", "Diane",
+}
+
+// LastNames is ordered by real-world frequency (most common first).
+var LastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Miller", "Davis",
+	"Garcia", "Rodriguez", "Wilson", "Martinez", "Anderson", "Taylor",
+	"Thomas", "Hernandez", "Moore", "Martin", "Jackson", "Thompson",
+	"White", "Lopez", "Lee", "Gonzalez", "Harris", "Clark", "Lewis",
+	"Robinson", "Walker", "Perez", "Hall", "Young", "Allen", "Sanchez",
+	"Wright", "King", "Scott", "Green", "Baker", "Adams", "Nelson",
+	"Hill", "Ramirez", "Campbell", "Mitchell", "Roberts", "Carter",
+	"Phillips", "Evans", "Turner", "Torres", "Parker", "Collins",
+	"Edwards", "Stewart", "Flores", "Morris", "Nguyen", "Murphy",
+	"Rivera", "Cook", "Rogers", "Morgan", "Peterson", "Cooper", "Reed",
+	"Bailey", "Bell", "Gomez", "Kelly", "Howard", "Ward", "Cox", "Diaz",
+	"Richardson", "Wood", "Watson", "Brooks", "Bennett", "Gray", "James",
+	"Reyes", "Cruz", "Hughes", "Price", "Myers", "Long", "Foster",
+	"Sanders", "Ross", "Morales", "Powell", "Sullivan", "Russell",
+	"Ortiz", "Jenkins", "Gutierrez", "Perry", "Butler", "Barnes", "Fisher",
+}
+
+// Salutations used for customer records.
+var Salutations = []string{"Mr.", "Mrs.", "Ms.", "Miss", "Dr.", "Sir"}
+
+// Cities, Counties and States give the geographic domains. County has a
+// real-world domain of ~1800 values; per §3.1 it is *domain-scaled* down
+// for small tables (e.g. only ~200 stores exist at SF 100, so stores draw
+// from a scaled-down county list — see DomainScale).
+var Cities = []string{
+	"Fairview", "Midway", "Oak Grove", "Five Points", "Pleasant Hill",
+	"Centerville", "Riverside", "Liberty", "Salem", "Union", "Greenville",
+	"Franklin", "Springfield", "Clinton", "Georgetown", "Marion",
+	"Greenwood", "Oakland", "Bethel", "Lakeview", "Glendale", "Arlington",
+	"Jamestown", "Waterloo", "Mount Pleasant", "Ashland", "Oakdale",
+	"Kingston", "Harmony", "Newport", "Sunnyside", "Plainview", "Concord",
+	"Lakeside", "Farmington", "Hamilton", "Woodville", "Bridgeport",
+	"Clifton", "Antioch", "Enterprise", "Florence", "Friendship",
+	"Highland Park", "Hillcrest", "Hopewell", "Lincoln", "Macedonia",
+	"Maple Grove", "Mount Olive", "Mount Vernon", "New Hope", "Oakwood",
+	"Pine Grove", "Pleasant Valley", "Providence", "Red Hill", "Riverdale",
+	"Rockwood", "Shady Grove", "Shiloh", "Spring Hill", "Spring Valley",
+	"Summit", "Sulphur Springs", "Valley View", "Walnut Grove", "Wildwood",
+	"Wilson", "Woodland", "Woodlawn", "Youngstown",
+}
+
+var Counties = []string{
+	"Williamson County", "Walker County", "Ziebach County", "Huron County",
+	"Franklin Parish", "Richland County", "Bronx County", "Orange County",
+	"Jackson County", "Luce County", "Furnas County", "Pennington County",
+	"San Miguel County", "Daviess County", "Barrow County", "Fairfield County",
+	"Wadena County", "Dauphin County", "Levy County", "Terrell County",
+	"Mobile County", "Perry County", "Dona Ana County", "Sumner County",
+	"Maverick County", "Kittitas County", "Mesa County", "Lunenburg County",
+	"Marshall County", "Raleigh County", "Oglethorpe County", "Hubbard County",
+	"Pipestone County", "Nowata County", "Kandiyohi County", "Brown County",
+	"Lea County", "Jefferson Davis Parish", "Salem County", "Gogebic County",
+	"Lycoming County", "Pike County", "Crawford County", "Medina County",
+	"Greene County", "Montgomery County", "Union County", "Washington County",
+	"Clay County", "Madison County", "Monroe County", "Warren County",
+	"Wayne County", "Marion County", "Douglas County", "Grant County",
+	"Lincoln County", "Garfield County", "Sheridan County", "Custer County",
+}
+
+var States = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID",
+	"IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS",
+	"MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK",
+	"OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+	"WI", "WY",
+}
+
+var Countries = []string{"United States"}
+
+// StreetNames and StreetTypes compose addresses.
+var StreetNames = []string{
+	"Main", "Oak", "Park", "Maple", "Cedar", "Elm", "Washington", "Lake",
+	"Hill", "Walnut", "Spring", "North", "Ridge", "Church", "Willow",
+	"Mill", "Sunset", "Railroad", "Jackson", "West", "South", "Highland",
+	"Johnson", "Forest", "College", "River", "Green", "Meadow", "East",
+	"Chestnut", "Lakeview", "First", "Second", "Third", "Fourth", "Fifth",
+	"Sixth", "Seventh", "Eighth", "Ninth", "Tenth", "Birch", "Broadway",
+	"Center", "Davis", "Dogwood", "Franklin", "Hickory", "Lee", "Lincoln",
+	"Locust", "Madison", "Pine", "Poplar", "Smith", "Sycamore", "Valley",
+	"View", "Williams", "Wilson",
+}
+
+var StreetTypes = []string{
+	"Street", "Avenue", "Boulevard", "Drive", "Lane", "Road", "Court",
+	"Circle", "Way", "Parkway", "Pkwy", "Blvd", "Dr.", "Ln", "Ct.", "Cir.",
+	"RD", "ST", "Ave", "Wy",
+}
+
+var LocationTypes = []string{"apartment", "condo", "single family"}
+
+// Item merchandising hierarchy (Figure 5): each category owns its
+// classes; class i_class values are unique to a category so single
+// inheritance holds by construction.
+var Categories = []string{
+	"Sports", "Books", "Home", "Electronics", "Jewelry",
+	"Men", "Women", "Music", "Children", "Shoes",
+}
+
+// ClassesByCategory maps a category to its classes (single inheritance:
+// every class string appears under exactly one category).
+var ClassesByCategory = map[string][]string{
+	"Sports":      {"athletic shoes", "baseball", "basketball", "camping", "fishing", "fitness", "football", "golf", "guns", "hockey", "optics", "outdoor", "pools", "sailing", "tennis"},
+	"Books":       {"arts", "business", "computers", "cooking", "entertainments", "fiction", "history", "home repair", "mystery", "parenting", "reference", "romance", "science", "self-help", "sports books", "travel"},
+	"Home":        {"accent", "bathroom", "bedding", "blinds/shades", "curtains/drapes", "decor", "flatware", "furniture", "glassware", "kids home", "lighting", "mattresses", "paint", "rugs", "tables", "wallpaper"},
+	"Electronics": {"audio", "automotive", "cameras", "camcorders", "disk drives", "dvd/vcr players", "karoke", "memory", "monitors", "musical", "personal", "portable", "scanners", "stereo", "televisions", "wireless"},
+	"Jewelry":     {"birdal", "bracelets", "custom", "diamonds", "earings", "estate", "gold", "jewelry boxes", "loose stones", "mens watch", "pendants", "rings", "semi-precious", "womens watch"},
+	"Men":         {"accessories men", "pants", "shirts", "sports-apparel", "sweaters men"},
+	"Women":       {"dresses", "fragrances", "maternity", "swimwear", "womens apparel"},
+	"Music":       {"classical", "country", "pop", "rock"},
+	"Children":    {"infants", "newborn", "school-uniforms", "toddlers"},
+	"Shoes":       {"athletic", "kids shoes", "mens shoes", "womens shoes"},
+}
+
+// Colors, Units, Containers and Sizes for item attributes.
+var Colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream",
+	"cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+	"forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey",
+	"honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender",
+	"lawn", "lemon", "light", "lime", "linen", "magenta", "maroon", "medium",
+}
+
+var Units = []string{
+	"Bunch", "Bundle", "Box", "Carton", "Case", "Cup", "Dozen", "Dram",
+	"Each", "Gram", "Gross", "Lb", "N/A", "Ounce", "Oz", "Pallet", "Pound",
+	"Tbl", "Ton", "Tsp", "Unknown",
+}
+
+var Containers = []string{"Unknown"}
+
+var Sizes = []string{"petite", "small", "medium", "large", "extra large", "economy", "N/A"}
+
+// Demographics domains: the customer_demographics table is the full
+// cross product of these (2 x 5 x 7 x 20 x 5 x 7 x 7 x 7 scaled =
+// 1,920,800 rows in the official kit).
+var Genders = []string{"M", "F"}
+var MaritalStatuses = []string{"M", "S", "D", "W", "U"}
+var EducationStatuses = []string{
+	"Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree",
+	"Advanced Degree", "Unknown",
+}
+var CreditRatings = []string{"Low Risk", "Good", "High Risk", "Unknown"}
+var BuyPotentials = []string{">10000", "5001-10000", "1001-5000", "501-1000", "0-500", "Unknown"}
+
+// Reason descriptions for the store_returns reason dimension.
+var ReasonDescs = []string{
+	"Package was damaged", "Stopped working", "Did not get it on time",
+	"Not the product that was ordred", "Parts missing",
+	"Does not work with a product that I have", "Gift exchange",
+	"Did not like the color", "Did not like the model",
+	"Did not like the make", "Did not like the warranty",
+	"No service location in my area", "Found a better price in a store",
+	"Found a better extended warranty in a store", "Not working any more",
+	"unauthoized purchase", "duplicate purchase", "its is a boy",
+	"its is a girl", "reason 20", "reason 21", "reason 22", "reason 23",
+	"reason 24",
+}
+
+// Ship modes: 4 types x 5 codes = the 20-row ship_mode dimension.
+var ShipModeTypes = []string{"EXPRESS", "NEXT DAY", "OVERNIGHT", "REGULAR", "TWO DAY"}
+var ShipModeCodes = []string{"AIR", "SURFACE", "SEA", "RAIL"}
+var Carriers = []string{
+	"UPS", "FEDEX", "AIRBORNE", "USPS", "DHL", "TBS", "ZHOU", "ZOUROS",
+	"MSC", "LATVIAN", "ALLIANCE", "GREAT EASTERN", "DIAMOND", "RUPEKSA",
+	"ORIENTAL", "BOXBUNDLES", "GERMA", "HARMSTORF", "PRIVATECARRIER", "BARIAN",
+}
+
+// Words used for Gaussian word selection in synthesized text (item
+// descriptions, market descriptions, promotion details).
+var Words = []string{
+	"ability", "able", "about", "above", "accept", "according", "account",
+	"across", "action", "activity", "actually", "address", "administration",
+	"admit", "adult", "affect", "after", "again", "against", "agency",
+	"agent", "agree", "agreement", "ahead", "allow", "almost", "alone",
+	"along", "already", "although", "always", "among", "amount", "analysis",
+	"animal", "another", "answer", "anyone", "anything", "appear", "apply",
+	"approach", "area", "argue", "around", "arrive", "article", "artist",
+	"assume", "attack", "attention", "attorney", "audience", "author",
+	"authority", "available", "avoid", "away", "baby", "back", "ball",
+	"bank", "base", "beat", "beautiful", "because", "become", "before",
+	"begin", "behavior", "behind", "believe", "benefit", "best", "better",
+	"between", "beyond", "bill", "billion", "birth", "bit", "blood",
+	"blue", "board", "body", "book", "born", "both", "box", "break",
+	"bring", "brother", "budget", "build", "building", "business", "call",
+	"camera", "campaign", "cancer", "candidate",
+}
+
+// DomainScale returns how many values of a real-world domain of size
+// domainSize should be used for a table with rowCount rows (§3.1: "the
+// domain for county is approximately 1800; at scale factor 100 there
+// exist only about 200 stores — hence the county domain had to be scaled
+// down"). The scaled domain is at most the full domain and at least 1,
+// targeting roughly one domain value per 1-2 rows for small tables.
+func DomainScale(domainSize int, rowCount int64) int {
+	if domainSize <= 0 {
+		panic("dist: non-positive domain size")
+	}
+	n := int64(domainSize)
+	if rowCount < n {
+		n = rowCount
+	}
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}

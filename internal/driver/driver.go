@@ -1,0 +1,274 @@
+// Package driver implements the TPC-DS execution rules (§5.2, Figure
+// 11): the benchmark test is a database load test followed by a
+// performance test of two query runs around one data maintenance run.
+// Each query run executes S concurrent streams; every stream runs all
+// 99 queries in a stream-specific permutation with stream-specific
+// substitutions. The second query run reveals any query performance
+// changes due to deferred maintenance of auxiliary structures — the
+// engine's cached indexes are invalidated by the maintenance run and
+// rebuilt on first use during Query Run 2, so their cost lands inside
+// the measured interval exactly as §5.2 intends.
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tpcds/internal/datagen"
+	"tpcds/internal/exec"
+	"tpcds/internal/maintenance"
+	"tpcds/internal/metric"
+	"tpcds/internal/plan"
+	"tpcds/internal/qgen"
+	"tpcds/internal/queries"
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
+)
+
+// Config parameterizes a benchmark run.
+type Config struct {
+	// SF is the scale factor (raw data GB). Official publications
+	// require one of scaling.OfficialScaleFactors; development runs may
+	// use any positive value.
+	SF float64
+	// Streams is the concurrent query stream count; 0 selects the
+	// minimum required for the scale factor (Figure 12).
+	Streams int
+	// Seed drives data generation and query substitution.
+	Seed uint64
+	// Mode constrains the engine's physical strategy (ablations).
+	Mode plan.Mode
+	// QueryIDs selects a template subset; empty means all 99. Subset
+	// runs are development-only (the metric requires the full set).
+	QueryIDs []int
+	// DataDir, when set, loads the database from dsdgen flat files
+	// instead of generating it in-process — the official load-test
+	// input path. The files must match the configured scale factor.
+	DataDir string
+	// ParallelLoad generates tables concurrently during the load test.
+	ParallelLoad bool
+	// Price is the 3-year TCO model for the price-performance metric.
+	Price metric.PriceModel
+}
+
+// QueryTiming records one query execution within a run.
+type QueryTiming struct {
+	Run      int // 1 or 2
+	Stream   int
+	QueryID  int
+	Duration time.Duration
+	Rows     int
+}
+
+// Result is the full outcome of a benchmark test.
+type Result struct {
+	Config  Config
+	Report  metric.Report
+	Queries []QueryTiming
+	DMStats maintenance.Stats
+	// Engine retains the loaded system under test for inspection.
+	Engine *exec.Engine
+}
+
+// Run executes the complete benchmark test (Figure 11).
+func Run(cfg Config) (*Result, error) {
+	if cfg.SF <= 0 {
+		return nil, fmt.Errorf("driver: non-positive scale factor")
+	}
+	if cfg.Streams == 0 {
+		cfg.Streams = metric.MinStreams(cfg.SF)
+	}
+	if cfg.Streams < 0 {
+		return nil, fmt.Errorf("driver: negative stream count")
+	}
+	tpl, err := selectTemplates(cfg.QueryIDs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Config: cfg}
+	var timings metric.Timings
+
+	// ---- Load test: generate or load, then build auxiliary structures. ----
+	loadStart := time.Now()
+	var db *storage.DB
+	switch {
+	case cfg.DataDir != "":
+		db, err = storage.LoadDir(cfg.DataDir, schema.Tables())
+		if err != nil {
+			return nil, fmt.Errorf("driver: load test: %w", err)
+		}
+	case cfg.ParallelLoad:
+		db = datagen.New(cfg.SF, cfg.Seed).GenerateAllParallel()
+	default:
+		db = datagen.New(cfg.SF, cfg.Seed).GenerateAll()
+	}
+	eng := exec.New(db)
+	eng.SetMode(cfg.Mode)
+	warmAuxiliaryStructures(eng)
+	timings.Load = time.Since(loadStart)
+	res.Engine = eng
+
+	// ---- Query Run 1. ----
+	qr1Start := time.Now()
+	t1, err := runQueryRun(eng, tpl, cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	timings.QR1 = time.Since(qr1Start)
+	res.Queries = append(res.Queries, t1...)
+
+	// ---- Data Maintenance run. ----
+	dmStart := time.Now()
+	rs, err := maintenance.GenerateRefresh(db, cfg.Seed, 1)
+	if err != nil {
+		return nil, fmt.Errorf("driver: refresh generation: %w", err)
+	}
+	stats, err := maintenance.Run(eng, rs)
+	if err != nil {
+		return nil, fmt.Errorf("driver: data maintenance: %w", err)
+	}
+	timings.DM = time.Since(dmStart)
+	res.DMStats = stats
+
+	// ---- Query Run 2 (fresh substitutions, §5.2). ----
+	qr2Start := time.Now()
+	t2, err := runQueryRun(eng, tpl, cfg, 2)
+	if err != nil {
+		return nil, err
+	}
+	timings.QR2 = time.Since(qr2Start)
+	res.Queries = append(res.Queries, t2...)
+
+	res.Report = metric.NewReport(cfg.SF, cfg.Streams, timings, cfg.Price)
+	if len(cfg.QueryIDs) != 0 {
+		res.Report.Official = false // subset runs are never publishable
+	}
+	return res, nil
+}
+
+// selectTemplates resolves the configured query subset.
+func selectTemplates(ids []int) ([]qgen.Template, error) {
+	if len(ids) == 0 {
+		return queries.All(), nil
+	}
+	out := make([]qgen.Template, 0, len(ids))
+	for _, id := range ids {
+		t, err := queries.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// warmAuxiliaryStructures builds the basic auxiliary structures during
+// the load test, whose elapsed time the metric charges at 1% per stream
+// (§5.3). Hash indexes on dimension surrogate keys are "basic"
+// structures allowed everywhere; bitmap indexes on the fact foreign
+// keys of the catalog channel are the "complex" structures allowed only
+// in the reporting part of the schema (§2.2).
+func warmAuxiliaryStructures(eng *exec.Engine) {
+	db := eng.DB()
+	// Basic: surrogate-key hash indexes on every dimension.
+	for _, name := range db.Names() {
+		t := db.Table(name)
+		if t.Def.Kind != schema.Dimension {
+			continue
+		}
+		if len(t.Def.PrimaryKey) == 1 {
+			eng.WarmHashIndex(t.Def.Name, t.Def.PrimaryKey[0])
+		}
+	}
+	// Complex (reporting part only): fact FK bitmap indexes on the
+	// catalog channel.
+	cs := db.Table("catalog_sales")
+	for _, fk := range cs.Def.ForeignKeys {
+		eng.WarmBitmapIndex("catalog_sales", fk.Column)
+	}
+}
+
+// runQueryRun executes one query run: S concurrent streams, each
+// running all templates in its own permuted order with its own
+// substitutions.
+func runQueryRun(eng *exec.Engine, tpl []qgen.Template, cfg Config, run int) ([]QueryTiming, error) {
+	type streamResult struct {
+		timings []QueryTiming
+		err     error
+	}
+	results := make([]streamResult, cfg.Streams)
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Streams; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			// Run 2 uses a disjoint stream-id space so its substitutions
+			// differ from run 1 while remaining deterministic.
+			effStream := stream + (run-1)*1000
+			order := qgen.SessionPermutation(cfg.Seed, effStream, tpl)
+			var out []QueryTiming
+			for _, idx := range order {
+				t := tpl[idx]
+				text, err := qgen.Instantiate(t, qgen.StreamSeed(cfg.Seed, effStream, t.ID))
+				if err != nil {
+					results[stream] = streamResult{err: fmt.Errorf("stream %d query %d: %w", stream, t.ID, err)}
+					return
+				}
+				start := time.Now()
+				r, err := eng.Query(text)
+				if err != nil {
+					results[stream] = streamResult{err: fmt.Errorf("stream %d query %d: %w", stream, t.ID, err)}
+					return
+				}
+				out = append(out, QueryTiming{
+					Run: run, Stream: stream, QueryID: t.ID,
+					Duration: time.Since(start), Rows: len(r.Rows),
+				})
+			}
+			results[stream] = streamResult{timings: out}
+		}(s)
+	}
+	wg.Wait()
+	var all []QueryTiming
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		all = append(all, r.timings...)
+	}
+	return all, nil
+}
+
+// SlowestQueries returns the n slowest query executions — §5.3's point
+// that without a power metric, tuning effort concentrates on the
+// longest-running queries.
+func (r *Result) SlowestQueries(n int) []QueryTiming {
+	out := make([]QueryTiming, len(r.Queries))
+	copy(out, r.Queries)
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// QueryRunDelta reports the relative elapsed-time change of query run 2
+// versus run 1 per query id (positive = slower after maintenance).
+func (r *Result) QueryRunDelta() map[int]float64 {
+	sum := map[int][2]time.Duration{}
+	for _, qt := range r.Queries {
+		s := sum[qt.QueryID]
+		s[qt.Run-1] += qt.Duration
+		sum[qt.QueryID] = s
+	}
+	out := map[int]float64{}
+	for id, s := range sum {
+		if s[0] > 0 {
+			out[id] = float64(s[1]-s[0]) / float64(s[0])
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+// Package exec implements the query executor: binding of parsed SQL
+// against the storage catalog, the two physical join strategies of §2.1
+// (hash-join pipeline and bitmap star transformation, chosen by package
+// plan), hash aggregation, windowed aggregates, sorting and set
+// operations. The engine is safe for concurrent queries, which the
+// execution rules require (§5.2: multiple concurrent query streams).
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"tpcds/internal/index"
+	"tpcds/internal/plan"
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
+)
+
+// Engine executes SQL against a storage database.
+type Engine struct {
+	db   *storage.DB
+	mode plan.Mode
+
+	mu         sync.Mutex
+	hashIdx    map[string]*index.HashIndex   // "table.column" -> index
+	bmIdx      map[string]*index.BitmapIndex // "table.column" -> index
+	statsCache map[string]colStats
+
+	// useHeuristicsOnly disables statistics-based selectivity (the
+	// stats-vs-heuristics ablation).
+	useHeuristicsOnly bool
+
+	// Explain hooks: the most recent strategy decision and execution
+	// trace, for tests and EXPLAIN-style reporting. Guarded by mu.
+	lastDecision plan.Decision
+	lastTrace    Trace
+}
+
+// New returns an engine over db using automatic strategy selection.
+func New(db *storage.DB) *Engine {
+	return &Engine{
+		db:         db,
+		hashIdx:    map[string]*index.HashIndex{},
+		bmIdx:      map[string]*index.BitmapIndex{},
+		statsCache: map[string]colStats{},
+	}
+}
+
+// SetMode constrains the physical strategy (used by the ablation
+// benchmarks). Not safe to call concurrently with queries.
+func (e *Engine) SetMode(m plan.Mode) { e.mode = m }
+
+// Mode returns the current strategy mode.
+func (e *Engine) Mode() plan.Mode { return e.mode }
+
+// SetUseStatistics toggles statistics-based selectivity estimation (on
+// by default); with it off the optimizer falls back to fixed textbook
+// heuristics — the stats-vs-heuristics ablation. Not safe to call
+// concurrently with queries.
+func (e *Engine) SetUseStatistics(on bool) { e.useHeuristicsOnly = !on }
+
+// DB exposes the underlying database (used by data maintenance).
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// LastDecision returns the optimizer decision of the most recent star-
+// eligible query (diagnostic).
+func (e *Engine) LastDecision() plan.Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastDecision
+}
+
+func (e *Engine) setDecision(d plan.Decision) {
+	e.mu.Lock()
+	e.lastDecision = d
+	e.mu.Unlock()
+}
+
+// InvalidateIndexes drops cached indexes for a table; the data
+// maintenance workload calls this after modifying a table ("the data
+// maintenance run measures the system's ability ... to maintain
+// auxiliary data structures", §5.2 — rebuilding on next use is our
+// maintenance model).
+func (e *Engine) InvalidateIndexes(table string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prefix := table + "."
+	for k := range e.hashIdx {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(e.hashIdx, k)
+		}
+	}
+	for k := range e.bmIdx {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(e.bmIdx, k)
+		}
+	}
+	statsPrefix := table + "#stats#"
+	for k := range e.statsCache {
+		if len(k) >= len(statsPrefix) && k[:len(statsPrefix)] == statsPrefix {
+			delete(e.statsCache, k)
+		}
+	}
+}
+
+// hashIndex returns (building if needed) a hash index on table.column.
+func (e *Engine) hashIndex(t *storage.Table, col int) *index.HashIndex {
+	key := t.Def.Name + "." + t.Def.Columns[col].Name
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ix, ok := e.hashIdx[key]; ok && ix.NumRows() == t.NumRows() {
+		return ix
+	}
+	vals, nulls := t.ScanInt64(col)
+	ix := index.BuildHashIndex(vals, nulls)
+	e.hashIdx[key] = ix
+	return ix
+}
+
+// bitmapIndex returns (building if needed) a bitmap index on
+// table.column.
+func (e *Engine) bitmapIndex(t *storage.Table, col int) *index.BitmapIndex {
+	key := t.Def.Name + "." + t.Def.Columns[col].Name
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ix, ok := e.bmIdx[key]; ok && ix.NumRows() == t.NumRows() {
+		return ix
+	}
+	vals, nulls := t.ScanInt64(col)
+	ix := index.BuildBitmapIndex(vals, nulls)
+	e.bmIdx[key] = ix
+	return ix
+}
+
+// WarmHashIndex eagerly builds the hash index on table.column (part of
+// the load test's "create auxiliary data structures" step, §5.2). It is
+// a no-op for unknown tables/columns or non-integer columns.
+func (e *Engine) WarmHashIndex(table, column string) {
+	t := e.db.Table(table)
+	if t == nil {
+		return
+	}
+	ci := t.Def.ColumnIndex(column)
+	if ci < 0 {
+		return
+	}
+	switch t.Def.Columns[ci].Type {
+	case schema.Identifier, schema.Integer, schema.Date:
+		e.hashIndex(t, ci)
+	}
+}
+
+// WarmBitmapIndex eagerly builds the bitmap index on table.column.
+func (e *Engine) WarmBitmapIndex(table, column string) {
+	t := e.db.Table(table)
+	if t == nil {
+		return
+	}
+	ci := t.Def.ColumnIndex(column)
+	if ci < 0 {
+		return
+	}
+	switch t.Def.Columns[ci].Type {
+	case schema.Identifier, schema.Integer, schema.Date:
+		e.bitmapIndex(t, ci)
+	}
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]storage.Value
+}
+
+// String renders the result as an aligned text table (for the CLI and
+// examples).
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			if v.IsNull() {
+				s = "NULL"
+			}
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb []byte
+	appendRow := func(fields []string) {
+		for i, f := range fields {
+			if i > 0 {
+				sb = append(sb, ' ', '|', ' ')
+			}
+			sb = append(sb, f...)
+			for p := len(f); p < widths[i]; p++ {
+				sb = append(sb, ' ')
+			}
+		}
+		sb = append(sb, '\n')
+	}
+	appendRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		for p := 0; p < widths[i]; p++ {
+			sep[i] += "-"
+		}
+	}
+	appendRow(sep)
+	for _, row := range cells {
+		appendRow(row)
+	}
+	return string(sb)
+}
+
+// queryError wraps binder and executor errors with the failing SQL.
+func queryError(q string, err error) error {
+	if len(q) > 120 {
+		q = q[:117] + "..."
+	}
+	return fmt.Errorf("exec: %w (query: %s)", err, q)
+}

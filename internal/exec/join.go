@@ -1,0 +1,393 @@
+package exec
+
+import (
+	"fmt"
+
+	"tpcds/internal/plan"
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
+)
+
+// leftJoin describes one LEFT OUTER JOIN table with its equality edges
+// (normalized so the b side is the outer table) and residual ON
+// conditions.
+type leftJoin struct {
+	table int
+	edges []joinEdge
+	extra []bexpr
+}
+
+// joinRows produces the joined base rows of a query: full-width rows
+// over the canonical layout (each table instance owning a contiguous
+// span). It selects between the star transformation and the hash-join
+// pipeline via the plan package.
+func (e *Engine) joinRows(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin) ([][]storage.Value, error) {
+	if len(b.tables) == 0 {
+		return nil, fmt.Errorf("no tables to join")
+	}
+	tr := Trace{Strategy: plan.HashJoinPipeline, Tables: e.buildTableTraces(b, filters)}
+	if shape, dimOfTable, ok := e.starShape(b, filters, edges, lefts); ok {
+		decision := plan.Choose(shape, e.mode)
+		e.setDecision(decision)
+		tr.Decision = decision
+		if decision.Strategy == plan.StarTransform {
+			rows, ok := e.runStar(b, filters, edges, residual, dimOfTable)
+			if ok {
+				tr.Strategy = plan.StarTransform
+				tr.JoinOrder = []string{shape.FactName + " (bitmap-driven)"}
+				tr.BaseRows = len(rows)
+				e.setTrace(tr)
+				return rows, nil
+			}
+		}
+	}
+	rows, order, err := e.hashJoinRows(b, filters, edges, residual, lefts)
+	if err != nil {
+		return nil, err
+	}
+	tr.JoinOrder = order
+	tr.BaseRows = len(rows)
+	e.setTrace(tr)
+	return rows, nil
+}
+
+// tablePreds collects the bound local predicates of one table.
+func tablePreds(ti int, filters []filterInfo) []bexpr {
+	var preds []bexpr
+	for _, f := range filters {
+		if f.table == ti {
+			preds = append(preds, f.pred)
+		}
+	}
+	return preds
+}
+
+// forEachFiltered streams the rows of table ti surviving its local
+// filters. fn receives the base-table row id and a reusable full-width
+// buffer with only ti's span populated — callers must copy what they
+// keep.
+func (b *binder) forEachFiltered(ti int, filters []filterInfo, fn func(r int, row []storage.Value)) {
+	inst := &b.tables[ti]
+	preds := tablePreds(ti, filters)
+	cols := b.usedCols(ti)
+	n := inst.tab.NumRows()
+	row := make([]storage.Value, b.total)
+	for r := 0; r < n; r++ {
+		for _, c := range cols {
+			row[inst.offset+c] = inst.tab.Get(r, c)
+		}
+		ok := true
+		for _, p := range preds {
+			if !truthy(p.eval(row)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fn(r, row)
+		}
+	}
+}
+
+// filteredRows materializes one table's surviving rows as full-width
+// rows (driver-table path).
+func (b *binder) filteredRows(ti int, filters []filterInfo) [][]storage.Value {
+	var out [][]storage.Value
+	b.forEachFiltered(ti, filters, func(_ int, row []storage.Value) {
+		cp := make([]storage.Value, len(row))
+		copy(cp, row)
+		out = append(out, cp)
+	})
+	return out
+}
+
+// countFiltered counts surviving rows without materializing them.
+func (b *binder) countFiltered(ti int, filters []filterInfo) int {
+	n := 0
+	b.forEachFiltered(ti, filters, func(int, []storage.Value) { n++ })
+	return n
+}
+
+// estimateFiltered estimates the filtered cardinality of a table. With
+// statistics enabled (the default), analyzable predicates use NDV and
+// min/max stats; other predicates — and everything when statistics are
+// disabled — use the plan package's fixed heuristics.
+func (e *Engine) estimateFiltered(b *binder, ti int, filters []filterInfo) float64 {
+	est := float64(b.tables[ti].tab.NumRows())
+	for _, f := range filters {
+		if f.table != ti {
+			continue
+		}
+		sel := -1.0
+		if !e.useHeuristicsOnly && f.hintOK {
+			if s, ok := e.hintSelectivity(b, f.hint); ok {
+				sel = s
+			}
+		}
+		if sel < 0 {
+			sel = plan.EstimateFilterSelectivity(f.kind)
+		}
+		est *= sel
+	}
+	return est
+}
+
+// hashJoinRows is the 3NF-style execution path (§2.1: "access paths in a
+// 3NF DSS system are dominated by large hash-joins"): the largest
+// filtered table drives; every other table is hash-built on its join
+// columns (row ids only — spans are copied on match) and probed.
+func (e *Engine) hashJoinRows(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin) ([][]storage.Value, []string, error) {
+	isLeft := map[int]bool{}
+	for _, lj := range lefts {
+		isLeft[lj.table] = true
+	}
+	// Pick the driver: the largest estimated fact table, or the largest
+	// table overall when no fact participates. Preferring facts matches
+	// the warehouse shape (facts dwarf dimensions at scale) and avoids
+	// driving from a huge static dimension like customer_demographics at
+	// development scale factors.
+	driver := -1
+	var driverEst float64
+	driverIsFact := false
+	for ti := range b.tables {
+		if isLeft[ti] {
+			continue
+		}
+		isFact := b.tables[ti].tab.Def.Kind == schema.Fact
+		est := e.estimateFiltered(b, ti, filters)
+		better := driver < 0 ||
+			(isFact && !driverIsFact) ||
+			(isFact == driverIsFact && est > driverEst)
+		if better {
+			driver, driverEst, driverIsFact = ti, est, isFact
+		}
+	}
+	if driver < 0 {
+		return nil, nil, fmt.Errorf("all tables are left-joined")
+	}
+	current := b.filteredRows(driver, filters)
+	joined := map[int]bool{driver: true}
+	order := []string{b.tables[driver].binding + " (driver)"}
+
+	remaining := map[int]bool{}
+	for ti := range b.tables {
+		if ti != driver && !isLeft[ti] {
+			remaining[ti] = true
+		}
+	}
+	for len(remaining) > 0 {
+		// Prefer a table connected to the joined set; among those, the
+		// smallest estimate (cheapest hash build).
+		next := -1
+		var nextEst float64
+		nextConnected := false
+		for ti := range remaining {
+			connected := false
+			for _, ed := range edges {
+				if (joined[ed.aTbl] && ed.bTbl == ti) || (joined[ed.bTbl] && ed.aTbl == ti) {
+					connected = true
+					break
+				}
+			}
+			est := e.estimateFiltered(b, ti, filters)
+			if next < 0 || (connected && !nextConnected) ||
+				(connected == nextConnected && est < nextEst) {
+				next, nextEst, nextConnected = ti, est, connected
+			}
+		}
+		delete(remaining, next)
+		current = e.innerHashJoin(b, current, next, filters, edges, joined)
+		joined[next] = true
+		order = append(order, b.tables[next].binding)
+	}
+	// LEFT OUTER joins, in declaration order.
+	for _, lj := range lefts {
+		current = e.leftHashJoin(b, current, lj, filters)
+		joined[lj.table] = true
+		order = append(order, b.tables[lj.table].binding+" (left)")
+	}
+	// Residual cross-table predicates.
+	if len(residual) > 0 {
+		w := 0
+		for _, row := range current {
+			ok := true
+			for _, p := range residual {
+				if !truthy(p.eval(row)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				current[w] = row
+				w++
+			}
+		}
+		current = current[:w]
+	}
+	return current, order, nil
+}
+
+// joinKeys extracts the probe/build key expressions for joining table ti
+// against the already-joined set.
+func joinKeys(edges []joinEdge, joined map[int]bool, ti int) (probe, build []*colExpr) {
+	for _, ed := range edges {
+		switch {
+		case joined[ed.aTbl] && ed.bTbl == ti:
+			probe = append(probe, ed.aCol)
+			build = append(build, ed.bCol)
+		case joined[ed.bTbl] && ed.aTbl == ti:
+			probe = append(probe, ed.bCol)
+			build = append(build, ed.aCol)
+		}
+	}
+	return probe, build
+}
+
+func keyOf(row []storage.Value, cols []*colExpr) (string, bool) {
+	key := ""
+	for _, c := range cols {
+		v := row[c.off]
+		if v.IsNull() {
+			return "", false // NULL never joins
+		}
+		key += v.GroupKey()
+	}
+	return key, true
+}
+
+// buildHash indexes the filtered rows of table ti by the given build
+// columns, storing base-table row ids.
+func (b *binder) buildHash(ti int, filters []filterInfo, build []*colExpr) map[string][]int32 {
+	ht := map[string][]int32{}
+	b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
+		if key, ok := keyOf(row, build); ok {
+			ht[key] = append(ht[key], int32(r))
+		}
+	})
+	return ht
+}
+
+// fillSpan copies the used columns of table ti's row r into dst.
+func (b *binder) fillSpan(ti int, r int32, dst []storage.Value) {
+	inst := &b.tables[ti]
+	for _, c := range b.usedCols(ti) {
+		dst[inst.offset+c] = inst.tab.Get(int(r), c)
+	}
+}
+
+// innerHashJoin joins current rows with table ti.
+func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, filters []filterInfo, edges []joinEdge, joined map[int]bool) [][]storage.Value {
+	probe, build := joinKeys(edges, joined, ti)
+	if len(probe) == 0 {
+		// No connecting edge: cartesian product (rare; small sides only).
+		var ids []int32
+		b.forEachFiltered(ti, filters, func(r int, _ []storage.Value) {
+			ids = append(ids, int32(r))
+		})
+		var out [][]storage.Value
+		for _, l := range current {
+			for _, r := range ids {
+				m := make([]storage.Value, b.total)
+				copy(m, l)
+				b.fillSpan(ti, r, m)
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	// Build on the smaller side: when the new table is much larger than
+	// the current intermediate result (a huge dimension probed by a
+	// filtered fact), hash the current rows instead and stream the big
+	// table past them.
+	if est := e.estimateFiltered(b, ti, filters); est > 2*float64(len(current)) {
+		ht := make(map[string][]int, len(current))
+		for li, l := range current {
+			if key, ok := keyOf(l, probe); ok {
+				ht[key] = append(ht[key], li)
+			}
+		}
+		var out [][]storage.Value
+		b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
+			key, ok := keyOf(row, build)
+			if !ok {
+				return
+			}
+			for _, li := range ht[key] {
+				m := make([]storage.Value, b.total)
+				copy(m, current[li])
+				b.fillSpan(ti, int32(r), m)
+				out = append(out, m)
+			}
+		})
+		return out
+	}
+	ht := b.buildHash(ti, filters, build)
+	var out [][]storage.Value
+	for _, l := range current {
+		key, ok := keyOf(l, probe)
+		if !ok {
+			continue
+		}
+		for _, r := range ht[key] {
+			m := make([]storage.Value, b.total)
+			copy(m, l)
+			b.fillSpan(ti, r, m)
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// leftHashJoin outer-joins current rows with the lj table: rows without
+// a match keep NULLs in the outer span.
+func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin, filters []filterInfo) [][]storage.Value {
+	var probe, build []*colExpr
+	for _, ed := range lj.edges {
+		probe = append(probe, ed.aCol)
+		build = append(build, ed.bCol)
+	}
+	var allIDs []int32
+	var ht map[string][]int32
+	if len(probe) == 0 {
+		b.forEachFiltered(lj.table, filters, func(r int, _ []storage.Value) {
+			allIDs = append(allIDs, int32(r))
+		})
+	} else {
+		ht = b.buildHash(lj.table, filters, build)
+	}
+	var out [][]storage.Value
+	for _, l := range current {
+		matched := false
+		candidates := allIDs
+		if ht != nil {
+			if key, ok := keyOf(l, probe); ok {
+				candidates = ht[key]
+			} else {
+				candidates = nil
+			}
+		}
+		for _, r := range candidates {
+			m := make([]storage.Value, b.total)
+			copy(m, l)
+			b.fillSpan(lj.table, r, m)
+			ok := true
+			for _, p := range lj.extra {
+				if !truthy(p.eval(m)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, m)
+				matched = true
+			}
+		}
+		if !matched {
+			m := make([]storage.Value, b.total)
+			copy(m, l)
+			// Outer span stays NULL (zero Value is NULL).
+			out = append(out, m)
+		}
+	}
+	return out
+}

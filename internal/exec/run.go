@@ -1,0 +1,553 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"tpcds/internal/schema"
+	"tpcds/internal/sql"
+	"tpcds/internal/storage"
+)
+
+// Query parses and executes one SELECT statement. Internal panics are
+// converted to errors: one malformed query must not take down the
+// benchmark's concurrent streams.
+func (e *Engine) Query(q string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = queryError(q, fmt.Errorf("internal error: %v", r))
+		}
+	}()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		return nil, queryError(q, err)
+	}
+	res, _, err = e.runStatement(stmt, nil)
+	if err != nil {
+		return nil, queryError(q, err)
+	}
+	return res, nil
+}
+
+// Run executes an already parsed statement.
+func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
+	res, _, err := e.runStatement(stmt, nil)
+	return res, err
+}
+
+// runStatement materializes WITH clauses, dispatches union chains, and
+// runs the head select. It returns the result and per-column types (for
+// CTE materialization).
+func (e *Engine) runStatement(stmt *sql.SelectStmt, outer map[string]*storage.Table) (*Result, []schema.Type, error) {
+	ctes := map[string]*storage.Table{}
+	for k, v := range outer {
+		ctes[k] = v
+	}
+	for _, cte := range stmt.With {
+		res, types, err := e.runStatement(cte.Select, ctes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("WITH %s: %w", cte.Name, err)
+		}
+		tab, err := materialize(cte.Name, res, types)
+		if err != nil {
+			return nil, nil, fmt.Errorf("WITH %s: %w", cte.Name, err)
+		}
+		ctes[cte.Name] = tab
+	}
+	if stmt.UnionAll != nil {
+		return e.runUnion(stmt, ctes)
+	}
+	return e.runSelect(stmt, ctes)
+}
+
+// materialize turns a query result into an anonymous storage table so
+// CTEs can be referenced like base tables.
+func materialize(name string, res *Result, types []schema.Type) (*storage.Table, error) {
+	def := &schema.Table{Name: name, Kind: schema.Dimension}
+	seen := map[string]bool{}
+	for i, col := range res.Columns {
+		cname := col
+		for seen[cname] {
+			cname = fmt.Sprintf("%s_%d", col, i)
+		}
+		seen[cname] = true
+		t := schema.Char
+		if i < len(types) {
+			t = types[i]
+		}
+		def.Columns = append(def.Columns, schema.Column{Name: cname, Type: t, Nullable: true})
+	}
+	def.PrimaryKey = []string{def.Columns[0].Name}
+	tab := storage.NewTable(def)
+	for _, row := range res.Rows {
+		tab.Append(row)
+	}
+	return tab, nil
+}
+
+// runUnion executes a UNION ALL chain; ORDER BY / LIMIT of the head
+// apply to the concatenated result and may only reference output columns
+// by name or ordinal.
+func (e *Engine) runUnion(head *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, error) {
+	var out *Result
+	var types []schema.Type
+	orderBy := head.OrderBy
+	limit := head.Limit
+	offset := head.Offset
+	for cur := head; cur != nil; cur = cur.UnionAll {
+		block := *cur
+		block.OrderBy = nil
+		block.Limit = -1
+		block.Offset = 0
+		block.UnionAll = nil
+		block.With = nil
+		res, ts, err := e.runSelect(&block, ctes)
+		if err != nil {
+			return nil, nil, err
+		}
+		if out == nil {
+			out, types = res, ts
+			continue
+		}
+		if len(res.Columns) != len(out.Columns) {
+			return nil, nil, fmt.Errorf("UNION ALL blocks have %d vs %d columns",
+				len(out.Columns), len(res.Columns))
+		}
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	if len(orderBy) > 0 {
+		keys := make([]int, len(orderBy))
+		desc := make([]bool, len(orderBy))
+		for i, oi := range orderBy {
+			desc[i] = oi.Desc
+			switch v := oi.Expr.(type) {
+			case *sql.ColRef:
+				found := -1
+				for ci, c := range out.Columns {
+					if c == v.Name {
+						found = ci
+						break
+					}
+				}
+				if found < 0 {
+					return nil, nil, fmt.Errorf("ORDER BY %s not in union output", v.Name)
+				}
+				keys[i] = found
+			case *sql.Lit:
+				if !v.IsInt || v.IntVal < 1 || int(v.IntVal) > len(out.Columns) {
+					return nil, nil, fmt.Errorf("ORDER BY ordinal out of range")
+				}
+				keys[i] = int(v.IntVal) - 1
+			default:
+				return nil, nil, fmt.Errorf("ORDER BY over UNION ALL must use column names or ordinals")
+			}
+		}
+		sort.SliceStable(out.Rows, func(a, b int) bool {
+			for i, k := range keys {
+				c := storage.Compare(out.Rows[a][k], out.Rows[b][k])
+				if c == 0 {
+					continue
+				}
+				if desc[i] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if offset > 0 {
+		if offset >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[offset:]
+		}
+	}
+	if limit >= 0 && len(out.Rows) > limit {
+		out.Rows = out.Rows[:limit]
+	}
+	return out, types, nil
+}
+
+// filterInfo records one bound single-table predicate with the AST
+// shape used for selectivity estimation and, when the shape is
+// analyzable (column vs literal), the statistics hint.
+type filterInfo struct {
+	table  int
+	pred   bexpr
+	kind   string
+	hint   selHint
+	hintOK bool
+}
+
+// joinEdge is an equality predicate between two table columns.
+type joinEdge struct {
+	aTbl, bTbl int
+	aCol, bCol *colExpr // absolute offsets
+}
+
+// runSelect executes one plain SELECT block.
+func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, error) {
+	b := newBinder(e, ctes)
+	for _, ref := range stmt.From {
+		if err := b.addTable(ref); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Rewrite ORDER BY aliases and ordinals to their select expressions.
+	orderBy, err := rewriteOrderBy(stmt.OrderBy, stmt.Items)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Registration pass: mark every column the query will read so the
+	// join layer only materializes used columns. Post-join clauses are
+	// bound after rows exist, so this must happen first.
+	for _, item := range stmt.Items {
+		if item.Star {
+			b.registerAll()
+			break
+		}
+		b.registerColumns(item.Expr)
+	}
+	for _, g := range stmt.GroupBy {
+		b.registerColumns(g)
+	}
+	if stmt.Having != nil {
+		b.registerColumns(stmt.Having)
+	}
+	for _, oi := range orderBy {
+		b.registerColumns(oi.Expr)
+	}
+
+	// Classify WHERE conjuncts.
+	var filters []filterInfo
+	var edges []joinEdge
+	var residual []bexpr
+	var constPreds []bexpr
+	for _, c := range conjuncts(stmt.Where) {
+		be, err := b.bind(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := be.mask()
+		switch popcount(m) {
+		case 0:
+			constPreds = append(constPreds, be)
+		case 1:
+			fi := filterInfo{table: bitIndex(m), pred: be, kind: predKind(c)}
+			fi.hint, fi.hintOK = analyzeFilter(b, c, fi.table)
+			filters = append(filters, fi)
+		default:
+			if edge, ok := asJoinEdge(be); ok {
+				edges = append(edges, edge)
+			} else {
+				residual = append(residual, be)
+			}
+		}
+	}
+	// LEFT JOIN conditions: split into equi edges and extra conditions.
+	var leftJoins []leftJoin
+	for ti := range b.tables {
+		if !b.tables[ti].leftJoin {
+			continue
+		}
+		spec := leftJoin{table: ti}
+		for _, c := range conjuncts(b.tables[ti].on) {
+			be, err := b.bind(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			if edge, ok := asJoinEdge(be); ok && (edge.aTbl == ti || edge.bTbl == ti) {
+				if edge.bTbl != ti { // normalize: b side is the left-joined table
+					edge.aTbl, edge.bTbl = edge.bTbl, edge.aTbl
+					edge.aCol, edge.bCol = edge.bCol, edge.aCol
+				}
+				spec.edges = append(spec.edges, edge)
+			} else {
+				spec.extra = append(spec.extra, be)
+			}
+		}
+		leftJoins = append(leftJoins, spec)
+	}
+
+	// Constant predicates: if any is false the result is empty.
+	for _, p := range constPreds {
+		if !truthy(p.eval(nil)) {
+			empty, types, err := e.projectEmpty(stmt, b, orderBy)
+			return empty, types, err
+		}
+	}
+
+	// Produce joined base rows.
+	rows, err := e.joinRows(b, filters, edges, residual, leftJoins)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	for _, item := range stmt.Items {
+		if !item.Star && exprContainsAggregate(item.Expr) {
+			aggregated = true
+		}
+	}
+	for _, oi := range orderBy {
+		if exprContainsAggregate(oi.Expr) {
+			aggregated = true
+		}
+	}
+
+	if aggregated {
+		return e.aggregate(stmt, b, rows, orderBy)
+	}
+	return e.projectSimple(stmt, b, rows, orderBy)
+}
+
+// projectEmpty produces a zero-row result with the right output columns.
+func (e *Engine) projectEmpty(stmt *sql.SelectStmt, b *binder, orderBy []sql.OrderItem) (*Result, []schema.Type, error) {
+	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	for _, item := range stmt.Items {
+		if !item.Star && exprContainsAggregate(item.Expr) {
+			aggregated = true
+		}
+	}
+	if aggregated {
+		return e.aggregate(stmt, b, nil, orderBy)
+	}
+	return e.projectSimple(stmt, b, nil, orderBy)
+}
+
+// projectSimple handles the non-aggregated path: project, DISTINCT,
+// ORDER BY, LIMIT.
+func (e *Engine) projectSimple(stmt *sql.SelectStmt, b *binder, rows [][]storage.Value, orderBy []sql.OrderItem) (*Result, []schema.Type, error) {
+	var outCols []string
+	var outTypes []schema.Type
+	var projs []bexpr
+	for _, item := range stmt.Items {
+		if item.Star {
+			for ti := range b.tables {
+				inst := &b.tables[ti]
+				for ci, col := range inst.tab.Def.Columns {
+					outCols = append(outCols, col.Name)
+					outTypes = append(outTypes, col.Type)
+					projs = append(projs, &colExpr{off: inst.offset + ci, t: col.Type, tblBit: 1 << uint(ti)})
+				}
+			}
+			continue
+		}
+		be, err := b.bind(item.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		outCols = append(outCols, outputName(item))
+		outTypes = append(outTypes, be.typ())
+		projs = append(projs, be)
+	}
+	var sortKeys []bexpr
+	for _, oi := range orderBy {
+		be, err := b.bind(oi.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		sortKeys = append(sortKeys, be)
+	}
+	res := e.finish(rows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols)
+	return res, outTypes, nil
+}
+
+// finish evaluates projections and sort keys, applies DISTINCT, ORDER BY
+// and LIMIT, and assembles the result.
+func (e *Engine) finish(rows [][]storage.Value, projs, sortKeys []bexpr, orderBy []sql.OrderItem, distinct bool, limit, offset int, outCols []string) *Result {
+	type outRow struct {
+		proj []storage.Value
+		keys []storage.Value
+	}
+	outs := make([]outRow, 0, len(rows))
+	seen := map[string]bool{}
+	for _, row := range rows {
+		proj := make([]storage.Value, len(projs))
+		for i, p := range projs {
+			proj[i] = p.eval(row)
+		}
+		if distinct {
+			key := ""
+			for _, v := range proj {
+				key += v.GroupKey()
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		keys := make([]storage.Value, len(sortKeys))
+		for i, k := range sortKeys {
+			keys[i] = k.eval(row)
+		}
+		outs = append(outs, outRow{proj, keys})
+	}
+	if len(sortKeys) > 0 {
+		sort.SliceStable(outs, func(a, b int) bool {
+			for i := range sortKeys {
+				c := storage.Compare(outs[a].keys[i], outs[b].keys[i])
+				if c == 0 {
+					continue
+				}
+				if orderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if offset > 0 {
+		if offset >= len(outs) {
+			outs = nil
+		} else {
+			outs = outs[offset:]
+		}
+	}
+	if limit >= 0 && len(outs) > limit {
+		outs = outs[:limit]
+	}
+	res := &Result{Columns: outCols, Rows: make([][]storage.Value, len(outs))}
+	for i, o := range outs {
+		res.Rows[i] = o.proj
+	}
+	return res
+}
+
+// rewriteOrderBy resolves select aliases (anywhere inside the sort
+// expression) and top-level ordinals in ORDER BY.
+func rewriteOrderBy(orderBy []sql.OrderItem, items []sql.SelectItem) ([]sql.OrderItem, error) {
+	aliases := map[string]sql.Expr{}
+	for _, item := range items {
+		if item.Alias != "" && !item.Star {
+			aliases[item.Alias] = item.Expr
+		}
+	}
+	out := make([]sql.OrderItem, len(orderBy))
+	for i, oi := range orderBy {
+		out[i] = oi
+		if v, ok := oi.Expr.(*sql.Lit); ok && v.Kind == sql.LitNumber && v.IsInt {
+			n := int(v.IntVal)
+			if n < 1 || n > len(items) {
+				return nil, fmt.Errorf("ORDER BY ordinal %d out of range", n)
+			}
+			if items[n-1].Star {
+				return nil, fmt.Errorf("ORDER BY ordinal cannot reference *")
+			}
+			out[i].Expr = items[n-1].Expr
+			continue
+		}
+		out[i].Expr = substituteAliases(oi.Expr, aliases)
+	}
+	return out, nil
+}
+
+// substituteAliases replaces bare column references matching a select
+// alias with the aliased expression, recursively. Qualified references
+// and non-matching names pass through unchanged.
+func substituteAliases(e sql.Expr, aliases map[string]sql.Expr) sql.Expr {
+	if len(aliases) == 0 {
+		return e
+	}
+	switch v := e.(type) {
+	case *sql.ColRef:
+		if v.Table == "" {
+			if repl, ok := aliases[v.Name]; ok {
+				return repl
+			}
+		}
+		return v
+	case *sql.BinOp:
+		return &sql.BinOp{Op: v.Op,
+			L: substituteAliases(v.L, aliases), R: substituteAliases(v.R, aliases)}
+	case *sql.UnaryOp:
+		return &sql.UnaryOp{Op: v.Op, X: substituteAliases(v.X, aliases)}
+	case *sql.Between:
+		return &sql.Between{X: substituteAliases(v.X, aliases),
+			Lo: substituteAliases(v.Lo, aliases), Hi: substituteAliases(v.Hi, aliases), Not: v.Not}
+	case *sql.IsNull:
+		return &sql.IsNull{X: substituteAliases(v.X, aliases), Not: v.Not}
+	case *sql.FuncCall:
+		out := &sql.FuncCall{Name: v.Name, Distinct: v.Distinct, Star: v.Star}
+		for _, a := range v.Args {
+			out.Args = append(out.Args, substituteAliases(a, aliases))
+		}
+		return out
+	case *sql.CaseExpr:
+		out := &sql.CaseExpr{}
+		for _, w := range v.Whens {
+			out.Whens = append(out.Whens, sql.WhenClause{
+				Cond:   substituteAliases(w.Cond, aliases),
+				Result: substituteAliases(w.Result, aliases),
+			})
+		}
+		if v.Else != nil {
+			out.Else = substituteAliases(v.Else, aliases)
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// predKind maps an AST predicate to the selectivity classes of
+// plan.EstimateFilterSelectivity.
+func predKind(e sql.Expr) string {
+	switch v := e.(type) {
+	case *sql.BinOp:
+		if v.Op == "=" {
+			return "eq"
+		}
+		if isComparison(v.Op) {
+			return "range"
+		}
+	case *sql.In:
+		return "in"
+	case *sql.Between:
+		return "between"
+	case *sql.Like:
+		return "like"
+	case *sql.IsNull:
+		return "isnull"
+	}
+	return "other"
+}
+
+// asJoinEdge recognizes a bound `col = col` predicate across two tables.
+func asJoinEdge(be bexpr) (joinEdge, bool) {
+	bin, ok := be.(*binExpr)
+	if !ok || bin.op != "=" {
+		return joinEdge{}, false
+	}
+	l, lok := bin.l.(*colExpr)
+	r, rok := bin.r.(*colExpr)
+	if !lok || !rok || l.tblBit == r.tblBit {
+		return joinEdge{}, false
+	}
+	return joinEdge{
+		aTbl: bitIndex(l.tblBit), bTbl: bitIndex(r.tblBit),
+		aCol: l, bCol: r,
+	}, true
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+func bitIndex(m uint64) int {
+	i := 0
+	for m > 1 {
+		m >>= 1
+		i++
+	}
+	return i
+}

@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"tpcds/internal/index"
+	"tpcds/internal/plan"
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
+)
+
+// dimSpec describes one dimension of a star-shaped query as needed by
+// the star transformation executor.
+type dimSpec struct {
+	table   int      // table instance index
+	factCol *colExpr // fact-side join column (absolute offset)
+	pkCol   int      // dimension-local primary key column index
+	hasPred bool
+}
+
+// starShape recognizes the star query shape: one fact (the largest
+// table) joined to dimensions, each on a single equality edge hitting
+// the dimension's one-column primary key, with no dimension-to-dimension
+// edges and no outer joins. Returns the optimizer shape summary and the
+// executable dimension specs keyed by table index.
+func (e *Engine) starShape(b *binder, filters []filterInfo, edges []joinEdge, lefts []leftJoin) (plan.StarShape, map[int]dimSpec, bool) {
+	if len(lefts) > 0 || len(b.tables) < 2 {
+		return plan.StarShape{}, nil, false
+	}
+	// Driver: the largest fact-kind table; the largest table overall
+	// when no base fact participates (CTE inputs are dimension-kind).
+	fact := -1
+	factIsFact := false
+	for ti := range b.tables {
+		isFact := b.tables[ti].tab.Def.Kind == schema.Fact
+		better := fact < 0 ||
+			(isFact && !factIsFact) ||
+			(isFact == factIsFact && b.tables[ti].tab.NumRows() > b.tables[fact].tab.NumRows())
+		if better {
+			fact, factIsFact = ti, isFact
+		}
+	}
+	dims := map[int]dimSpec{}
+	for _, ed := range edges {
+		var dimT int
+		var factSide, dimSide *colExpr
+		switch {
+		case ed.aTbl == fact:
+			dimT, factSide, dimSide = ed.bTbl, ed.aCol, ed.bCol
+		case ed.bTbl == fact:
+			dimT, factSide, dimSide = ed.aTbl, ed.bCol, ed.aCol
+		default:
+			// Dimension-to-dimension edge: snowflake arm — not a pure
+			// star; the hash pipeline handles it.
+			return plan.StarShape{}, nil, false
+		}
+		if _, dup := dims[dimT]; dup {
+			// Two edges to the same dimension (e.g. sold and ship date
+			// against date_dim twice would use two bindings; two edges to
+			// ONE binding is a composite join) — not star shaped.
+			return plan.StarShape{}, nil, false
+		}
+		inst := &b.tables[dimT]
+		pk := inst.tab.Def.PrimaryKey
+		if len(pk) != 1 {
+			return plan.StarShape{}, nil, false
+		}
+		pkIdx := inst.tab.Def.ColumnIndex(pk[0])
+		if dimSide.off-inst.offset != pkIdx {
+			return plan.StarShape{}, nil, false
+		}
+		dims[dimT] = dimSpec{table: dimT, factCol: factSide, pkCol: pkIdx}
+	}
+	// Every non-fact table must participate as a dimension.
+	if len(dims) != len(b.tables)-1 {
+		return plan.StarShape{}, nil, false
+	}
+	shape := plan.StarShape{
+		FactName: b.tables[fact].binding,
+		FactRows: b.tables[fact].tab.NumRows(),
+	}
+	for ti, spec := range dims {
+		inst := &b.tables[ti]
+		// Exact filtered cardinality: dimensions are small, a counting
+		// scan is cheaper than being wrong about the strategy.
+		filtered := inst.tab.NumRows()
+		hasPred := false
+		for _, f := range filters {
+			if f.table == ti {
+				hasPred = true
+			}
+		}
+		if hasPred {
+			filtered = b.countFiltered(ti, filters)
+		}
+		spec.hasPred = hasPred
+		dims[ti] = spec
+		shape.Dims = append(shape.Dims, plan.DimInfo{
+			Name:         inst.binding,
+			Rows:         inst.tab.NumRows(),
+			FilteredRows: filtered,
+			PKJoin:       true,
+		})
+	}
+	return shape, dims, true
+}
+
+// runStar executes the star transformation (§2.1): per filtered
+// dimension, the qualifying surrogate keys are turned into a fact bitmap
+// through the fact FK's bitmap index (bitmap access), the bitmaps are
+// merged (AND), and only the qualifying fact rows are fetched and joined
+// back to the dimensions by key lookup (bitmap join).
+func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, dims map[int]dimSpec) ([][]storage.Value, bool) {
+	// Identify the fact: the one table not in dims.
+	fact := -1
+	for ti := range b.tables {
+		if _, isDim := dims[ti]; !isDim {
+			fact = ti
+			break
+		}
+	}
+	if fact < 0 {
+		return nil, false
+	}
+	factInst := &b.tables[fact]
+
+	// Index each dimension's qualifying rows by surrogate key (row ids
+	// only; spans are copied per matching fact row).
+	type dimData struct {
+		spec dimSpec
+		rows map[int64]int32 // sk -> base-table row id
+	}
+	var dimDatas []dimData
+	var accBitmap *index.Bitmap
+	for ti, spec := range dims {
+		inst := &b.tables[ti]
+		dd := dimData{spec: spec, rows: map[int64]int32{}}
+		var keys []int64
+		b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
+			skVal := row[inst.offset+spec.pkCol]
+			if skVal.IsNull() {
+				return
+			}
+			sk := skVal.AsInt()
+			if _, dup := dd.rows[sk]; !dup {
+				dd.rows[sk] = int32(r)
+				keys = append(keys, sk)
+			}
+		})
+		dimDatas = append(dimDatas, dd)
+		if spec.hasPred {
+			factCol := spec.factCol.off - factInst.offset
+			bi := e.bitmapIndex(factInst.tab, factCol)
+			bm := bi.UnionOf(keys)
+			if accBitmap == nil {
+				accBitmap = bm
+			} else {
+				accBitmap.And(bm)
+			}
+		}
+	}
+	if accBitmap == nil {
+		return nil, false // no filtered dimension; plan should not choose star
+	}
+
+	// Fact-local filters.
+	var factPreds []bexpr
+	for _, f := range filters {
+		if f.table == fact {
+			factPreds = append(factPreds, f.pred)
+		}
+	}
+
+	var out [][]storage.Value
+	row := make([]storage.Value, b.total)
+	factCols := b.usedCols(fact)
+	accBitmap.ForEach(func(r int) bool {
+		for i := range row {
+			row[i] = storage.Null
+		}
+		for _, c := range factCols {
+			row[factInst.offset+c] = factInst.tab.Get(r, c)
+		}
+		for _, p := range factPreds {
+			if !truthy(p.eval(row)) {
+				return true
+			}
+		}
+		ok := true
+		for _, dd := range dimDatas {
+			fkVal := row[dd.spec.factCol.off]
+			if fkVal.IsNull() {
+				ok = false
+				break
+			}
+			dimRowID, found := dd.rows[fkVal.AsInt()]
+			if !found {
+				ok = false
+				break
+			}
+			b.fillSpan(dd.spec.table, dimRowID, row)
+		}
+		if !ok {
+			return true
+		}
+		for _, p := range residual {
+			if !truthy(p.eval(row)) {
+				return true
+			}
+		}
+		cp := make([]storage.Value, b.total)
+		copy(cp, row)
+		out = append(out, cp)
+		return true
+	})
+	return out, true
+}

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"tpcds/internal/plan"
+)
+
+// TableTrace describes one FROM entry as the executor saw it.
+type TableTrace struct {
+	Binding  string
+	Rows     int
+	Filters  int
+	Estimate float64 // estimated rows after local filters
+}
+
+// Trace describes how the engine executed the most recent query's join
+// phase — the EXPLAIN surface.
+type Trace struct {
+	Strategy  plan.Strategy
+	Decision  plan.Decision
+	Tables    []TableTrace
+	JoinOrder []string // driver first
+	BaseRows  int      // joined rows fed to aggregation/projection
+}
+
+// String renders the trace in an EXPLAIN-like layout.
+func (t Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "strategy: %s", t.Strategy)
+	if t.Decision.Reason != "" {
+		fmt.Fprintf(&sb, " (%s)", t.Decision.Reason)
+	}
+	sb.WriteByte('\n')
+	if len(t.JoinOrder) > 0 {
+		fmt.Fprintf(&sb, "join order: %s\n", strings.Join(t.JoinOrder, " -> "))
+	}
+	for _, tt := range t.Tables {
+		fmt.Fprintf(&sb, "  table %-24s %9d rows, %d filters, est. %.0f\n",
+			tt.Binding, tt.Rows, tt.Filters, tt.Estimate)
+	}
+	fmt.Fprintf(&sb, "joined base rows: %d\n", t.BaseRows)
+	return sb.String()
+}
+
+func (e *Engine) setTrace(t Trace) {
+	e.mu.Lock()
+	e.lastTrace = t
+	e.mu.Unlock()
+}
+
+// LastTrace returns the execution trace of the most recent query's
+// top-level join phase (subqueries and CTEs overwrite it as they run;
+// the final value reflects the outermost block, which runs last).
+func (e *Engine) LastTrace() Trace {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastTrace
+}
+
+// Explain executes the query and returns the trace rendering together
+// with the result shape. The engine is an in-memory executor, so
+// explaining by doing is exact rather than estimated.
+func (e *Engine) Explain(q string) (string, error) {
+	res, err := e.Query(q)
+	if err != nil {
+		return "", err
+	}
+	t := e.LastTrace()
+	return fmt.Sprintf("%sresult: %d rows x %d columns\n", t.String(), len(res.Rows), len(res.Columns)), nil
+}
+
+// buildTableTraces snapshots the per-table statistics for the trace.
+func (e *Engine) buildTableTraces(b *binder, filters []filterInfo) []TableTrace {
+	out := make([]TableTrace, len(b.tables))
+	for ti := range b.tables {
+		nf := 0
+		for _, f := range filters {
+			if f.table == ti {
+				nf++
+			}
+		}
+		out[ti] = TableTrace{
+			Binding:  b.tables[ti].binding,
+			Rows:     b.tables[ti].tab.NumRows(),
+			Filters:  nf,
+			Estimate: e.estimateFiltered(b, ti, filters),
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package index provides the access-path substrate of the engine: hash
+// indexes for key lookups and index-driven joins, bitmap indexes for the
+// star-transformation execution path (§2.1: "typical executions in a
+// star schema involve bitmap accesses, bitmap merges, bitmap joins"),
+// and sorted indexes for date-range scans used by the logically
+// clustered data-maintenance deletes (§4.2).
+package index
+
+import "math/bits"
+
+// Bitmap is a fixed-capacity bitset over row ids.
+type Bitmap struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitmap returns an empty bitmap able to hold row ids [0, n).
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the bitmap capacity in bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks row id i.
+func (b *Bitmap) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Get reports whether row id i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects b with other in place (bitmap merge). Capacities must
+// match.
+func (b *Bitmap) And(other *Bitmap) {
+	if b.n != other.n {
+		panic("index: bitmap capacity mismatch in And")
+	}
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// Or unions b with other in place. Capacities must match.
+func (b *Bitmap) Or(other *Bitmap) {
+	if b.n != other.n {
+		panic("index: bitmap capacity mismatch in Or")
+	}
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// Clone returns a copy of b.
+func (b *Bitmap) Clone() *Bitmap {
+	out := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// FillAll sets every bit in [0, n).
+func (b *Bitmap) FillAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	// Clear the bits beyond n in the last word.
+	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// ForEach calls fn for every set row id in ascending order. If fn
+// returns false iteration stops.
+func (b *Bitmap) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Rows materializes the set row ids in ascending order.
+func (b *Bitmap) Rows() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// BitmapIndex maps each distinct int64 key of a column to the bitmap of
+// rows carrying it. Suitable for low-cardinality columns and for fact
+// foreign keys joined against small dimensions (the star transformation
+// probes a dimension, collects the qualifying surrogate keys, ORs their
+// fact bitmaps and ANDs across dimensions).
+type BitmapIndex struct {
+	n    int
+	bits map[int64]*Bitmap
+	// nulls tracks rows whose key is NULL (never matched by joins).
+	nulls *Bitmap
+}
+
+// BuildBitmapIndex indexes the column given as parallel value and null
+// slices (from storage.Table.ScanInt64).
+func BuildBitmapIndex(vals []int64, nulls []bool) *BitmapIndex {
+	ix := &BitmapIndex{n: len(vals), bits: map[int64]*Bitmap{}, nulls: NewBitmap(len(vals))}
+	for i, v := range vals {
+		if nulls[i] {
+			ix.nulls.Set(i)
+			continue
+		}
+		bm := ix.bits[v]
+		if bm == nil {
+			bm = NewBitmap(len(vals))
+			ix.bits[v] = bm
+		}
+		bm.Set(i)
+	}
+	return ix
+}
+
+// NumRows returns the indexed row count.
+func (ix *BitmapIndex) NumRows() int { return ix.n }
+
+// DistinctKeys returns the number of distinct non-null keys.
+func (ix *BitmapIndex) DistinctKeys() int { return len(ix.bits) }
+
+// Lookup returns the bitmap for one key, or nil if absent. The returned
+// bitmap is shared — callers must Clone before mutating.
+func (ix *BitmapIndex) Lookup(key int64) *Bitmap { return ix.bits[key] }
+
+// UnionOf ORs the bitmaps of all given keys into a fresh bitmap — the
+// "bitmap merge" step of a star transformation.
+func (ix *BitmapIndex) UnionOf(keys []int64) *Bitmap {
+	out := NewBitmap(ix.n)
+	for _, k := range keys {
+		if bm := ix.bits[k]; bm != nil {
+			out.Or(bm)
+		}
+	}
+	return out
+}

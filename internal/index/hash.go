@@ -1,0 +1,122 @@
+package index
+
+import "sort"
+
+// HashIndex maps int64 keys to the row ids carrying them — the engine's
+// conventional index for key lookups and index-driven joins (§2.1).
+type HashIndex struct {
+	rows map[int64][]int32
+	n    int
+}
+
+// BuildHashIndex indexes the column given as parallel value/null slices.
+func BuildHashIndex(vals []int64, nulls []bool) *HashIndex {
+	ix := &HashIndex{rows: make(map[int64][]int32, len(vals)/4+1), n: len(vals)}
+	for i, v := range vals {
+		if nulls[i] {
+			continue
+		}
+		ix.rows[v] = append(ix.rows[v], int32(i))
+	}
+	return ix
+}
+
+// NumRows returns the indexed row count.
+func (ix *HashIndex) NumRows() int { return ix.n }
+
+// DistinctKeys returns the number of distinct non-null keys.
+func (ix *HashIndex) DistinctKeys() int { return len(ix.rows) }
+
+// Lookup returns the row ids for key (shared slice; do not mutate).
+func (ix *HashIndex) Lookup(key int64) []int32 { return ix.rows[key] }
+
+// First returns the first row id for key, or -1 if absent. Unique-key
+// lookups (surrogate key probes) use this.
+func (ix *HashIndex) First(key int64) int32 {
+	if r := ix.rows[key]; len(r) > 0 {
+		return r[0]
+	}
+	return -1
+}
+
+// Add appends a row id for key (incremental maintenance during data
+// maintenance inserts).
+func (ix *HashIndex) Add(key int64, row int32) {
+	ix.rows[key] = append(ix.rows[key], row)
+	if int(row) >= ix.n {
+		ix.n = int(row) + 1
+	}
+}
+
+// SortedIndex is an order-preserving index over an int64 column: a
+// (key, rowid) list sorted by key, answering range queries with binary
+// search. Date-range predicates and the logically clustered delete of
+// the data-maintenance workload use it.
+type SortedIndex struct {
+	keys []int64
+	rows []int32
+	n    int
+}
+
+// BuildSortedIndex indexes the column given as parallel value/null
+// slices. NULL keys are omitted.
+func BuildSortedIndex(vals []int64, nulls []bool) *SortedIndex {
+	ix := &SortedIndex{n: len(vals)}
+	for i, v := range vals {
+		if nulls[i] {
+			continue
+		}
+		ix.keys = append(ix.keys, v)
+		ix.rows = append(ix.rows, int32(i))
+	}
+	sort.Sort(byKey{ix})
+	return ix
+}
+
+type byKey struct{ ix *SortedIndex }
+
+func (b byKey) Len() int { return len(b.ix.keys) }
+func (b byKey) Less(i, j int) bool {
+	if b.ix.keys[i] != b.ix.keys[j] {
+		return b.ix.keys[i] < b.ix.keys[j]
+	}
+	return b.ix.rows[i] < b.ix.rows[j]
+}
+func (b byKey) Swap(i, j int) {
+	b.ix.keys[i], b.ix.keys[j] = b.ix.keys[j], b.ix.keys[i]
+	b.ix.rows[i], b.ix.rows[j] = b.ix.rows[j], b.ix.rows[i]
+}
+
+// NumRows returns the indexed row count.
+func (ix *SortedIndex) NumRows() int { return ix.n }
+
+// Range returns the row ids whose key is in [lo, hi], in key order.
+func (ix *SortedIndex) Range(lo, hi int64) []int32 {
+	if hi < lo {
+		return nil
+	}
+	start := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= lo })
+	end := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] > hi })
+	out := make([]int32, end-start)
+	copy(out, ix.rows[start:end])
+	return out
+}
+
+// RangeBitmap returns the rows whose key is in [lo, hi] as a bitmap
+// sized to the indexed table, ready for bitmap merges.
+func (ix *SortedIndex) RangeBitmap(lo, hi int64) *Bitmap {
+	bm := NewBitmap(ix.n)
+	for _, r := range ix.Range(lo, hi) {
+		bm.Set(int(r))
+	}
+	return bm
+}
+
+// MinMax returns the smallest and largest indexed keys. ok is false for
+// an empty index.
+func (ix *SortedIndex) MinMax() (min, max int64, ok bool) {
+	if len(ix.keys) == 0 {
+		return 0, 0, false
+	}
+	return ix.keys[0], ix.keys[len(ix.keys)-1], true
+}

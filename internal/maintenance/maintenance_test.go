@@ -1,0 +1,298 @@
+package maintenance
+
+import (
+	"strings"
+	"testing"
+
+	"tpcds/internal/datagen"
+	"tpcds/internal/exec"
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
+)
+
+func freshEngine(t *testing.T) *exec.Engine {
+	t.Helper()
+	return exec.New(datagen.New(0.0005, 21).GenerateAll())
+}
+
+func TestGenerateRefreshDeterministic(t *testing.T) {
+	eng := freshEngine(t)
+	a, err := GenerateRefresh(eng.DB(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRefresh(eng.DB(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sales["store"]) != len(b.Sales["store"]) ||
+		a.Sales["store"][0] != b.Sales["store"][0] {
+		t.Error("refresh generation not deterministic")
+	}
+	c, err := GenerateRefresh(eng.DB(), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeleteRange["store"] == c.DeleteRange["store"] {
+		t.Error("different refresh runs picked identical delete ranges")
+	}
+}
+
+func TestTwelveOperations(t *testing.T) {
+	eng := freshEngine(t)
+	rs, err := GenerateRefresh(eng.DB(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(eng, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Ops) != 12 {
+		t.Errorf("maintenance ran %d operations, paper defines 12", len(stats.Ops))
+	}
+	names := map[string]bool{}
+	for _, op := range stats.Ops {
+		names[op.Name] = true
+	}
+	for _, want := range []string{
+		"update_history_dims", "update_nonhistory_dims",
+		"delete_store", "delete_catalog", "delete_web",
+		"insert_store_sales", "insert_catalog_sales", "insert_web_sales",
+		"insert_store_returns", "insert_catalog_returns", "insert_web_returns",
+		"refresh_inventory",
+	} {
+		if !names[want] {
+			t.Errorf("operation %s missing", want)
+		}
+	}
+	if stats.FactInserts == 0 || stats.DimRevisions == 0 || stats.DimInPlace == 0 {
+		t.Errorf("stats show no work: %+v", stats)
+	}
+	if stats.Total() <= 0 {
+		t.Error("total duration not recorded")
+	}
+}
+
+// TestHistoryKeepingUpdate verifies Figure 9: after the update the old
+// revision is closed, a new open revision exists with the changed value
+// and a fresh surrogate key.
+func TestHistoryKeepingUpdate(t *testing.T) {
+	eng := freshEngine(t)
+	db := eng.DB()
+	item := db.Table("item")
+	bkCol := item.Def.ColumnIndex("i_item_id")
+	endCol := item.Def.ColumnIndex("i_rec_end_date")
+	priceCol := item.Def.ColumnIndex("i_current_price")
+	// Pick the first item's business key.
+	bk := item.Get(0, bkCol).S
+	before := item.NumRows()
+	updateDate := storage.DateSK(storage.DaysFromYMD(2003, 2, 1))
+	rs := &RefreshSet{
+		Sales: map[string][]StagedSale{}, Returns: map[string][]StagedReturn{},
+		DeleteRange:  map[string][2]int64{},
+		UpdateDateSK: updateDate,
+		DimUpdates: []DimUpdate{{
+			Table: "item", BusinessKey: bk,
+			Set: map[string]storage.Value{"i_current_price": storage.Float(123.45)},
+		}},
+	}
+	if _, err := Run(eng, rs); err != nil {
+		t.Fatal(err)
+	}
+	if item.NumRows() != before+1 {
+		t.Fatalf("history update should add one revision: %d -> %d", before, item.NumRows())
+	}
+	// Exactly one open revision for bk, holding the new price.
+	open := 0
+	for r := 0; r < item.NumRows(); r++ {
+		if item.Get(r, bkCol).S != bk {
+			continue
+		}
+		if item.Get(r, endCol).IsNull() {
+			open++
+			if got := item.Get(r, priceCol).AsFloat(); got != 123.45 {
+				t.Errorf("open revision price = %v, want 123.45", got)
+			}
+		}
+	}
+	if open != 1 {
+		t.Errorf("open revisions for %s = %d, want 1", bk, open)
+	}
+}
+
+// TestNonHistoryUpdate verifies Figure 8: in-place update, no new rows.
+func TestNonHistoryUpdate(t *testing.T) {
+	eng := freshEngine(t)
+	db := eng.DB()
+	cust := db.Table("customer")
+	bk := cust.Get(3, cust.Def.ColumnIndex("c_customer_id")).S
+	before := cust.NumRows()
+	rs := &RefreshSet{
+		Sales: map[string][]StagedSale{}, Returns: map[string][]StagedReturn{},
+		DeleteRange:  map[string][2]int64{},
+		UpdateDateSK: storage.DateSK(storage.DaysFromYMD(2003, 2, 1)),
+		DimUpdates: []DimUpdate{{
+			Table: "customer", BusinessKey: bk,
+			Set: map[string]storage.Value{"c_email_address": storage.Str("new@example.com")},
+		}},
+	}
+	if _, err := Run(eng, rs); err != nil {
+		t.Fatal(err)
+	}
+	if cust.NumRows() != before {
+		t.Errorf("non-history update changed row count %d -> %d", before, cust.NumRows())
+	}
+	emailCol := cust.Def.ColumnIndex("c_email_address")
+	if got := cust.Get(3, emailCol).S; got != "new@example.com" {
+		t.Errorf("email = %q after update", got)
+	}
+}
+
+// TestClusteredDeleteAndInsert verifies the delete range empties and the
+// staged inserts land with surrogate keys resolved (Figure 10).
+func TestClusteredDeleteAndInsert(t *testing.T) {
+	eng := freshEngine(t)
+	db := eng.DB()
+	rs, err := GenerateRefresh(db, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := db.Table("store_sales")
+	stats, err := Run(eng, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No surviving store_sales rows outside the staged inserts may fall
+	// inside the deleted range... the staged inserts themselves DO fall
+	// inside it (similar data replaces deleted data), so instead verify:
+	// every row in the range carries an order number above the
+	// pre-refresh maximum (i.e. is a fresh insert).
+	rng := rs.DeleteRange["store"]
+	dateCol := ss.Def.ColumnIndex("ss_sold_date_sk")
+	orderCol := ss.Def.ColumnIndex("ss_ticket_number")
+	minNewOrder := rs.Sales["store"][0].Order
+	for r := 0; r < ss.NumRows(); r++ {
+		d := ss.Get(r, dateCol)
+		if d.IsNull() || d.AsInt() < rng[0] || d.AsInt() > rng[1] {
+			continue
+		}
+		if ss.Get(r, orderCol).AsInt() < minNewOrder {
+			t.Fatalf("row %d in deleted range has pre-refresh order number", r)
+		}
+	}
+	if stats.FactDeletes == 0 {
+		t.Error("clustered delete removed nothing")
+	}
+	// Inserted rows joined item business keys to surrogate keys: verify
+	// via the engine that the new rows join to item.
+	res, err := eng.Query(`SELECT COUNT(*) c FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk AND ss_ticket_number >= ` +
+		storage.Int(minNewOrder).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() == 0 {
+		t.Error("inserted facts do not join to item dimension")
+	}
+}
+
+// TestSurrogateKeysResolveToOpenRevision: inserting a sale for an item
+// whose dimension row was just revised must use the NEW surrogate key.
+func TestSurrogateKeysResolveToOpenRevision(t *testing.T) {
+	eng := freshEngine(t)
+	db := eng.DB()
+	item := db.Table("item")
+	bk := item.Get(0, item.Def.ColumnIndex("i_item_id")).S
+	rs := &RefreshSet{
+		Sales: map[string][]StagedSale{
+			"store": {{
+				SoldDateSK: storage.DateSK(storage.DaysFromYMD(2001, 5, 5)),
+				SoldTimeSK: 1, ItemID: bk,
+				CustomerID: db.Table("customer").Get(0, 1).S,
+				Order:      9_999_999, Quantity: 2, SalesPrice: 10, Wholesale: 5,
+			}},
+		},
+		Returns: map[string][]StagedReturn{}, DeleteRange: map[string][2]int64{},
+		UpdateDateSK: storage.DateSK(storage.DaysFromYMD(2003, 3, 1)),
+		DimUpdates: []DimUpdate{{
+			Table: "item", BusinessKey: bk,
+			Set: map[string]storage.Value{"i_current_price": storage.Float(77)},
+		}},
+	}
+	if _, err := Run(eng, rs); err != nil {
+		t.Fatal(err)
+	}
+	// The update ran before the insert, so the fact must reference the
+	// revision created by the update (price 77, rec_end NULL).
+	res, err := eng.Query(`SELECT i_current_price FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk AND ss_ticket_number = 9999999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsFloat() != 77 {
+		t.Fatalf("inserted fact resolves to %+v, want the open revision (price 77)", res.Rows)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	eng := freshEngine(t)
+	rs := &RefreshSet{
+		Sales: map[string][]StagedSale{
+			"store": {{ItemID: "NO_SUCH_ITEM", CustomerID: "NO_SUCH_CUSTOMER", Quantity: 1}},
+		},
+		Returns: map[string][]StagedReturn{}, DeleteRange: map[string][2]int64{},
+		UpdateDateSK: storage.DateSK(storage.DaysFromYMD(2003, 1, 1)),
+	}
+	if _, err := Run(eng, rs); err == nil || !strings.Contains(err.Error(), "unknown item") {
+		t.Errorf("unknown business key should fail, got %v", err)
+	}
+	rs2 := &RefreshSet{
+		Sales: map[string][]StagedSale{}, Returns: map[string][]StagedReturn{},
+		DeleteRange:  map[string][2]int64{},
+		UpdateDateSK: storage.DateSK(storage.DaysFromYMD(2003, 1, 1)),
+		DimUpdates:   []DimUpdate{{Table: "nope", BusinessKey: "x"}},
+	}
+	if _, err := Run(eng, rs2); err == nil {
+		t.Error("unknown dimension should fail")
+	}
+}
+
+// TestSecondRunComparability (§3.3.2): after a maintenance run the SCD
+// invariants still hold — at most one open revision per business key —
+// so Query Run 2 sees the same data characteristics as Run 1.
+func TestSecondRunComparability(t *testing.T) {
+	eng := freshEngine(t)
+	db := eng.DB()
+	rs, err := GenerateRefresh(db, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(eng, rs); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"item", "store", "web_site", "web_page", "call_center"} {
+		tab := db.Table(name)
+		if tab.Def.SCD != schema.HistoryKeeping {
+			t.Fatalf("%s not history keeping?", name)
+		}
+		bkCol := tab.Def.ColumnIndex(tab.Def.BusinessKey)
+		endCol := -1
+		for i, c := range tab.Def.Columns {
+			if strings.HasSuffix(c.Name, "rec_end_date") {
+				endCol = i
+			}
+		}
+		open := map[string]int{}
+		for r := 0; r < tab.NumRows(); r++ {
+			if tab.Get(r, endCol).IsNull() {
+				open[tab.Get(r, bkCol).S]++
+			}
+		}
+		for bk, n := range open {
+			if n != 1 {
+				t.Errorf("%s %s has %d open revisions after maintenance", name, bk, n)
+			}
+		}
+	}
+}

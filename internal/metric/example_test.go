@@ -1,0 +1,32 @@
+package metric_test
+
+import (
+	"fmt"
+	"time"
+
+	"tpcds/internal/metric"
+)
+
+// The §5.3 worked example: a 1000 scale factor run with the minimum 7
+// streams executes 1386 queries; the load time enters at 1% per stream.
+func ExampleQphDS() {
+	t := metric.Timings{
+		Load: 2 * time.Hour,
+		QR1:  3 * time.Hour,
+		DM:   30 * time.Minute,
+		QR2:  3 * time.Hour,
+	}
+	streams := metric.MinStreams(1000)
+	fmt.Printf("streams=%d queries=%d QphDS@1000=%.0f\n",
+		streams, metric.TotalQueries(streams), metric.QphDS(1000, streams, t))
+	// Output:
+	// streams=7 queries=1386 QphDS@1000=208735
+}
+
+func ExamplePricePerformance() {
+	price := metric.PriceModel{HardwareUSD: 750000, SoftwareUSD: 400000, MaintenanceUSD: 350000}
+	fmt.Printf("$%.0f TCO -> %.2f $/QphDS\n",
+		price.TCO(), metric.PricePerformance(price.TCO(), 250000))
+	// Output:
+	// $1500000 TCO -> 6.00 $/QphDS
+}

@@ -1,0 +1,172 @@
+// Package metric implements the TPC-DS primary metrics (§5.3):
+//
+//	QphDS@SF = SF * 3600 * (198*S) / (T_QR1 + T_DM + T_QR2 + 0.01*S*T_Load)
+//
+// the price-performance ratio $/QphDS@SF, and the execution-rule
+// parameters tied to them: the publishable scale factors and the
+// minimum number of concurrent query streams per scale factor
+// (Figure 12).
+package metric
+
+import (
+	"fmt"
+	"time"
+
+	"tpcds/internal/queries"
+	"tpcds/internal/scaling"
+)
+
+// QueriesPerStream is the number of queries one stream executes per
+// query run (the 99 templates).
+const QueriesPerStream = queries.Count
+
+// minStreams maps each official scale factor to its required minimum
+// stream count (Figure 12). Larger systems must not only process more
+// data but serve more concurrent users.
+var minStreams = map[int]int{
+	100:    3,
+	300:    5,
+	1000:   7,
+	3000:   9,
+	10000:  11,
+	30000:  13,
+	100000: 15,
+}
+
+// MinStreams returns the minimum required query streams for a scale
+// factor. Development scale factors below 100 require one stream.
+func MinStreams(sf float64) int {
+	if s, ok := minStreams[int(sf)]; ok && sf == float64(int(sf)) {
+		return s
+	}
+	if sf < 100 {
+		return 1
+	}
+	// Between official points, require the next lower official tier.
+	best := 3
+	for _, o := range scaling.OfficialScaleFactors {
+		if float64(o) <= sf {
+			best = minStreams[o]
+		}
+	}
+	return best
+}
+
+// ValidateScaleFactor returns an error unless sf is publishable (§3:
+// "Benchmark publications using other scale factors are not valid").
+func ValidateScaleFactor(sf float64) error {
+	if scaling.IsOfficial(sf) {
+		return nil
+	}
+	return fmt.Errorf("metric: scale factor %v is not an official TPC-DS scale factor %v",
+		sf, scaling.OfficialScaleFactors)
+}
+
+// ValidateStreams returns an error when the stream count is below the
+// Figure 12 minimum for the scale factor.
+func ValidateStreams(sf float64, streams int) error {
+	min := MinStreams(sf)
+	if streams < min {
+		return fmt.Errorf("metric: %d streams below the minimum %d required at SF %v",
+			streams, min, sf)
+	}
+	return nil
+}
+
+// Timings carries the four measured intervals of the benchmark test
+// (Figure 11: load test, Query Run 1, Data Maintenance, Query Run 2).
+type Timings struct {
+	Load time.Duration
+	QR1  time.Duration
+	DM   time.Duration
+	QR2  time.Duration
+}
+
+// TotalQueries is the numerator count: 99 queries times two query runs
+// times S streams ("198 * S", §5.3).
+func TotalQueries(streams int) int { return 2 * QueriesPerStream * streams }
+
+// QphDS computes the primary performance metric. The load time enters
+// at 1% weight per stream — enough to "realistically limit the use of
+// auxiliary structures without disallowing them" (§5.3) — and the
+// result is normalized to queries per hour and by scale factor.
+func QphDS(sf float64, streams int, t Timings) float64 {
+	if sf <= 0 || streams <= 0 {
+		return 0
+	}
+	den := t.QR1.Seconds() + t.DM.Seconds() + t.QR2.Seconds() +
+		0.01*float64(streams)*t.Load.Seconds()
+	if den <= 0 {
+		return 0
+	}
+	return sf * 3600 * float64(TotalQueries(streams)) / den
+}
+
+// PricePerformance returns the $/QphDS@SF ratio given the 3-year total
+// cost of ownership.
+func PricePerformance(tco float64, qphds float64) float64 {
+	if qphds <= 0 {
+		return 0
+	}
+	return tco / qphds
+}
+
+// PriceModel is a simple 3-year TCO model (§5.3: hardware, software and
+// 24x7 maintenance with 4-hour response).
+type PriceModel struct {
+	HardwareUSD    float64
+	SoftwareUSD    float64
+	MaintenanceUSD float64 // 3-year total
+}
+
+// TCO returns the 3-year total cost of ownership.
+func (p PriceModel) TCO() float64 {
+	return p.HardwareUSD + p.SoftwareUSD + p.MaintenanceUSD
+}
+
+// Report is a publication-style result summary.
+type Report struct {
+	SF       float64
+	Streams  int
+	Timings  Timings
+	QphDS    float64
+	TCO      float64
+	PerQphDS float64
+	// Official is false for development runs on non-official scale
+	// factors; such results are not publishable.
+	Official bool
+}
+
+// NewReport assembles a report, computing the metrics and validity.
+func NewReport(sf float64, streams int, t Timings, price PriceModel) Report {
+	q := QphDS(sf, streams, t)
+	return Report{
+		SF: sf, Streams: streams, Timings: t,
+		QphDS: q, TCO: price.TCO(), PerQphDS: PricePerformance(price.TCO(), q),
+		Official: ValidateScaleFactor(sf) == nil && ValidateStreams(sf, streams) == nil,
+	}
+}
+
+// String renders the report in the style of a TPC executive summary.
+func (r Report) String() string {
+	status := "DEVELOPMENT (not publishable)"
+	if r.Official {
+		status = "OFFICIAL"
+	}
+	return fmt.Sprintf(
+		"TPC-DS Result [%s]\n"+
+			"  Scale Factor:      %v\n"+
+			"  Query Streams:     %d (minimum %d)\n"+
+			"  Queries Executed:  %d\n"+
+			"  T_Load:            %v\n"+
+			"  T_QR1:             %v\n"+
+			"  T_DM:              %v\n"+
+			"  T_QR2:             %v\n"+
+			"  QphDS@SF:          %.2f\n"+
+			"  3yr TCO:           $%.2f\n"+
+			"  $/QphDS@SF:        %.4f\n",
+		status, r.SF, r.Streams, MinStreams(r.SF), TotalQueries(r.Streams),
+		r.Timings.Load.Round(time.Millisecond), r.Timings.QR1.Round(time.Millisecond),
+		r.Timings.DM.Round(time.Millisecond), r.Timings.QR2.Round(time.Millisecond),
+		r.QphDS, r.TCO, r.PerQphDS)
+}

@@ -1,0 +1,187 @@
+package metric
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestMinimumStreams pins Figure 12 exactly.
+func TestMinimumStreams(t *testing.T) {
+	want := map[float64]int{
+		100: 3, 300: 5, 1000: 7, 3000: 9, 10000: 11, 30000: 13, 100000: 15,
+	}
+	for sf, streams := range want {
+		if got := MinStreams(sf); got != streams {
+			t.Errorf("MinStreams(%v) = %d, Figure 12 says %d", sf, got, streams)
+		}
+	}
+	if MinStreams(0.01) != 1 || MinStreams(1) != 1 {
+		t.Error("development scale factors should require 1 stream")
+	}
+	if MinStreams(500) != 5 {
+		t.Errorf("MinStreams(500) = %d, want the 300-tier minimum 5", MinStreams(500))
+	}
+}
+
+// TestQueryCountWorkedExample pins the §5.3 prose: "a 1000 scale factor
+// benchmark test with minimum number of required query streams executes
+// 1386 (198 * 7 streams) queries".
+func TestQueryCountWorkedExample(t *testing.T) {
+	if got := TotalQueries(MinStreams(1000)); got != 1386 {
+		t.Errorf("queries at SF1000 minimum streams = %d, paper says 1386", got)
+	}
+	if got := TotalQueries(15); got != 2970 {
+		t.Errorf("queries at 15 streams = %d, paper says 2970", got)
+	}
+	if QueriesPerStream != 99 {
+		t.Errorf("queries per stream = %d, want 99", QueriesPerStream)
+	}
+}
+
+// TestQphDSFormula verifies the §5.3 formula term by term.
+func TestQphDSFormula(t *testing.T) {
+	tm := Timings{
+		Load: 1000 * time.Second,
+		QR1:  3600 * time.Second,
+		DM:   400 * time.Second,
+		QR2:  3600 * time.Second,
+	}
+	sf, streams := 1000.0, 7
+	got := QphDS(sf, streams, tm)
+	den := 3600.0 + 400 + 3600 + 0.01*7*1000
+	want := 1000 * 3600 * float64(198*7) / den
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("QphDS = %v, want %v", got, want)
+	}
+}
+
+// TestLoadTimeWeighting: the load contributes 0.01*S of its duration —
+// with 10 streams exactly 10% (§5.3's example).
+func TestLoadTimeWeighting(t *testing.T) {
+	base := Timings{QR1: 100 * time.Second, DM: 0, QR2: 100 * time.Second}
+	withLoad := base
+	withLoad.Load = 1000 * time.Second
+	q0 := QphDS(100, 10, base)
+	q1 := QphDS(100, 10, withLoad)
+	// Denominator grows from 200s to 200+0.01*10*1000 = 300s.
+	if ratio := q0 / q1; math.Abs(ratio-1.5) > 1e-9 {
+		t.Errorf("load weighting ratio = %v, want 1.5", ratio)
+	}
+}
+
+// TestMoreStreamsCannotDiluteLoad: scaling streams scales the load
+// penalty too, so the relative impact of the load stays constant — the
+// §5.3 anti-gaming property.
+func TestMoreStreamsCannotDiluteLoad(t *testing.T) {
+	perStreamQuery := 100 * time.Second
+	load := 10000 * time.Second
+	impact := func(streams int) float64 {
+		// Query runs scale with stream count on a fixed system.
+		tm := Timings{
+			Load: load,
+			QR1:  time.Duration(streams) * perStreamQuery,
+			QR2:  time.Duration(streams) * perStreamQuery,
+		}
+		den := tm.QR1.Seconds() + tm.QR2.Seconds() + 0.01*float64(streams)*load.Seconds()
+		return 0.01 * float64(streams) * load.Seconds() / den
+	}
+	if math.Abs(impact(3)-impact(30)) > 1e-9 {
+		t.Errorf("load impact changed with streams: %v vs %v — dilution possible",
+			impact(3), impact(30))
+	}
+}
+
+func TestQphDSEdgeCases(t *testing.T) {
+	if QphDS(0, 3, Timings{QR1: time.Second}) != 0 {
+		t.Error("zero SF should yield 0")
+	}
+	if QphDS(100, 0, Timings{QR1: time.Second}) != 0 {
+		t.Error("zero streams should yield 0")
+	}
+	if QphDS(100, 3, Timings{}) != 0 {
+		t.Error("zero time should yield 0, not Inf")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := ValidateScaleFactor(1000); err != nil {
+		t.Errorf("SF 1000 should be official: %v", err)
+	}
+	if err := ValidateScaleFactor(500); err == nil {
+		t.Error("SF 500 should be rejected")
+	}
+	if err := ValidateStreams(1000, 7); err != nil {
+		t.Errorf("7 streams at SF1000 should pass: %v", err)
+	}
+	if err := ValidateStreams(1000, 6); err == nil {
+		t.Error("6 streams at SF1000 should fail")
+	}
+}
+
+func TestPricePerformance(t *testing.T) {
+	p := PriceModel{HardwareUSD: 500000, SoftwareUSD: 300000, MaintenanceUSD: 200000}
+	if p.TCO() != 1000000 {
+		t.Errorf("TCO = %v", p.TCO())
+	}
+	if got := PricePerformance(p.TCO(), 250000); got != 4 {
+		t.Errorf("$/QphDS = %v, want 4", got)
+	}
+	if PricePerformance(100, 0) != 0 {
+		t.Error("zero QphDS should not divide")
+	}
+}
+
+func TestReport(t *testing.T) {
+	tm := Timings{Load: time.Hour, QR1: 2 * time.Hour, DM: 30 * time.Minute, QR2: 2 * time.Hour}
+	r := NewReport(1000, 7, tm, PriceModel{HardwareUSD: 1e6})
+	if !r.Official {
+		t.Error("SF1000/7 streams should be official")
+	}
+	out := r.String()
+	for _, want := range []string{"OFFICIAL", "QphDS@SF", "1386", "$/QphDS@SF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	dev := NewReport(0.01, 1, tm, PriceModel{})
+	if dev.Official {
+		t.Error("development SF should not be official")
+	}
+	if !strings.Contains(dev.String(), "DEVELOPMENT") {
+		t.Error("dev report should be marked not publishable")
+	}
+}
+
+// Property: QphDS is monotone — more elapsed time never increases the
+// metric; more streams (at fixed time) never decreases the query count.
+func TestQuickQphDSMonotone(t *testing.T) {
+	f := func(q1, q2, dm uint16, extra uint8) bool {
+		t1 := Timings{
+			QR1: time.Duration(q1+1) * time.Second,
+			QR2: time.Duration(q2+1) * time.Second,
+			DM:  time.Duration(dm) * time.Second,
+		}
+		t2 := t1
+		t2.QR1 += time.Duration(extra) * time.Second
+		return QphDS(100, 3, t2) <= QphDS(100, 3, t1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdealScalingNarrative reproduces the §5.3 marketing rationale:
+// with SF normalization, a system that takes 10x longer on 10x the data
+// reports the SAME QphDS, not a 10x lower one.
+func TestIdealScalingNarrative(t *testing.T) {
+	small := Timings{QR1: 1000 * time.Second, QR2: 1000 * time.Second}
+	big := Timings{QR1: 10000 * time.Second, QR2: 10000 * time.Second}
+	qSmall := QphDS(100, 3, small)
+	qBig := QphDS(1000, 3, big)
+	if math.Abs(qSmall-qBig)/qSmall > 1e-9 {
+		t.Errorf("ideal scaling should keep QphDS constant: %v vs %v", qSmall, qBig)
+	}
+}

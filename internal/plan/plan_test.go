@@ -1,0 +1,110 @@
+package plan
+
+import "testing"
+
+func shape(factRows int, dims ...DimInfo) StarShape {
+	return StarShape{FactName: "store_sales", FactRows: factRows, Dims: dims}
+}
+
+func TestEligibility(t *testing.T) {
+	// No dimensions: not a star.
+	if shape(1000000).Eligible() {
+		t.Error("empty dim list should not be eligible")
+	}
+	// Non-PK join disqualifies.
+	s := shape(1000000, DimInfo{Name: "item", Rows: 100, FilteredRows: 10, PKJoin: false})
+	if s.Eligible() {
+		t.Error("non-PK join should disqualify star")
+	}
+	// A dimension whose qualifying rows rival the fact disqualifies.
+	s = shape(1000, DimInfo{Name: "big", Rows: 1000, FilteredRows: 900, PKJoin: true})
+	if s.Eligible() {
+		t.Error("barely-filtered oversized dimension should disqualify star")
+	}
+	// A large dimension with a selective filter stays eligible (the
+	// calendar dimension case at development scale).
+	s = shape(1000, DimInfo{Name: "date_dim", Rows: 73049, FilteredRows: 30, PKJoin: true})
+	if !s.Eligible() {
+		t.Error("selectively filtered large dimension should stay eligible")
+	}
+	// No filtered dimension: bitmap intersection is pointless.
+	s = shape(1000000, DimInfo{Name: "date_dim", Rows: 100, FilteredRows: 100, PKJoin: true})
+	if s.Eligible() {
+		t.Error("unfiltered star should not be eligible")
+	}
+	// The good case.
+	s = shape(1000000,
+		DimInfo{Name: "date_dim", Rows: 1000, FilteredRows: 30, PKJoin: true},
+		DimInfo{Name: "item", Rows: 500, FilteredRows: 500, PKJoin: true})
+	if !s.Eligible() {
+		t.Error("classic star shape should be eligible")
+	}
+}
+
+func TestCombinedSelectivity(t *testing.T) {
+	s := shape(1000000,
+		DimInfo{Rows: 100, FilteredRows: 10, PKJoin: true},
+		DimInfo{Rows: 100, FilteredRows: 50, PKJoin: true})
+	if got := s.CombinedSelectivity(); got != 0.05 {
+		t.Errorf("combined selectivity = %v, want 0.05", got)
+	}
+	if (DimInfo{}).Selectivity() != 1 {
+		t.Error("zero-row dimension should have selectivity 1")
+	}
+}
+
+func TestChooseBySelectivity(t *testing.T) {
+	selective := shape(1000000,
+		DimInfo{Name: "date_dim", Rows: 1000, FilteredRows: 10, PKJoin: true})
+	d := Choose(selective, Auto)
+	if d.Strategy != StarTransform {
+		t.Errorf("selective star chose %v (%s)", d.Strategy, d.Reason)
+	}
+	broad := shape(1000000,
+		DimInfo{Name: "date_dim", Rows: 1000, FilteredRows: 900, PKJoin: true})
+	d = Choose(broad, Auto)
+	if d.Strategy != HashJoinPipeline {
+		t.Errorf("broad star chose %v (%s)", d.Strategy, d.Reason)
+	}
+}
+
+func TestChooseForcedModes(t *testing.T) {
+	s := shape(1000000,
+		DimInfo{Name: "date_dim", Rows: 1000, FilteredRows: 10, PKJoin: true})
+	if d := Choose(s, ForceHashJoin); d.Strategy != HashJoinPipeline {
+		t.Errorf("ForceHashJoin chose %v", d.Strategy)
+	}
+	if d := Choose(s, ForceStar); d.Strategy != StarTransform {
+		t.Errorf("ForceStar chose %v", d.Strategy)
+	}
+	// ForceStar on an ineligible shape (non-PK join) falls back.
+	bad := shape(100000, DimInfo{Name: "d", Rows: 99, FilteredRows: 1, PKJoin: false})
+	if d := Choose(bad, ForceStar); d.Strategy != HashJoinPipeline {
+		t.Errorf("ineligible ForceStar should fall back to hash join, got %v", d.Strategy)
+	}
+}
+
+func TestSelectivityEstimates(t *testing.T) {
+	order := []string{"eq", "isnull", "in", "between", "like", "other"}
+	prev := 0.0
+	for _, k := range order {
+		s := EstimateFilterSelectivity(k)
+		if s <= 0 || s > 1 {
+			t.Errorf("selectivity(%s) = %v out of (0,1]", k, s)
+		}
+		if s < prev {
+			t.Errorf("selectivity(%s) = %v breaks monotone ordering", k, s)
+		}
+		prev = s
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Auto.String() != "auto" || ForceStar.String() != "force-star" ||
+		ForceHashJoin.String() != "force-hash-join" {
+		t.Error("Mode.String broken")
+	}
+	if StarTransform.String() != "star-transform" || HashJoinPipeline.String() != "hash-join" {
+		t.Error("Strategy.String broken")
+	}
+}

@@ -1,0 +1,36 @@
+package qgen_test
+
+import (
+	"fmt"
+
+	"tpcds/internal/qgen"
+)
+
+// Templates substitute typed tokens deterministically per stream: the
+// same (seed, stream, query) always yields the same SQL, and repeated
+// tokens share one draw.
+func ExampleInstantiate() {
+	tpl := qgen.Template{
+		ID:  1,
+		SQL: "SELECT d_moy FROM date_dim WHERE d_year = [YEAR] AND d_moy = [MONTH_Z3]",
+	}
+	text, err := qgen.Instantiate(tpl, qgen.StreamSeed(1, 0, tpl.ID))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(text)
+	// Output:
+	// SELECT d_moy FROM date_dim WHERE d_year = 2001 AND d_moy = 12
+}
+
+// The workload class follows mechanically from the channels a query
+// references (§2.2): catalog = reporting, store/web = ad-hoc.
+func ExampleClassOf() {
+	fmt.Println(qgen.ClassOf(qgen.Template{SQL: "SELECT 1 FROM store_sales"}))
+	fmt.Println(qgen.ClassOf(qgen.Template{SQL: "SELECT 1 FROM catalog_sales"}))
+	fmt.Println(qgen.ClassOf(qgen.Template{SQL: "SELECT 1 FROM web_sales, catalog_returns"}))
+	// Output:
+	// ad-hoc
+	// reporting
+	// hybrid
+}

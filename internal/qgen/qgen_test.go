@@ -1,0 +1,228 @@
+package qgen
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tpcds/internal/dist"
+	"tpcds/internal/rng"
+)
+
+func TestSameTokenSameValue(t *testing.T) {
+	tpl := Template{ID: 1, SQL: "SELECT [YEAR] a, [YEAR] b, [YEAR.2] c FROM t"}
+	out, err := Instantiate(tpl, rng.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(out)
+	// fields: SELECT <y> a, <y> b, <y2> c FROM t
+	y1 := strings.TrimSuffix(fields[1], ",")
+	y2 := strings.TrimSuffix(fields[3], ",")
+	if y1 != y2 {
+		t.Errorf("repeated token drew different values: %s vs %s", y1, y2)
+	}
+}
+
+func TestSuffixedTokensIndependent(t *testing.T) {
+	tpl := Template{ID: 1, SQL: "[MANAGER.1] [MANAGER.2] [MANAGER.3] [MANAGER.4] [MANAGER.5] [MANAGER.6]"}
+	out, err := Instantiate(tpl, rng.NewStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := strings.Fields(out)
+	allSame := true
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("six independent draws all identical — suffixes not independent")
+	}
+}
+
+func TestUnknownTokenErrors(t *testing.T) {
+	tpl := Template{ID: 9, SQL: "SELECT [BOGUS] FROM t"}
+	if _, err := Instantiate(tpl, rng.NewStream(1)); err == nil {
+		t.Fatal("unknown token should error")
+	}
+}
+
+func TestTokenDomains(t *testing.T) {
+	s := rng.NewStream(5)
+	for i := 0; i < 200; i++ {
+		year, err := drawToken("YEAR", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, _ := strconv.Atoi(year)
+		if y < firstYear || y > lastYear {
+			t.Fatalf("YEAR draw %d outside sales window", y)
+		}
+		for kind, zone := range map[string]dist.Zone{
+			"MONTH_Z1": dist.ZoneLow, "MONTH_Z2": dist.ZoneMedium, "MONTH_Z3": dist.ZoneHigh,
+		} {
+			v, err := drawToken(kind, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, _ := strconv.Atoi(v)
+			if dist.ZoneOfMonth(m) != zone {
+				t.Fatalf("%s drew month %d outside its zone", kind, m)
+			}
+		}
+		mgr, _ := drawToken("MANAGER", s)
+		if m, _ := strconv.Atoi(mgr); m < 1 || m > 100 {
+			t.Fatalf("MANAGER draw %d out of range", m)
+		}
+		cat, _ := drawToken("CATEGORY", s)
+		found := false
+		for _, c := range dist.Categories {
+			if cat == "'"+c+"'" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("CATEGORY draw %s not a known category", cat)
+		}
+	}
+}
+
+func TestCategory3DrawsThreeDistinct(t *testing.T) {
+	s := rng.NewStream(6)
+	v, err := drawToken("CATEGORY3", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Split(v, ", ")
+	if len(parts) != 3 {
+		t.Fatalf("CATEGORY3 = %q, want three values", v)
+	}
+	seen := map[string]bool{}
+	for _, p := range parts {
+		if seen[p] {
+			t.Fatalf("CATEGORY3 drew duplicate %s", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDateZoneTokens(t *testing.T) {
+	s := rng.NewStream(7)
+	for i := 0; i < 100; i++ {
+		v, err := drawToken("DATE_Z2", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Format: 'yyyy-mm-dd'
+		if len(v) != 12 || v[0] != '\'' {
+			t.Fatalf("DATE_Z2 = %q", v)
+		}
+		m, _ := strconv.Atoi(v[6:8])
+		if dist.ZoneOfMonth(m) != dist.ZoneMedium {
+			t.Fatalf("DATE_Z2 month %d outside zone 2", m)
+		}
+	}
+}
+
+func TestAggToken(t *testing.T) {
+	s := rng.NewStream(8)
+	allowed := map[string]bool{"SUM": true, "AVG": true, "MIN": true, "MAX": true}
+	for i := 0; i < 50; i++ {
+		v, err := drawToken("AGG", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !allowed[v] {
+			t.Fatalf("AGG drew %q", v)
+		}
+	}
+}
+
+func TestClassOfSyntheticTemplates(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want Class
+	}{
+		{"SELECT 1 FROM store_sales, item", AdHoc},
+		{"SELECT 1 FROM web_sales", AdHoc},
+		{"SELECT 1 FROM catalog_sales, date_dim", Reporting},
+		{"SELECT 1 FROM store_sales, catalog_returns", Hybrid},
+		{"SELECT 1 FROM inventory, warehouse", AdHoc}, // shared-only defaults ad-hoc
+	}
+	for _, c := range cases {
+		got := ClassOf(Template{SQL: c.sql})
+		if got != c.want {
+			t.Errorf("ClassOf(%q) = %v, want %v", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestClassAndTypeStrings(t *testing.T) {
+	if AdHoc.String() != "ad-hoc" || Reporting.String() != "reporting" || Hybrid.String() != "hybrid" {
+		t.Error("Class strings broken")
+	}
+	if Standard.String() != "standard" || IterativeOLAP.String() != "iterative-olap" ||
+		DataMining.String() != "data-mining" {
+		t.Error("Type strings broken")
+	}
+}
+
+func TestStreamSeparation(t *testing.T) {
+	a := StreamSeed(1, 0, 52)
+	b := StreamSeed(1, 1, 52)
+	c := StreamSeed(1, 0, 53)
+	if a.Uint64() == b.Uint64() || a.Uint64() == c.Uint64() {
+		t.Error("stream seeds not separated")
+	}
+}
+
+func TestMonthSeqToken(t *testing.T) {
+	s := rng.NewStream(9)
+	v, err := drawToken("MONTHSEQ", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := strconv.Atoi(v)
+	// Jan 1998 = (1998-1900)*12+1 = 1177; Dec 2002 = 1236.
+	if seq < 1177 || seq > 1236 {
+		t.Errorf("MONTHSEQ %d outside sales window sequence range", seq)
+	}
+}
+
+// TestSessionPermutationKeepsDrillOrder: iterative OLAP steps of one
+// sequence execute in ascending ID order in every stream.
+func TestSessionPermutationKeepsDrillOrder(t *testing.T) {
+	tpls := []Template{
+		{ID: 1}, {ID: 2, Type: IterativeOLAP, Sequence: 1},
+		{ID: 3}, {ID: 4, Type: IterativeOLAP, Sequence: 1},
+		{ID: 5, Type: IterativeOLAP, Sequence: 2},
+		{ID: 6, Type: IterativeOLAP, Sequence: 1},
+		{ID: 7, Type: IterativeOLAP, Sequence: 2},
+		{ID: 8}, {ID: 9}, {ID: 10},
+	}
+	for stream := 0; stream < 20; stream++ {
+		order := SessionPermutation(3, stream, tpls)
+		// Must be a permutation.
+		seen := make([]bool, len(tpls))
+		for _, idx := range order {
+			if seen[idx] {
+				t.Fatalf("stream %d: duplicate index %d", stream, idx)
+			}
+			seen[idx] = true
+		}
+		lastID := map[int]int{}
+		for _, idx := range order {
+			tp := tpls[idx]
+			if tp.Sequence == 0 {
+				continue
+			}
+			if prev, ok := lastID[tp.Sequence]; ok && tp.ID < prev {
+				t.Fatalf("stream %d: sequence %d visits ID %d after %d",
+					stream, tp.Sequence, tp.ID, prev)
+			}
+			lastID[tp.Sequence] = tp.ID
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package queries holds the 99 query templates of the TPC-DS workload
+// (§4.1). Every template is a distinct business question over the
+// snowstorm schema, written in the SQL-99 subset of the engine, with
+// typed substitution tokens (see package qgen) bound to comparability
+// zones so that all instantiations of a template are comparable.
+//
+// The set covers the paper's taxonomy:
+//
+//   - ad-hoc queries (store and web channels), reporting queries
+//     (catalog channel) and hybrid queries referencing both parts, the
+//     classification following §2.2 mechanically from the tables
+//     referenced;
+//   - iterative OLAP drill sequences (templates sharing a Sequence
+//     number form one logical session);
+//   - data-mining extraction queries returning large outputs;
+//   - the two queries printed in the paper: Query 52 (Figure 6, ad-hoc)
+//     and Query 20 (Figure 7, reporting with a windowed revenue ratio).
+package queries
+
+import (
+	"fmt"
+	"sort"
+
+	"tpcds/internal/qgen"
+)
+
+// All returns the 99 templates ordered by ID.
+func All() []qgen.Template {
+	out := make([]qgen.Template, 0, 99)
+	out = append(out, templatesA()...)
+	out = append(out, templatesB()...)
+	out = append(out, templatesC()...)
+	out = append(out, templatesD()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns one template.
+func ByID(id int) (qgen.Template, error) {
+	for _, t := range All() {
+		if t.ID == id {
+			return t, nil
+		}
+	}
+	return qgen.Template{}, fmt.Errorf("queries: no template %d", id)
+}
+
+// Count is the number of queries per run; the paper's metric counts
+// 99 queries times two query runs (§5.3).
+const Count = 99

@@ -1,0 +1,323 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+
+	"tpcds/internal/datagen"
+	"tpcds/internal/exec"
+	"tpcds/internal/qgen"
+	"tpcds/internal/sql"
+)
+
+// The shared engine runs over a small generated database; building it
+// once keeps the 99-template execution test fast.
+var sharedEngine = exec.New(datagen.New(0.0005, 11).GenerateAll())
+
+func TestNinetyNineDistinctTemplates(t *testing.T) {
+	all := All()
+	if len(all) != Count || Count != 99 {
+		t.Fatalf("template count = %d, want 99", len(all))
+	}
+	seenID := map[int]bool{}
+	seenSQL := map[string]bool{}
+	seenName := map[string]bool{}
+	for i, tpl := range all {
+		if tpl.ID != i+1 {
+			t.Errorf("template at index %d has ID %d, want dense 1..99", i, tpl.ID)
+		}
+		if seenID[tpl.ID] {
+			t.Errorf("duplicate template ID %d", tpl.ID)
+		}
+		seenID[tpl.ID] = true
+		norm := strings.Join(strings.Fields(tpl.SQL), " ")
+		if seenSQL[norm] {
+			t.Errorf("template %d duplicates another template's SQL", tpl.ID)
+		}
+		seenSQL[norm] = true
+		if tpl.Name == "" || seenName[tpl.Name] {
+			t.Errorf("template %d has missing or duplicate name %q", tpl.ID, tpl.Name)
+		}
+		seenName[tpl.Name] = true
+	}
+}
+
+// TestAllTemplatesParse: every instantiated template must be valid SQL
+// for the engine's front end.
+func TestAllTemplatesParse(t *testing.T) {
+	for _, tpl := range All() {
+		text, err := qgen.Instantiate(tpl, qgen.StreamSeed(1, 0, tpl.ID))
+		if err != nil {
+			t.Errorf("template %d: instantiate: %v", tpl.ID, err)
+			continue
+		}
+		if strings.Contains(text, "[") {
+			t.Errorf("template %d: unsubstituted token remains: %s", tpl.ID, text)
+		}
+		if _, err := sql.Parse(text); err != nil {
+			t.Errorf("template %d: parse: %v", tpl.ID, err)
+		}
+	}
+}
+
+// TestAllTemplatesExecute runs every template against the generated
+// database with two different substitution streams — the benchmark's
+// core execution property.
+func TestAllTemplatesExecute(t *testing.T) {
+	for _, tpl := range All() {
+		for _, stream := range []int{0, 1} {
+			text, err := qgen.Instantiate(tpl, qgen.StreamSeed(1, stream, tpl.ID))
+			if err != nil {
+				t.Fatalf("template %d stream %d: %v", tpl.ID, stream, err)
+			}
+			if _, err := sharedEngine.Query(text); err != nil {
+				t.Errorf("template %d stream %d failed: %v", tpl.ID, stream, err)
+			}
+		}
+	}
+}
+
+// TestClassMix verifies the §2.2 classification: the set contains
+// genuine ad-hoc, reporting and hybrid queries, with the catalog channel
+// (reporting part) carrying a substantial share — the paper allots it
+// 25% of the data set.
+func TestClassMix(t *testing.T) {
+	counts := map[qgen.Class]int{}
+	for _, tpl := range All() {
+		counts[qgen.ClassOf(tpl)]++
+	}
+	if counts[qgen.AdHoc] < 30 {
+		t.Errorf("ad-hoc queries = %d, want a majority share (>=30)", counts[qgen.AdHoc])
+	}
+	if counts[qgen.Reporting] < 20 {
+		t.Errorf("reporting queries = %d, want >=20", counts[qgen.Reporting])
+	}
+	if counts[qgen.Hybrid] < 5 {
+		t.Errorf("hybrid queries = %d, want >=5", counts[qgen.Hybrid])
+	}
+	if counts[qgen.AdHoc]+counts[qgen.Reporting]+counts[qgen.Hybrid] != 99 {
+		t.Errorf("class counts %v do not sum to 99", counts)
+	}
+}
+
+// TestPaperQueriesPresent: Query 52 (Figure 6) and Query 20 (Figure 7)
+// appear under their paper numbers with their defining shapes.
+func TestPaperQueriesPresent(t *testing.T) {
+	q52, err := ByID(52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"i_brand_id", "ss_ext_sales_price", "i_manager_id", "d_moy"} {
+		if !strings.Contains(q52.SQL, want) {
+			t.Errorf("query 52 missing %q", want)
+		}
+	}
+	if qgen.ClassOf(q52) != qgen.AdHoc {
+		t.Errorf("query 52 class = %v, want ad-hoc", qgen.ClassOf(q52))
+	}
+	q20, err := ByID(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OVER (PARTITION BY i_class)", "catalog_sales", "revenueratio"} {
+		if !strings.Contains(q20.SQL, want) {
+			t.Errorf("query 20 missing %q", want)
+		}
+	}
+	if qgen.ClassOf(q20) != qgen.Reporting {
+		t.Errorf("query 20 class = %v, want reporting", qgen.ClassOf(q20))
+	}
+}
+
+// TestTaxonomyCoverage: iterative OLAP sequences and data mining
+// extracts exist (§4.1).
+func TestTaxonomyCoverage(t *testing.T) {
+	seqs := map[int][]int{}
+	mining := 0
+	for _, tpl := range All() {
+		if tpl.Type == qgen.IterativeOLAP {
+			if tpl.Sequence == 0 {
+				t.Errorf("iterative template %d lacks a sequence number", tpl.ID)
+			}
+			seqs[tpl.Sequence] = append(seqs[tpl.Sequence], tpl.ID)
+		}
+		if tpl.Type == qgen.DataMining {
+			mining++
+			if !strings.Contains(tpl.SQL, "LIMIT") {
+				t.Errorf("mining template %d should bound its large output", tpl.ID)
+			}
+		}
+	}
+	if len(seqs) < 3 {
+		t.Errorf("iterative sequences = %d, want >=3", len(seqs))
+	}
+	for seq, ids := range seqs {
+		if len(ids) < 2 {
+			t.Errorf("iterative sequence %d has only %d steps", seq, len(ids))
+		}
+	}
+	if mining < 3 {
+		t.Errorf("data mining templates = %d, want >=3", mining)
+	}
+}
+
+// TestSQLFeatureCoverage: the template set exercises the SQL-99 surface
+// the paper claims (§4.1): windows, CTEs, set operations, CASE,
+// subqueries, HAVING, DISTINCT aggregates.
+func TestSQLFeatureCoverage(t *testing.T) {
+	features := map[string]int{}
+	for _, tpl := range All() {
+		u := strings.ToUpper(tpl.SQL)
+		if strings.Contains(u, "OVER (PARTITION BY") {
+			features["window"]++
+		}
+		if strings.Contains(u, "WITH ") {
+			features["cte"]++
+		}
+		if strings.Contains(u, "UNION ALL") {
+			features["union"]++
+		}
+		if strings.Contains(u, "CASE WHEN") {
+			features["case"]++
+		}
+		if strings.Contains(u, "HAVING") {
+			features["having"]++
+		}
+		if strings.Contains(u, "COUNT(DISTINCT") {
+			features["count-distinct"]++
+		}
+		if strings.Contains(u, "IN (SELECT") {
+			features["in-subquery"]++
+		}
+		if strings.Contains(u, "> (SELECT") {
+			features["scalar-subquery"]++
+		}
+		if strings.Contains(u, "LEFT OUTER JOIN") {
+			features["left-join"]++
+		}
+		if strings.Contains(u, "BETWEEN") {
+			features["between"]++
+		}
+	}
+	for _, f := range []string{"window", "cte", "union", "case", "having",
+		"count-distinct", "in-subquery", "scalar-subquery", "left-join", "between"} {
+		if features[f] == 0 {
+			t.Errorf("no template exercises %s", f)
+		}
+	}
+}
+
+// TestSubstitutionDeterminism: the same stream produces the same SQL;
+// different streams differ somewhere across the set.
+func TestSubstitutionDeterminism(t *testing.T) {
+	tpl, _ := ByID(52)
+	a, _ := qgen.Instantiate(tpl, qgen.StreamSeed(7, 3, 52))
+	b, _ := qgen.Instantiate(tpl, qgen.StreamSeed(7, 3, 52))
+	if a != b {
+		t.Error("identical streams produced different substitutions")
+	}
+	diff := false
+	for _, tplX := range All() {
+		x, _ := qgen.Instantiate(tplX, qgen.StreamSeed(7, 3, tplX.ID))
+		y, _ := qgen.Instantiate(tplX, qgen.StreamSeed(7, 4, tplX.ID))
+		if x != y {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different streams never changed any substitution")
+	}
+}
+
+// TestSubstitutionComparability reproduces the Figure 4 discussion: for
+// a zone-bound template the number of qualifying rows must be nearly
+// identical across substitutions, while substitutions crossing zone
+// boundaries diverge. A dedicated larger sample (SF 0.005) smooths the
+// ticket-level date clustering of the generator.
+func TestSubstitutionComparability(t *testing.T) {
+	eng := exec.New(datagen.New(0.005, 3).GenerateAll())
+	count := func(moy int) int {
+		res, err := eng.Query(
+			"SELECT COUNT(*) c FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk" +
+				" AND d_moy = " + itoa(moy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int(res.Rows[0][0].AsInt())
+	}
+	nov, dec := count(11), count(12) // both zone 3
+	jun := count(6)                  // zone 1
+	if nov == 0 || dec == 0 || jun == 0 {
+		t.Fatal("empty months at SF 0.005; generator seasonality broken")
+	}
+	withinZone := ratio(nov, dec)
+	acrossZone := ratio(jun, dec)
+	if withinZone > 1.4 {
+		t.Errorf("zone-3 months differ by %.2fx; comparability zone broken", withinZone)
+	}
+	if acrossZone < 1.4 {
+		t.Errorf("across-zone spread only %.2fx; zones should separate (census Dec ~1.9x Jun)",
+			acrossZone)
+	}
+	if acrossZone <= withinZone {
+		t.Errorf("across-zone spread (%.2fx) should exceed within-zone spread (%.2fx)",
+			acrossZone, withinZone)
+	}
+}
+
+func ratio(a, b int) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if b == 0 {
+		return 1e9
+	}
+	return float64(a) / float64(b)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func TestByIDErrors(t *testing.T) {
+	if _, err := ByID(0); err == nil {
+		t.Error("ByID(0) should fail")
+	}
+	if _, err := ByID(100); err == nil {
+		t.Error("ByID(100) should fail")
+	}
+}
+
+func TestPermutationsDiffer(t *testing.T) {
+	p0 := qgen.Permutation(1, 0, 99)
+	p1 := qgen.Permutation(1, 1, 99)
+	same := true
+	for i := range p0 {
+		if p0[i] != p1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("streams share a query permutation")
+	}
+}

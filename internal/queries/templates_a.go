@@ -1,0 +1,283 @@
+package queries
+
+import "tpcds/internal/qgen"
+
+// templatesA: IDs 1-25. Store-channel analysis (ad-hoc part) plus the
+// paper's reporting Query 20.
+func templatesA() []qgen.Template {
+	return []qgen.Template{
+		{ID: 1, Name: "store_monthly_revenue", SQL: `
+SELECT s_store_name, s_state, SUM(ss_ext_sales_price) revenue
+FROM store_sales, store, date_dim
+WHERE ss_store_sk = s_store_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z1]
+GROUP BY s_store_name, s_state
+ORDER BY revenue DESC, s_store_name`},
+
+		{ID: 2, Name: "category_revenue_holiday_season", SQL: `
+SELECT i_category, SUM(ss_ext_sales_price) revenue, COUNT(*) line_items
+FROM store_sales, item, date_dim
+WHERE ss_item_sk = i_item_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z3]
+GROUP BY i_category
+ORDER BY revenue DESC`},
+
+		{ID: 3, Name: "brand_revenue_by_manager_range", SQL: `
+SELECT d_year, i_brand_id brand_id, i_brand brand, SUM(ss_ext_sales_price) sum_agg
+FROM date_dim dt, store_sales, item
+WHERE dt.d_date_sk = ss_sold_date_sk
+  AND ss_item_sk = i_item_sk
+  AND i_manufact_id BETWEEN [MANAGER_LO] AND [MANAGER_LO] + 20
+  AND dt.d_moy = [MONTH_Z3]
+GROUP BY d_year, i_brand_id, i_brand
+ORDER BY d_year, sum_agg DESC, brand_id
+LIMIT 100`},
+
+		{ID: 4, Name: "demographic_quantity_profile", SQL: `
+SELECT cd_gender, cd_marital_status, cd_education_status,
+       AVG(ss_quantity) avg_qty, AVG(ss_list_price) avg_list,
+       AVG(ss_coupon_amt) avg_coupon, AVG(ss_sales_price) avg_price
+FROM store_sales, customer_demographics, date_dim
+WHERE ss_cdemo_sk = cd_demo_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+  AND cd_gender = [GENDER] AND cd_marital_status = [MARITAL]
+GROUP BY cd_gender, cd_marital_status, cd_education_status
+ORDER BY cd_gender, cd_marital_status, cd_education_status`},
+
+		{ID: 5, Name: "returns_by_reason", SQL: `
+SELECT r_reason_desc, COUNT(*) returns_count,
+       SUM(sr_return_amt) returned_value, AVG(sr_return_quantity) avg_qty
+FROM store_returns, reason, date_dim
+WHERE sr_reason_sk = r_reason_sk
+  AND sr_returned_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY r_reason_desc
+ORDER BY returned_value DESC
+LIMIT 25`},
+
+		{ID: 6, Name: "return_rate_by_category", SQL: `
+WITH sold AS (
+  SELECT i_category cat, SUM(ss_quantity) sold_qty
+  FROM store_sales, item
+  WHERE ss_item_sk = i_item_sk
+  GROUP BY i_category),
+returned AS (
+  SELECT i_category cat, SUM(sr_return_quantity) ret_qty
+  FROM store_returns, item
+  WHERE sr_item_sk = i_item_sk
+  GROUP BY i_category)
+SELECT sold.cat, sold_qty, ret_qty, ret_qty * 100.0 / sold_qty return_pct
+FROM sold, returned
+WHERE sold.cat = returned.cat
+ORDER BY return_pct DESC`},
+
+		{ID: 7, Name: "promotion_lift", SQL: `
+SELECT i_item_id,
+       AVG(ss_quantity) agg1, AVG(ss_list_price) agg2,
+       AVG(ss_coupon_amt) agg3, AVG(ss_sales_price) agg4
+FROM store_sales, customer_demographics, date_dim, item, promotion
+WHERE ss_sold_date_sk = d_date_sk
+  AND ss_item_sk = i_item_sk
+  AND ss_cdemo_sk = cd_demo_sk
+  AND ss_promo_sk = p_promo_sk
+  AND cd_gender = [GENDER]
+  AND cd_education_status = [EDUCATION]
+  AND p_channel_email = 'N'
+  AND d_year = [YEAR]
+GROUP BY i_item_id
+ORDER BY i_item_id
+LIMIT 100`},
+
+		{ID: 8, Name: "store_profit_ranking", SQL: `
+SELECT s_store_name, s_city, SUM(ss_net_profit) profit
+FROM store_sales, store, date_dim
+WHERE ss_store_sk = s_store_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY s_store_name, s_city
+HAVING SUM(ss_net_profit) > 0
+ORDER BY profit DESC
+LIMIT 20`},
+
+		{ID: 9, Name: "sales_by_weekday_quarter", SQL: `
+SELECT d_day_name, d_qoy, COUNT(*) transactions, SUM(ss_ext_sales_price) amt
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk AND d_year = [YEAR]
+GROUP BY d_day_name, d_qoy
+ORDER BY d_qoy, amt DESC`},
+
+		{ID: 10, Name: "credit_profile_counts", SQL: `
+SELECT cd_credit_rating, cd_purchase_estimate,
+       COUNT(DISTINCT ss_customer_sk) customers, COUNT(*) purchases
+FROM store_sales, customer_demographics, date_dim
+WHERE ss_cdemo_sk = cd_demo_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z2]
+GROUP BY cd_credit_rating, cd_purchase_estimate
+ORDER BY cd_credit_rating, cd_purchase_estimate`},
+
+		{ID: 11, Name: "county_revenue", SQL: `
+SELECT ca_county, ca_state, SUM(ss_ext_sales_price) revenue
+FROM store_sales, customer_address, date_dim
+WHERE ss_addr_sk = ca_address_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_qoy = 4
+GROUP BY ca_county, ca_state
+ORDER BY revenue DESC
+LIMIT 50`},
+
+		{ID: 12, Name: "discount_depth_by_category", SQL: `
+SELECT i_category, AVG(ss_ext_discount_amt) avg_discount,
+       SUM(ss_ext_discount_amt) / SUM(ss_ext_list_price) discount_ratio
+FROM store_sales, item, date_dim
+WHERE ss_item_sk = i_item_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+  AND i_category IN ([CATEGORY3])
+GROUP BY i_category
+ORDER BY discount_ratio DESC`},
+
+		{ID: 13, Name: "income_band_sales", SQL: `
+SELECT ib_lower_bound, ib_upper_bound, hd_buy_potential,
+       COUNT(*) baskets, [AGG](ss_net_paid) measure
+FROM store_sales, household_demographics, income_band
+WHERE ss_hdemo_sk = hd_demo_sk
+  AND hd_income_band_sk = ib_income_band_sk
+  AND hd_vehicle_count <= [VEHCNT]
+GROUP BY ib_lower_bound, ib_upper_bound, hd_buy_potential
+ORDER BY ib_lower_bound, hd_buy_potential`},
+
+		{ID: 14, Name: "mealtime_sales_pattern", SQL: `
+SELECT t_meal_time, t_shift, COUNT(*) line_items, SUM(ss_ext_sales_price) revenue
+FROM store_sales, time_dim
+WHERE ss_sold_time_sk = t_time_sk
+  AND t_meal_time IS NOT NULL
+GROUP BY t_meal_time, t_shift
+ORDER BY revenue DESC`},
+
+		{ID: 15, Name: "zip_prefix_revenue", SQL: `
+SELECT SUBSTR(ca_zip, 1, 2) zip_prefix, SUM(ss_net_paid) net
+FROM store_sales, customer_address, date_dim
+WHERE ss_addr_sk = ca_address_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z1]
+GROUP BY SUBSTR(ca_zip, 1, 2)
+ORDER BY net DESC
+LIMIT 40`},
+
+		{ID: 16, Name: "monthly_order_counts", SQL: `
+SELECT d_moy, COUNT(DISTINCT ss_ticket_number) orders,
+       COUNT(*) line_items, SUM(ss_quantity) units
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk AND d_year = [YEAR]
+GROUP BY d_moy
+ORDER BY d_moy`},
+
+		{ID: 17, Name: "state_quantity_stats", SQL: `
+SELECT ca_state, AVG(ss_quantity) avg_qty, STDDEV_SAMP(ss_quantity) sd_qty,
+       MIN(ss_quantity) min_qty, MAX(ss_quantity) max_qty
+FROM store_sales, customer_address
+WHERE ss_addr_sk = ca_address_sk
+  AND ca_state IN ([STATE5])
+GROUP BY ca_state
+ORDER BY ca_state`},
+
+		{ID: 18, Name: "basket_size_buckets", SQL: `
+SELECT CASE WHEN ss_quantity BETWEEN 1 AND 20 THEN 'small'
+            WHEN ss_quantity BETWEEN 21 AND 60 THEN 'medium'
+            ELSE 'large' END bucket,
+       COUNT(*) cnt, AVG(ss_net_paid) avg_paid
+FROM store_sales
+GROUP BY CASE WHEN ss_quantity BETWEEN 1 AND 20 THEN 'small'
+            WHEN ss_quantity BETWEEN 21 AND 60 THEN 'medium'
+            ELSE 'large' END
+ORDER BY cnt DESC`},
+
+		{ID: 19, Name: "manager_brand_revenue", SQL: `
+SELECT i_brand_id brand_id, i_brand brand, i_manufact_id, i_manufact,
+       SUM(ss_ext_sales_price) ext_price
+FROM date_dim, store_sales, item
+WHERE d_date_sk = ss_sold_date_sk
+  AND ss_item_sk = i_item_sk
+  AND i_manager_id = [MANAGER]
+  AND d_moy = [MONTH_Z2] AND d_year = [YEAR]
+GROUP BY i_brand_id, i_brand, i_manufact_id, i_manufact
+ORDER BY ext_price DESC, brand_id
+LIMIT 100`},
+
+		// Figure 7 of the paper: the reporting query with the windowed
+		// per-class revenue ratio, over the catalog (reporting) channel.
+		{ID: 20, Name: "catalog_revenue_ratio_by_class", SQL: `
+SELECT i_item_desc, i_category, i_class, i_current_price,
+       SUM(cs_ext_sales_price) AS itemrevenue,
+       SUM(cs_ext_sales_price) * 100 /
+         SUM(SUM(cs_ext_sales_price)) OVER (PARTITION BY i_class) AS revenueratio
+FROM catalog_sales, item, date_dim
+WHERE cs_item_sk = i_item_sk
+  AND i_category IN ([CATEGORY3])
+  AND cs_sold_date_sk = d_date_sk
+  AND d_date BETWEEN [DATE_Z1] AND CAST([DATE_Z1] AS DATE) + [DAYS]
+GROUP BY i_item_id, i_item_desc, i_category, i_class, i_current_price
+ORDER BY i_category, i_class, i_item_id, i_item_desc, revenueratio
+LIMIT 100`},
+
+		// Iterative OLAP sequence 1: category -> class -> brand drill-down
+		// (three syntactically independent but logically affiliated
+		// queries, §4.1).
+		{ID: 21, Name: "drill_category", Type: qgen.IterativeOLAP, Sequence: 1, SQL: `
+SELECT i_category, SUM(ss_net_paid) net
+FROM store_sales, item, date_dim
+WHERE ss_item_sk = i_item_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY i_category
+ORDER BY net DESC`},
+
+		{ID: 22, Name: "drill_class_within_category", Type: qgen.IterativeOLAP, Sequence: 1, SQL: `
+SELECT i_category, i_class, SUM(ss_net_paid) net
+FROM store_sales, item, date_dim
+WHERE ss_item_sk = i_item_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+  AND i_category = [CATEGORY]
+GROUP BY i_category, i_class
+ORDER BY net DESC`},
+
+		{ID: 23, Name: "drill_brand_within_class", Type: qgen.IterativeOLAP, Sequence: 1, SQL: `
+SELECT i_category, i_class, i_brand, SUM(ss_net_paid) net
+FROM store_sales, item, date_dim
+WHERE ss_item_sk = i_item_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+  AND i_category = [CATEGORY] AND i_class = [CLASS]
+GROUP BY i_category, i_class, i_brand
+ORDER BY net DESC`},
+
+		// Data mining extract (§4.1: "characterized as returning a large
+		// output ... intended for feeding data mining tools").
+		{ID: 24, Name: "mining_customer_purchase_extract", Type: qgen.DataMining, SQL: `
+SELECT c_customer_id, c_first_name, c_last_name, c_birth_year,
+       ca_state, ca_zip, ss_ticket_number, ss_quantity,
+       ss_sales_price, ss_ext_sales_price, ss_net_paid, ss_net_profit
+FROM store_sales, customer, customer_address
+WHERE ss_customer_sk = c_customer_sk
+  AND c_current_addr_sk = ca_address_sk
+ORDER BY c_customer_id, ss_ticket_number
+LIMIT 10000`},
+
+		{ID: 25, Name: "repeat_customers", SQL: `
+SELECT c_customer_id, c_last_name, COUNT(DISTINCT ss_ticket_number) trips,
+       SUM(ss_net_paid) total_paid
+FROM store_sales, customer, date_dim
+WHERE ss_customer_sk = c_customer_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY c_customer_id, c_last_name
+HAVING COUNT(DISTINCT ss_ticket_number) > 1
+ORDER BY total_paid DESC, c_customer_id
+LIMIT 100`},
+	}
+}

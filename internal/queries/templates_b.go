@@ -1,0 +1,258 @@
+package queries
+
+import "tpcds/internal/qgen"
+
+// templatesB: IDs 26-50. Catalog-channel reporting queries (the part of
+// the schema where auxiliary structures are allowed, §2.2) plus returns
+// analysis.
+func templatesB() []qgen.Template {
+	return []qgen.Template{
+		{ID: 26, Name: "catalog_demographic_profile", SQL: `
+SELECT i_item_id, AVG(cs_quantity) agg1, AVG(cs_list_price) agg2,
+       AVG(cs_coupon_amt) agg3, AVG(cs_sales_price) agg4
+FROM catalog_sales, customer_demographics, date_dim, item
+WHERE cs_sold_date_sk = d_date_sk
+  AND cs_item_sk = i_item_sk
+  AND cs_bill_cdemo_sk = cd_demo_sk
+  AND cd_gender = [GENDER]
+  AND cd_marital_status = [MARITAL]
+  AND cd_education_status = [EDUCATION]
+  AND d_year = [YEAR]
+GROUP BY i_item_id
+ORDER BY i_item_id
+LIMIT 100`},
+
+		{ID: 27, Name: "call_center_revenue", SQL: `
+SELECT cc_name, cc_manager, SUM(cs_net_paid) net, COUNT(*) orders
+FROM catalog_sales, call_center, date_dim
+WHERE cs_call_center_sk = cc_call_center_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY cc_name, cc_manager
+ORDER BY net DESC`},
+
+		{ID: 28, Name: "catalog_page_performance", SQL: `
+SELECT cp_catalog_number, cp_catalog_page_number,
+       SUM(cs_ext_sales_price) revenue, COUNT(*) line_items
+FROM catalog_sales, catalog_page
+WHERE cs_catalog_page_sk = cp_catalog_page_sk
+GROUP BY cp_catalog_number, cp_catalog_page_number
+ORDER BY revenue DESC
+LIMIT 50`},
+
+		{ID: 29, Name: "ship_mode_latency", SQL: `
+SELECT sm_type, sm_carrier, COUNT(*) shipments,
+       AVG(cs_ship_date_sk - cs_sold_date_sk) avg_ship_days
+FROM catalog_sales, ship_mode, date_dim
+WHERE cs_ship_mode_sk = sm_ship_mode_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z2]
+GROUP BY sm_type, sm_carrier
+ORDER BY avg_ship_days DESC`},
+
+		{ID: 30, Name: "warehouse_catalog_throughput", SQL: `
+SELECT w_warehouse_name, w_state, SUM(cs_quantity) units, SUM(cs_net_paid) net
+FROM catalog_sales, warehouse, date_dim
+WHERE cs_warehouse_sk = w_warehouse_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY w_warehouse_name, w_state
+ORDER BY net DESC`},
+
+		{ID: 31, Name: "catalog_returns_by_reason", SQL: `
+SELECT r_reason_desc, COUNT(*) cnt, SUM(cr_return_amount) amount
+FROM catalog_returns, reason
+WHERE cr_reason_sk = r_reason_sk
+GROUP BY r_reason_desc
+ORDER BY amount DESC
+LIMIT 30`},
+
+		{ID: 32, Name: "catalog_seasonality", SQL: `
+SELECT d_year, d_moy, SUM(cs_ext_sales_price) revenue
+FROM catalog_sales, date_dim
+WHERE cs_sold_date_sk = d_date_sk
+GROUP BY d_year, d_moy
+ORDER BY d_year, d_moy`},
+
+		{ID: 33, Name: "catalog_top_items_window", SQL: `
+SELECT i_category, i_item_id, SUM(cs_ext_sales_price) rev,
+       SUM(SUM(cs_ext_sales_price)) OVER (PARTITION BY i_category) cat_rev
+FROM catalog_sales, item
+WHERE cs_item_sk = i_item_sk
+  AND i_category IN ([CATEGORY3])
+GROUP BY i_category, i_item_id
+ORDER BY i_category, rev DESC
+LIMIT 100`},
+
+		{ID: 34, Name: "catalog_order_sizes", SQL: `
+SELECT cs_order_number, COUNT(*) line_items, SUM(cs_quantity) units,
+       SUM(cs_net_paid_inc_ship_tax) order_total
+FROM catalog_sales, date_dim
+WHERE cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z3]
+GROUP BY cs_order_number
+HAVING SUM(cs_quantity) > [QTY]
+ORDER BY order_total DESC
+LIMIT 100`},
+
+		{ID: 35, Name: "catalog_state_demographics", SQL: `
+SELECT ca_state, cd_gender, COUNT(*) cnt, AVG(cs_net_paid) avg_paid
+FROM catalog_sales, customer_address, customer_demographics
+WHERE cs_bill_addr_sk = ca_address_sk
+  AND cs_bill_cdemo_sk = cd_demo_sk
+  AND ca_state IN ([STATE5])
+GROUP BY ca_state, cd_gender
+ORDER BY ca_state, cd_gender`},
+
+		{ID: 36, Name: "catalog_margin_by_class", SQL: `
+SELECT i_category, i_class,
+       SUM(cs_net_profit) / SUM(cs_ext_sales_price) gross_margin
+FROM catalog_sales, item, date_dim
+WHERE cs_item_sk = i_item_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+  AND i_category IN ([CATEGORY3])
+GROUP BY i_category, i_class
+ORDER BY gross_margin, i_category, i_class
+LIMIT 100`},
+
+		{ID: 37, Name: "catalog_inventory_pressure", SQL: `
+SELECT i_item_id, i_item_desc, i_current_price
+FROM item, inventory, date_dim
+WHERE inv_item_sk = i_item_sk
+  AND inv_date_sk = d_date_sk
+  AND i_current_price BETWEEN [PRICE] AND [PRICE] + 30
+  AND d_year = [YEAR]
+  AND inv_quantity_on_hand BETWEEN 100 AND 500
+GROUP BY i_item_id, i_item_desc, i_current_price
+ORDER BY i_item_id
+LIMIT 100`},
+
+		{ID: 38, Name: "catalog_promo_share", SQL: `
+SELECT p_channel_catalog, COUNT(*) cnt, SUM(cs_ext_sales_price) revenue
+FROM catalog_sales, promotion, date_dim
+WHERE cs_promo_sk = p_promo_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY p_channel_catalog
+ORDER BY p_channel_catalog`},
+
+		{ID: 39, Name: "warehouse_inventory_variance", SQL: `
+SELECT w_warehouse_name, i_item_id,
+       AVG(inv_quantity_on_hand) mean_qty, STDDEV_SAMP(inv_quantity_on_hand) sd_qty
+FROM inventory, warehouse, item, date_dim
+WHERE inv_warehouse_sk = w_warehouse_sk
+  AND inv_item_sk = i_item_sk
+  AND inv_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY w_warehouse_name, i_item_id
+HAVING STDDEV_SAMP(inv_quantity_on_hand) > 100
+ORDER BY w_warehouse_name, i_item_id
+LIMIT 100`},
+
+		{ID: 40, Name: "catalog_returned_value_by_warehouse", SQL: `
+SELECT w_state, i_item_id, SUM(cr_return_amount) returned
+FROM catalog_returns, warehouse, item, date_dim
+WHERE cr_warehouse_sk = w_warehouse_sk
+  AND cr_item_sk = i_item_sk
+  AND cr_returned_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY w_state, i_item_id
+ORDER BY returned DESC
+LIMIT 100`},
+
+		{ID: 41, Name: "current_item_revisions", SQL: `
+SELECT i_category, COUNT(*) current_items, AVG(i_current_price) avg_price
+FROM item
+WHERE i_rec_end_date IS NULL
+  AND i_category IN ([CATEGORY3])
+GROUP BY i_category
+ORDER BY i_category`},
+
+		{ID: 42, Name: "catalog_hour_profile", SQL: `
+SELECT t_hour, COUNT(*) cnt, SUM(cs_ext_sales_price) revenue
+FROM catalog_sales, time_dim, date_dim
+WHERE cs_sold_time_sk = t_time_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z1]
+GROUP BY t_hour
+ORDER BY t_hour`},
+
+		{ID: 43, Name: "catalog_vs_average_price", SQL: `
+SELECT i_item_id, i_current_price
+FROM item
+WHERE i_current_price > (SELECT AVG(i_current_price) * 1.2 FROM item)
+  AND i_category = [CATEGORY]
+ORDER BY i_current_price DESC, i_item_id
+LIMIT 100`},
+
+		{ID: 44, Name: "catalog_big_spenders", SQL: `
+SELECT c_customer_id, c_first_name, c_last_name, SUM(cs_net_paid) paid
+FROM catalog_sales, customer, date_dim
+WHERE cs_bill_customer_sk = c_customer_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY c_customer_id, c_first_name, c_last_name
+ORDER BY paid DESC, c_customer_id
+LIMIT 50`},
+
+		{ID: 45, Name: "catalog_zip_revenue", SQL: `
+SELECT ca_zip, SUM(cs_sales_price) total
+FROM catalog_sales, customer, customer_address, date_dim
+WHERE cs_bill_customer_sk = c_customer_sk
+  AND c_current_addr_sk = ca_address_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_qoy = 1 AND d_year = [YEAR]
+GROUP BY ca_zip
+ORDER BY total DESC, ca_zip
+LIMIT 100`},
+
+		{ID: 46, Name: "catalog_fact_to_fact_returns", SQL: `
+SELECT i_item_id, COUNT(*) returned_lines,
+       SUM(cr_return_quantity) ret_qty, SUM(cs_quantity) sold_qty
+FROM catalog_sales, catalog_returns, item
+WHERE cr_item_sk = cs_item_sk
+  AND cr_order_number = cs_order_number
+  AND cs_item_sk = i_item_sk
+GROUP BY i_item_id
+ORDER BY returned_lines DESC, i_item_id
+LIMIT 100`},
+
+		{ID: 47, Name: "mining_catalog_order_extract", Type: qgen.DataMining, SQL: `
+SELECT cs_order_number, cs_item_sk, cs_quantity, cs_wholesale_cost,
+       cs_list_price, cs_sales_price, cs_ext_discount_amt, cs_ext_tax,
+       cs_net_paid, cs_net_profit, d_date, d_day_name
+FROM catalog_sales, date_dim
+WHERE cs_sold_date_sk = d_date_sk AND d_year = [YEAR]
+ORDER BY cs_order_number, cs_item_sk
+LIMIT 10000`},
+
+		// Iterative OLAP sequence 2: call-center performance drill.
+		{ID: 48, Name: "drill_cc_yearly", Type: qgen.IterativeOLAP, Sequence: 2, SQL: `
+SELECT cc_name, d_year, SUM(cs_net_paid) net
+FROM catalog_sales, call_center, date_dim
+WHERE cs_call_center_sk = cc_call_center_sk
+  AND cs_sold_date_sk = d_date_sk
+GROUP BY cc_name, d_year
+ORDER BY cc_name, d_year`},
+
+		{ID: 49, Name: "drill_cc_monthly", Type: qgen.IterativeOLAP, Sequence: 2, SQL: `
+SELECT cc_name, d_moy, SUM(cs_net_paid) net
+FROM catalog_sales, call_center, date_dim
+WHERE cs_call_center_sk = cc_call_center_sk
+  AND cs_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY cc_name, d_moy
+ORDER BY cc_name, d_moy`},
+
+		{ID: 50, Name: "catalog_bill_ship_state_mismatch", SQL: `
+SELECT bill.ca_state bill_state, COUNT(*) cnt, SUM(cs_net_paid) net
+FROM catalog_sales, customer_address bill, customer_address ship
+WHERE cs_bill_addr_sk = bill.ca_address_sk
+  AND cs_ship_addr_sk = ship.ca_address_sk
+  AND bill.ca_state <> ship.ca_state
+GROUP BY bill.ca_state
+ORDER BY net DESC
+LIMIT 50`},
+	}
+}

@@ -1,0 +1,238 @@
+package queries
+
+import "tpcds/internal/qgen"
+
+// templatesC: IDs 51-75. Web-channel analysis (ad-hoc part), the
+// paper's Query 52, and web/store cross-channel comparisons.
+func templatesC() []qgen.Template {
+	return []qgen.Template{
+		{ID: 51, Name: "web_site_revenue", SQL: `
+SELECT web_name, web_manager, SUM(ws_net_paid) net, COUNT(*) orders
+FROM web_sales, web_site, date_dim
+WHERE ws_web_site_sk = web_site_sk
+  AND ws_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY web_name, web_manager
+ORDER BY net DESC`},
+
+		// Figure 6 of the paper, verbatim: the ad-hoc brand revenue query.
+		{ID: 52, Name: "brand_ext_price_november", SQL: `
+SELECT dt.d_year, item.i_brand_id brand_id, item.i_brand brand,
+       SUM(ss_ext_sales_price) ext_price
+FROM date_dim dt, store_sales, item
+WHERE dt.d_date_sk = store_sales.ss_sold_date_sk
+  AND store_sales.ss_item_sk = item.i_item_sk
+  AND item.i_manager_id = [MANAGER]
+  AND dt.d_moy = [MONTH_Z3]
+  AND dt.d_year = [YEAR]
+GROUP BY dt.d_year, item.i_brand, item.i_brand_id
+ORDER BY dt.d_year, ext_price DESC, brand_id`},
+
+		{ID: 53, Name: "web_page_types", SQL: `
+SELECT wp_type, COUNT(*) cnt, SUM(ws_net_paid) net, AVG(ws_quantity) avg_qty
+FROM web_sales, web_page
+WHERE ws_web_page_sk = wp_web_page_sk
+GROUP BY wp_type
+ORDER BY net DESC`},
+
+		{ID: 54, Name: "web_returns_by_reason", SQL: `
+SELECT r_reason_desc, COUNT(*) cnt, SUM(wr_return_amt) amount
+FROM web_returns, reason
+WHERE wr_reason_sk = r_reason_sk
+GROUP BY r_reason_desc
+ORDER BY amount DESC
+LIMIT 30`},
+
+		// Iterative OLAP sequence 3: web revenue drill year -> month.
+		{ID: 55, Name: "drill_web_yearly", Type: qgen.IterativeOLAP, Sequence: 3, SQL: `
+SELECT d_year, SUM(ws_ext_sales_price) revenue
+FROM web_sales, date_dim
+WHERE ws_sold_date_sk = d_date_sk
+GROUP BY d_year
+ORDER BY d_year`},
+
+		{ID: 56, Name: "drill_web_monthly", Type: qgen.IterativeOLAP, Sequence: 3, SQL: `
+SELECT d_moy, SUM(ws_ext_sales_price) revenue
+FROM web_sales, date_dim
+WHERE ws_sold_date_sk = d_date_sk AND d_year = [YEAR]
+GROUP BY d_moy
+ORDER BY d_moy`},
+
+		{ID: 57, Name: "web_shipping_cost_by_mode", SQL: `
+SELECT sm_type, AVG(ws_ext_ship_cost) avg_ship, SUM(ws_net_paid_inc_ship) net
+FROM web_sales, ship_mode
+WHERE ws_ship_mode_sk = sm_ship_mode_sk
+GROUP BY sm_type
+ORDER BY avg_ship DESC`},
+
+		{ID: 58, Name: "web_color_preferences", SQL: `
+SELECT i_color, COUNT(*) cnt, SUM(ws_quantity) units
+FROM web_sales, item
+WHERE ws_item_sk = i_item_sk
+  AND i_color IN ([COLOR2])
+GROUP BY i_color
+ORDER BY units DESC`},
+
+		{ID: 59, Name: "web_weekend_share", SQL: `
+SELECT d_weekend, COUNT(*) cnt, SUM(ws_ext_sales_price) revenue
+FROM web_sales, date_dim
+WHERE ws_sold_date_sk = d_date_sk AND d_year = [YEAR]
+GROUP BY d_weekend
+ORDER BY d_weekend`},
+
+		{ID: 60, Name: "web_category_revenue_window", SQL: `
+SELECT i_category, i_class, SUM(ws_ext_sales_price) rev,
+       SUM(ws_ext_sales_price) * 100 /
+         SUM(SUM(ws_ext_sales_price)) OVER (PARTITION BY i_category) class_share
+FROM web_sales, item, date_dim
+WHERE ws_item_sk = i_item_sk
+  AND ws_sold_date_sk = d_date_sk
+  AND d_year = [YEAR]
+  AND i_category IN ([CATEGORY3])
+GROUP BY i_category, i_class
+ORDER BY i_category, class_share DESC`},
+
+		{ID: 61, Name: "web_fact_to_fact_returns", SQL: `
+SELECT i_item_id, COUNT(*) returned_orders, SUM(wr_return_amt) returned_amt,
+       SUM(ws_net_paid) paid_amt
+FROM web_sales, web_returns, item
+WHERE wr_item_sk = ws_item_sk
+  AND wr_order_number = ws_order_number
+  AND ws_item_sk = i_item_sk
+GROUP BY i_item_id
+ORDER BY returned_amt DESC, i_item_id
+LIMIT 100`},
+
+		{ID: 62, Name: "web_ship_latency_buckets", SQL: `
+SELECT sm_type,
+       SUM(CASE WHEN ws_ship_date_sk - ws_sold_date_sk <= 30 THEN 1 ELSE 0 END) d30,
+       SUM(CASE WHEN ws_ship_date_sk - ws_sold_date_sk > 30 THEN 1 ELSE 0 END) over30
+FROM web_sales, ship_mode, date_dim
+WHERE ws_ship_mode_sk = sm_ship_mode_sk
+  AND ws_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z1]
+GROUP BY sm_type
+ORDER BY sm_type`},
+
+		{ID: 63, Name: "web_birth_cohorts", SQL: `
+SELECT c_birth_year, COUNT(DISTINCT ws_order_number) orders, SUM(ws_net_paid) net
+FROM web_sales, customer
+WHERE ws_bill_customer_sk = c_customer_sk
+  AND c_birth_year BETWEEN 1950 AND 1960
+GROUP BY c_birth_year
+ORDER BY c_birth_year`},
+
+		{ID: 64, Name: "web_vs_store_by_item", SQL: `
+WITH web AS (
+  SELECT i_item_id item_id, SUM(ws_ext_sales_price) web_rev
+  FROM web_sales, item, date_dim
+  WHERE ws_item_sk = i_item_sk AND ws_sold_date_sk = d_date_sk AND d_year = [YEAR]
+  GROUP BY i_item_id),
+st AS (
+  SELECT i_item_id item_id, SUM(ss_ext_sales_price) store_rev
+  FROM store_sales, item, date_dim
+  WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND d_year = [YEAR]
+  GROUP BY i_item_id)
+SELECT web.item_id, web_rev, store_rev, web_rev / store_rev web_share
+FROM web, st
+WHERE web.item_id = st.item_id AND store_rev > 0
+ORDER BY web_share DESC, web.item_id
+LIMIT 100`},
+
+		{ID: 65, Name: "web_buy_potential", SQL: `
+SELECT hd_buy_potential, COUNT(*) cnt, [AGG](ws_net_paid) measure
+FROM web_sales, household_demographics
+WHERE ws_bill_hdemo_sk = hd_demo_sk
+GROUP BY hd_buy_potential
+ORDER BY hd_buy_potential`},
+
+		{ID: 66, Name: "web_store_channel_union", SQL: `
+SELECT 'store' channel, d_year yr, SUM(ss_ext_sales_price) revenue
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk
+GROUP BY d_year
+UNION ALL
+SELECT 'web' channel, d_year yr, SUM(ws_ext_sales_price) revenue
+FROM web_sales, date_dim
+WHERE ws_sold_date_sk = d_date_sk
+GROUP BY d_year
+ORDER BY yr, channel`},
+
+		{ID: 67, Name: "store_sundays_near_holidays", SQL: `
+SELECT d_date_id, d_day_name, SUM(ss_net_paid) net
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk
+  AND d_holiday = 'Y' AND d_year = [YEAR]
+GROUP BY d_date_id, d_day_name
+ORDER BY net DESC
+LIMIT 25`},
+
+		{ID: 68, Name: "store_city_ticket_totals", SQL: `
+SELECT ss_ticket_number, s_city, SUM(ss_net_paid) amt, SUM(ss_net_profit) profit
+FROM store_sales, store, household_demographics
+WHERE ss_store_sk = s_store_sk
+  AND ss_hdemo_sk = hd_demo_sk
+  AND hd_dep_count = [DEPCNT]
+GROUP BY ss_ticket_number, s_city
+ORDER BY amt DESC, ss_ticket_number
+LIMIT 100`},
+
+		{ID: 69, Name: "web_sales_per_customer_state", SQL: `
+SELECT ca_state, COUNT(DISTINCT ws_bill_customer_sk) customers,
+       SUM(ws_net_paid) / COUNT(DISTINCT ws_bill_customer_sk) per_customer
+FROM web_sales, customer_address
+WHERE ws_bill_addr_sk = ca_address_sk
+GROUP BY ca_state
+HAVING COUNT(DISTINCT ws_bill_customer_sk) > 1
+ORDER BY per_customer DESC
+LIMIT 50`},
+
+		{ID: 70, Name: "store_quarterly_windows", SQL: `
+SELECT d_year, d_qoy, SUM(ss_ext_sales_price) rev,
+       SUM(SUM(ss_ext_sales_price)) OVER (PARTITION BY d_year) year_rev
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk
+GROUP BY d_year, d_qoy
+ORDER BY d_year, d_qoy`},
+
+		{ID: 71, Name: "mining_web_clickstream_extract", Type: qgen.DataMining, SQL: `
+SELECT ws_order_number, ws_item_sk, wp_type, web_name, t_hour,
+       ws_quantity, ws_sales_price, ws_net_paid, ws_net_profit
+FROM web_sales, web_page, web_site, time_dim
+WHERE ws_web_page_sk = wp_web_page_sk
+  AND ws_web_site_sk = web_site_sk
+  AND ws_sold_time_sk = t_time_sk
+ORDER BY ws_order_number, ws_item_sk
+LIMIT 10000`},
+
+		{ID: 72, Name: "web_price_band_counts", SQL: `
+SELECT COUNT(*) cnt
+FROM web_sales, item
+WHERE ws_item_sk = i_item_sk
+  AND i_current_price BETWEEN [PRICE] AND [PRICE] + 10`},
+
+		{ID: 73, Name: "store_income_band_profile", SQL: `
+SELECT ib_income_band_sk, COUNT(*) cnt
+FROM store_sales, household_demographics, income_band
+WHERE ss_hdemo_sk = hd_demo_sk
+  AND hd_income_band_sk = ib_income_band_sk
+  AND ib_income_band_sk BETWEEN [IB] AND [IB] + 3
+GROUP BY ib_income_band_sk
+ORDER BY ib_income_band_sk`},
+
+		{ID: 74, Name: "store_web_customer_overlap", SQL: `
+SELECT COUNT(DISTINCT ss_customer_sk) both_channel_customers
+FROM store_sales
+WHERE ss_customer_sk IN (SELECT ws_bill_customer_sk FROM web_sales
+                         WHERE ws_bill_customer_sk IS NOT NULL)`},
+
+		{ID: 75, Name: "store_time_of_day", SQL: `
+SELECT t_shift, d_day_name, COUNT(*) cnt, SUM(ss_net_paid) net
+FROM store_sales, time_dim, date_dim
+WHERE ss_sold_time_sk = t_time_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND t_hour BETWEEN [HOUR] AND [HOUR] + 2
+GROUP BY t_shift, d_day_name
+ORDER BY net DESC`},
+	}
+}

@@ -1,0 +1,257 @@
+package queries
+
+import "tpcds/internal/qgen"
+
+// templatesD: IDs 76-99. Hybrid queries referencing both the ad-hoc and
+// reporting parts of the schema, cross-channel customer analysis, and
+// the remaining mining/iterative slots.
+func templatesD() []qgen.Template {
+	return []qgen.Template{
+		{ID: 76, Name: "all_channel_revenue_union", SQL: `
+SELECT 'store' channel, d_moy month_num, SUM(ss_ext_sales_price) revenue
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk AND d_year = [YEAR]
+GROUP BY d_moy
+UNION ALL
+SELECT 'catalog' channel, d_moy month_num, SUM(cs_ext_sales_price) revenue
+FROM catalog_sales, date_dim
+WHERE cs_sold_date_sk = d_date_sk AND d_year = [YEAR]
+GROUP BY d_moy
+UNION ALL
+SELECT 'web' channel, d_moy month_num, SUM(ws_ext_sales_price) revenue
+FROM web_sales, date_dim
+WHERE ws_sold_date_sk = d_date_sk AND d_year = [YEAR]
+GROUP BY d_moy
+ORDER BY month_num, channel`},
+
+		{ID: 77, Name: "store_catalog_item_crossover", SQL: `
+WITH st AS (
+  SELECT i_item_id item_id, SUM(ss_quantity) store_qty
+  FROM store_sales, item WHERE ss_item_sk = i_item_sk GROUP BY i_item_id),
+cat AS (
+  SELECT i_item_id item_id, SUM(cs_quantity) catalog_qty
+  FROM catalog_sales, item WHERE cs_item_sk = i_item_sk GROUP BY i_item_id)
+SELECT st.item_id, store_qty, catalog_qty
+FROM st, cat
+WHERE st.item_id = cat.item_id
+ORDER BY store_qty + catalog_qty DESC, st.item_id
+LIMIT 100`},
+
+		{ID: 78, Name: "customer_lifetime_value_channels", SQL: `
+WITH st AS (
+  SELECT ss_customer_sk cust, SUM(ss_net_paid) paid
+  FROM store_sales WHERE ss_customer_sk IS NOT NULL GROUP BY ss_customer_sk),
+cat AS (
+  SELECT cs_bill_customer_sk cust, SUM(cs_net_paid) paid
+  FROM catalog_sales WHERE cs_bill_customer_sk IS NOT NULL GROUP BY cs_bill_customer_sk)
+SELECT c_customer_id, st.paid store_paid, cat.paid catalog_paid
+FROM st, cat, customer
+WHERE st.cust = cat.cust AND st.cust = c_customer_sk
+ORDER BY store_paid + catalog_paid DESC, c_customer_id
+LIMIT 100`},
+
+		{ID: 79, Name: "catalog_share_of_store_items", SQL: `
+SELECT i_category,
+       SUM(CASE WHEN cs_order_number IS NOT NULL THEN cs_ext_sales_price ELSE 0 END) catalog_rev
+FROM item, catalog_sales
+WHERE cs_item_sk = i_item_sk
+  AND i_item_sk IN (SELECT ss_item_sk FROM store_sales, date_dim
+                    WHERE ss_sold_date_sk = d_date_sk AND d_year = [YEAR])
+GROUP BY i_category
+ORDER BY catalog_rev DESC`},
+
+		// Iterative OLAP sequence 4: roll-up from brand to category on
+		// the catalog channel (drill-up, §4.1).
+		{ID: 80, Name: "rollup_brand", Type: qgen.IterativeOLAP, Sequence: 4, SQL: `
+SELECT i_category, i_class, i_brand, SUM(cs_net_paid) net
+FROM catalog_sales, item
+WHERE cs_item_sk = i_item_sk AND i_category = [CATEGORY]
+GROUP BY i_category, i_class, i_brand
+ORDER BY net DESC
+LIMIT 100`},
+
+		{ID: 81, Name: "rollup_class", Type: qgen.IterativeOLAP, Sequence: 4, SQL: `
+SELECT i_category, i_class, SUM(cs_net_paid) net
+FROM catalog_sales, item
+WHERE cs_item_sk = i_item_sk AND i_category = [CATEGORY]
+GROUP BY i_category, i_class
+ORDER BY net DESC`},
+
+		{ID: 82, Name: "rollup_category", Type: qgen.IterativeOLAP, Sequence: 4, SQL: `
+SELECT i_category, SUM(cs_net_paid) net
+FROM catalog_sales, item
+WHERE cs_item_sk = i_item_sk
+GROUP BY i_category
+ORDER BY net DESC`},
+
+		{ID: 83, Name: "promo_left_join_gap", SQL: `
+SELECT i_category, COUNT(*) total_lines,
+       SUM(CASE WHEN p_promo_sk IS NULL THEN 1 ELSE 0 END) unpromoted
+FROM store_sales LEFT OUTER JOIN promotion ON ss_promo_sk = p_promo_sk, item
+WHERE ss_item_sk = i_item_sk
+GROUP BY i_category
+ORDER BY i_category`},
+
+		{ID: 84, Name: "customer_addr_at_sale_vs_current", SQL: `
+SELECT cur.ca_state current_state, COUNT(*) cnt
+FROM store_sales, customer, customer_address cur, customer_address sale
+WHERE ss_customer_sk = c_customer_sk
+  AND c_current_addr_sk = cur.ca_address_sk
+  AND ss_addr_sk = sale.ca_address_sk
+  AND cur.ca_state <> sale.ca_state
+GROUP BY cur.ca_state
+ORDER BY cnt DESC, current_state
+LIMIT 50`},
+
+		{ID: 85, Name: "web_catalog_ship_mode_mix", SQL: `
+SELECT sm_type, SUM(ws_net_paid) web_net
+FROM web_sales, ship_mode
+WHERE ws_ship_mode_sk = sm_ship_mode_sk
+  AND sm_ship_mode_sk IN (SELECT cs_ship_mode_sk FROM catalog_sales
+                          WHERE cs_ship_mode_sk IS NOT NULL)
+GROUP BY sm_type
+ORDER BY web_net DESC`},
+
+		{ID: 86, Name: "store_manager_performance", SQL: `
+SELECT s_manager, SUM(ss_net_profit) profit, COUNT(DISTINCT ss_ticket_number) tickets
+FROM store_sales, store, date_dim
+WHERE ss_store_sk = s_store_sk
+  AND ss_sold_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z2]
+GROUP BY s_manager
+ORDER BY profit DESC
+LIMIT 25`},
+
+		{ID: 87, Name: "inventory_before_holidays", SQL: `
+SELECT w_warehouse_name, SUM(inv_quantity_on_hand) on_hand
+FROM inventory, warehouse, date_dim
+WHERE inv_warehouse_sk = w_warehouse_sk
+  AND inv_date_sk = d_date_sk
+  AND d_year = [YEAR] AND d_moy = [MONTH_Z3]
+GROUP BY w_warehouse_name
+ORDER BY on_hand DESC`},
+
+		{ID: 88, Name: "catalog_quarter_over_quarter", SQL: `
+WITH q AS (
+  SELECT d_year yr, d_qoy qtr, SUM(cs_ext_sales_price) rev
+  FROM catalog_sales, date_dim
+  WHERE cs_sold_date_sk = d_date_sk
+  GROUP BY d_year, d_qoy)
+SELECT a.yr, a.qtr, a.rev, b.rev prev_rev, a.rev / b.rev growth
+FROM q a, q b
+WHERE a.yr = b.yr AND a.qtr = b.qtr + 1 AND b.rev > 0
+ORDER BY a.yr, a.qtr`},
+
+		{ID: 89, Name: "store_returns_fact_link_loss", SQL: `
+SELECT s_store_name, SUM(sr_net_loss) loss, COUNT(*) returned
+FROM store_returns, store_sales, store
+WHERE sr_item_sk = ss_item_sk
+  AND sr_ticket_number = ss_ticket_number
+  AND ss_store_sk = s_store_sk
+GROUP BY s_store_name
+ORDER BY loss DESC
+LIMIT 25`},
+
+		{ID: 90, Name: "am_pm_web_ratio", SQL: `
+WITH am AS (
+  SELECT COUNT(*) am_cnt FROM web_sales, time_dim
+  WHERE ws_sold_time_sk = t_time_sk AND t_am_pm = 'AM'),
+pm AS (
+  SELECT COUNT(*) pm_cnt FROM web_sales, time_dim
+  WHERE ws_sold_time_sk = t_time_sk AND t_am_pm = 'PM')
+SELECT am_cnt, pm_cnt, am_cnt * 1.0 / pm_cnt am_pm_ratio
+FROM am, pm`},
+
+		{ID: 91, Name: "call_center_returns", SQL: `
+SELECT cc_name, cd_marital_status, cd_education_status, SUM(cr_net_loss) loss
+FROM catalog_returns, call_center, customer_demographics
+WHERE cr_call_center_sk = cc_call_center_sk
+  AND cr_returning_cdemo_sk = cd_demo_sk
+  AND cd_marital_status = [MARITAL]
+GROUP BY cc_name, cd_marital_status, cd_education_status
+ORDER BY loss DESC
+LIMIT 50`},
+
+		{ID: 92, Name: "web_vs_mean_discount", SQL: `
+SELECT SUM(ws_ext_discount_amt) excess_discount
+FROM web_sales, item
+WHERE ws_item_sk = i_item_sk
+  AND i_manufact_id = [MANAGER]
+  AND ws_ext_discount_amt > (SELECT 1.3 * AVG(ws_ext_discount_amt) FROM web_sales)`},
+
+		{ID: 93, Name: "store_returned_then_repurchased", SQL: `
+SELECT sr_customer_sk, COUNT(*) return_events, SUM(sr_return_amt) amt
+FROM store_returns
+WHERE sr_customer_sk IS NOT NULL
+  AND sr_customer_sk IN (SELECT ss_customer_sk FROM store_sales
+                         WHERE ss_customer_sk IS NOT NULL)
+GROUP BY sr_customer_sk
+ORDER BY amt DESC, sr_customer_sk
+LIMIT 100`},
+
+		{ID: 94, Name: "web_ship_window_unshipped", SQL: `
+SELECT web_name, COUNT(*) late_orders
+FROM web_sales, web_site, date_dim
+WHERE ws_web_site_sk = web_site_sk
+  AND ws_ship_date_sk = d_date_sk
+  AND ws_ship_date_sk - ws_sold_date_sk > 45
+  AND d_year = [YEAR]
+GROUP BY web_name
+ORDER BY late_orders DESC`},
+
+		{ID: 95, Name: "mining_full_basket_extract", Type: qgen.DataMining, SQL: `
+SELECT ss_ticket_number, ss_item_sk, i_category, i_brand,
+       ss_quantity, ss_sales_price, ss_coupon_amt, s_store_name, s_state
+FROM store_sales, item, store
+WHERE ss_item_sk = i_item_sk
+  AND ss_store_sk = s_store_sk
+ORDER BY ss_ticket_number, ss_item_sk
+LIMIT 10000`},
+
+		{ID: 96, Name: "hourly_store_traffic", SQL: `
+SELECT t_hour, COUNT(*) cnt
+FROM store_sales, household_demographics, time_dim
+WHERE ss_sold_time_sk = t_time_sk
+  AND ss_hdemo_sk = hd_demo_sk
+  AND hd_dep_count = [DEPCNT]
+GROUP BY t_hour
+ORDER BY t_hour`},
+
+		{ID: 97, Name: "channel_exclusive_items", SQL: `
+WITH st AS (SELECT DISTINCT ss_item_sk item_sk FROM store_sales),
+cat AS (SELECT DISTINCT cs_item_sk item_sk FROM catalog_sales)
+SELECT COUNT(*) store_only_items
+FROM st
+WHERE item_sk NOT IN (SELECT cs_item_sk FROM catalog_sales)`},
+
+		{ID: 98, Name: "store_revenue_ratio_window", SQL: `
+SELECT i_item_desc, i_category, i_class, i_current_price,
+       SUM(ss_ext_sales_price) AS itemrevenue,
+       SUM(ss_ext_sales_price) * 100 /
+         SUM(SUM(ss_ext_sales_price)) OVER (PARTITION BY i_class) AS revenueratio
+FROM store_sales, item, date_dim
+WHERE ss_item_sk = i_item_sk
+  AND i_category IN ([CATEGORY3])
+  AND ss_sold_date_sk = d_date_sk
+  AND d_date BETWEEN [DATE_Z2] AND CAST([DATE_Z2] AS DATE) + [DAYS]
+GROUP BY i_item_id, i_item_desc, i_category, i_class, i_current_price
+ORDER BY i_category, i_class, i_item_id, i_item_desc, revenueratio
+LIMIT 100`},
+
+		{ID: 99, Name: "catalog_ship_latency_matrix", SQL: `
+SELECT SUBSTR(w_warehouse_name, 1, 10) warehouse, sm_type, cc_name,
+       SUM(CASE WHEN cs_ship_date_sk - cs_sold_date_sk <= 30 THEN 1 ELSE 0 END) d30,
+       SUM(CASE WHEN cs_ship_date_sk - cs_sold_date_sk > 30 AND
+                     cs_ship_date_sk - cs_sold_date_sk <= 60 THEN 1 ELSE 0 END) d60,
+       SUM(CASE WHEN cs_ship_date_sk - cs_sold_date_sk > 60 THEN 1 ELSE 0 END) over60
+FROM catalog_sales, warehouse, ship_mode, call_center, date_dim
+WHERE cs_warehouse_sk = w_warehouse_sk
+  AND cs_ship_mode_sk = sm_ship_mode_sk
+  AND cs_call_center_sk = cc_call_center_sk
+  AND cs_ship_date_sk = d_date_sk
+  AND d_year = [YEAR]
+GROUP BY SUBSTR(w_warehouse_name, 1, 10), sm_type, cc_name
+ORDER BY warehouse, sm_type, cc_name
+LIMIT 100`},
+	}
+}

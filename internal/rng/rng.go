@@ -1,0 +1,209 @@
+// Package rng implements the deterministic random-number substrate of the
+// TPC-DS data and query generators.
+//
+// The paper ("The Making of TPC-DS", VLDB 2006, §3) requires that the data
+// generator and the query generator be tightly coupled and that generation
+// be repeatable: every run of the benchmark must produce the identical data
+// set and comparable query substitutions. The original dsdgen achieves this
+// (following the MUDD generator, Stephens & Poess, WOSP 2004) by assigning an
+// independent, seekable random stream to every (table, column) pair so that
+// tables can be generated in parallel chunks without consuming values from
+// one another's sequences.
+//
+// This package reproduces that design: Stream is a counter-based generator
+// (SplitMix64 core) that can Seek to an absolute row position in O(1),
+// making chunked parallel generation bit-identical to sequential generation.
+package rng
+
+import "math"
+
+// Stream is a deterministic, seekable pseudo-random stream. The zero value
+// is a valid stream seeded with 0 at position 0, but streams are normally
+// created with NewStream so that every (table, column) pair draws from an
+// independent sequence.
+//
+// Stream is not safe for concurrent use; clone one per goroutine with At.
+type Stream struct {
+	seed uint64 // stream identity (never changes)
+	pos  uint64 // next value index
+}
+
+// NewStream returns a stream whose sequence is determined solely by seed.
+func NewStream(seed uint64) *Stream {
+	return &Stream{seed: seed}
+}
+
+// ColumnSeed derives a stable seed for a (table, column) pair from the
+// global benchmark seed. Different pairs get well-separated sequences.
+func ColumnSeed(global uint64, table, column string) uint64 {
+	h := global
+	h = mix64(h ^ hashString(table))
+	h = mix64(h ^ hashString(column))
+	return h
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a, 64 bit.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche function.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seek positions the stream so that the next Uint64 returns value number
+// pos of the sequence. Seeking is O(1); this is what allows chunked,
+// parallel table generation to be bit-identical to sequential generation.
+func (s *Stream) Seek(pos uint64) { s.pos = pos }
+
+// Pos reports the index of the next value to be produced.
+func (s *Stream) Pos() uint64 { return s.pos }
+
+// At returns a new independent Stream with the same seed positioned at pos.
+func (s *Stream) At(pos uint64) *Stream { return &Stream{seed: s.seed, pos: pos} }
+
+// Uint64 returns the next value of the sequence.
+func (s *Stream) Uint64() uint64 {
+	v := mix64(s.seed + 0x632be59bd9b4e019*(s.pos+1))
+	s.pos++
+	return v
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi] inclusive. It panics if hi < lo.
+func (s *Stream) Range(lo, hi int64) int64 {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + s.Int63n(hi-lo+1)
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform. One uniform pair is
+// consumed per call so the stream position advances deterministically.
+func (s *Stream) Norm(mean, stddev float64) float64 {
+	// Guard against log(0).
+	u1 := s.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// GaussianIndex returns an index in [0, n) drawn from a truncated normal
+// centered on the middle of the range. TPC-DS uses Gaussian word selection
+// for many text columns (paper §3.2: "word selections with a Gaussian
+// distribution").
+func (s *Stream) GaussianIndex(n int) int {
+	if n <= 0 {
+		panic("rng: GaussianIndex with non-positive n")
+	}
+	mean := float64(n-1) / 2
+	stddev := float64(n) / 6 // ±3σ covers the range
+	for {
+		v := s.Norm(mean, stddev)
+		i := int(math.Round(v))
+		if i >= 0 && i < n {
+			return i
+		}
+	}
+}
+
+// Exponential returns an exponentially distributed value with the given
+// rate parameter lambda.
+func (s *Stream) Exponential(lambda float64) float64 {
+	u := s.Float64()
+	if u < 1e-300 {
+		u = 1e-300
+	}
+	return -math.Log(u) / lambda
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's algorithm (suitable for the small means used by the generator,
+// e.g. items per shopping cart).
+func (s *Stream) Poisson(mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm fills out with a deterministic permutation of [0, len(out)) using
+// the Fisher-Yates shuffle. Used for per-stream query orderings (§5.2).
+func (s *Stream) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// PickWeighted returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. It panics if the total weight is not
+// positive. This is the core primitive behind the comparability-zone
+// distributions of §3.2.
+func (s *Stream) PickWeighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: non-positive total weight")
+	}
+	target := s.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

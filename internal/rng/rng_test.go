@@ -1,0 +1,305 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeekMatchesSequential(t *testing.T) {
+	seq := NewStream(7)
+	var want []uint64
+	for i := 0; i < 100; i++ {
+		want = append(want, seq.Uint64())
+	}
+	for i := 0; i < 100; i++ {
+		s := NewStream(7)
+		s.Seek(uint64(i))
+		if got := s.Uint64(); got != want[i] {
+			t.Fatalf("Seek(%d) produced %d, sequential produced %d", i, got, want[i])
+		}
+	}
+}
+
+func TestChunkedEqualsSequential(t *testing.T) {
+	// The MUDD property: generating [0,n) in chunks equals generating it
+	// sequentially. This is what allows parallel table generation.
+	const n = 1000
+	seq := NewStream(99)
+	var want []uint64
+	for i := 0; i < n; i++ {
+		want = append(want, seq.Uint64())
+	}
+	var got []uint64
+	for start := 0; start < n; start += 137 {
+		end := start + 137
+		if end > n {
+			end = n
+		}
+		chunk := NewStream(99).At(uint64(start))
+		for i := start; i < end; i++ {
+			got = append(got, chunk.Uint64())
+		}
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("chunked generation diverged at %d", i)
+		}
+	}
+}
+
+func TestColumnSeedsIndependent(t *testing.T) {
+	seen := map[uint64]string{}
+	tables := []string{"store_sales", "store_returns", "item", "customer"}
+	cols := []string{"a", "b", "c", "quantity", "price"}
+	for _, tb := range tables {
+		for _, c := range cols {
+			s := ColumnSeed(1, tb, c)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s.%s and %s", tb, c, prev)
+			}
+			seen[s] = tb + "." + c
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewStream(4)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) out of range: %d", v)
+		}
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	s := NewStream(5)
+	seenLo, seenHi := false, false
+	for i := 0; i < 100000; i++ {
+		v := s.Range(10, 13)
+		if v < 10 || v > 13 {
+			t.Fatalf("Range(10,13) out of range: %d", v)
+		}
+		if v == 10 {
+			seenLo = true
+		}
+		if v == 13 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("Range never produced an endpoint")
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewStream(1).Intn(0)
+}
+
+func TestRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(5,4) did not panic")
+		}
+	}()
+	NewStream(1).Range(5, 4)
+}
+
+func TestNormMoments(t *testing.T) {
+	// Figure 3 of the paper uses a Normal with mu=200 sigma=50; verify the
+	// sample moments of our generator are close.
+	s := NewStream(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm(200, 50)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-200) > 1 {
+		t.Fatalf("sample mean %.2f too far from 200", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-50) > 1 {
+		t.Fatalf("sample stddev %.2f too far from 50", math.Sqrt(variance))
+	}
+}
+
+func TestGaussianIndexBounds(t *testing.T) {
+	s := NewStream(8)
+	counts := make([]int, 11)
+	for i := 0; i < 50000; i++ {
+		counts[s.GaussianIndex(11)]++
+	}
+	// Middle bucket should be the most common.
+	maxIdx := 0
+	for i, c := range counts {
+		if c > counts[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx < 4 || maxIdx > 6 {
+		t.Fatalf("Gaussian mode at %d, want near center of [0,11)", maxIdx)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := NewStream(9)
+	const n = 100000
+	var sum int
+	for i := 0; i < n; i++ {
+		sum += s.Poisson(10.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-10.5) > 0.1 {
+		t.Fatalf("Poisson sample mean %.3f, want ~10.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewStream(10)
+	out := make([]int, 99)
+	s.Perm(out)
+	seen := make([]bool, 99)
+	for _, v := range out {
+		if v < 0 || v >= 99 || seen[v] {
+			t.Fatalf("Perm output invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermDiffersAcrossStreams(t *testing.T) {
+	a := make([]int, 99)
+	b := make([]int, 99)
+	NewStream(1).Perm(a)
+	NewStream(2).Perm(b)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	s := NewStream(11)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.PickWeighted(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestPickWeightedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PickWeighted with zero total did not panic")
+		}
+	}()
+	NewStream(1).PickWeighted([]float64{0, 0})
+}
+
+// Property: Seek(p) then k draws equals p+k sequential draws, for all p, k.
+func TestQuickSeekProperty(t *testing.T) {
+	f := func(seed uint64, p uint16, k uint8) bool {
+		seq := NewStream(seed)
+		seq.Seek(uint64(p) + uint64(k))
+		want := seq.Uint64()
+
+		s := NewStream(seed)
+		s.Seek(uint64(p))
+		for i := 0; i < int(k); i++ {
+			s.Uint64()
+		}
+		return s.Uint64() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: different seeds almost never produce the same first value.
+func TestQuickSeedSeparation(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return NewStream(a).Uint64() != NewStream(b).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// Coarse chi-square goodness-of-fit over 64 buckets.
+	s := NewStream(12)
+	const n = 64000
+	counts := make([]int, 64)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(64)]++
+	}
+	expected := float64(n) / 64
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 63 dof; 99.9th percentile ~ 103. Anything below is plausible.
+	if chi2 > 110 {
+		t.Fatalf("chi-square %.1f indicates non-uniform output", chi2)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := NewStream(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	s := NewStream(1)
+	for i := 0; i < b.N; i++ {
+		s.Norm(200, 50)
+	}
+}

@@ -1,0 +1,23 @@
+package scaling_test
+
+import (
+	"fmt"
+
+	"tpcds/internal/scaling"
+)
+
+// Fact tables scale linearly; dimensions follow the paper's sub-linear
+// anchors (Table 2) so cardinalities stay realistic at every scale.
+func ExampleRows() {
+	for _, sf := range []float64{100, 1000, 100000} {
+		fmt.Printf("SF %-6v store_sales=%-12d customer=%-9d store=%d\n",
+			sf,
+			scaling.Rows("store_sales", sf),
+			scaling.Rows("customer", sf),
+			scaling.Rows("store", sf))
+	}
+	// Output:
+	// SF 100    store_sales=288000000    customer=2000000   store=200
+	// SF 1000   store_sales=2880000000   customer=8000000   store=500
+	// SF 100000 store_sales=288000000000 customer=100000000 store=1500
+}

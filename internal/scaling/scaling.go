@@ -1,0 +1,193 @@
+// Package scaling implements the TPC-DS data-set scaling model (paper
+// §3.1, Table 2): fact tables scale linearly with the scale factor while
+// dimensions scale sub-linearly, avoiding the unrealistic cardinalities
+// the paper criticizes in TPC-H ("20 billion distinct parts to 15 billion
+// customers").
+//
+// The model is anchored on the rowcounts the paper publishes for scale
+// factors 100, 1000, 10000 and 100000 (Table 2) and extends to the other
+// official scale factors (300, 3000, 30000) by log-linear interpolation,
+// the natural model for sub-linear dimension growth. Fractional scale
+// factors below 100 are supported for development and benchmarking runs;
+// they exercise identical code paths on laptop-sized data but are not
+// publishable (see metric.ValidateScaleFactor).
+package scaling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OfficialScaleFactors lists the discrete scale factors at which TPC-DS
+// results may be published (§3: "Benchmark publications using other scale
+// factors are not valid"). Each corresponds to the raw data size in GB.
+var OfficialScaleFactors = []int{100, 300, 1000, 3000, 10000, 30000, 100000}
+
+// IsOfficial reports whether sf is a publishable scale factor.
+func IsOfficial(sf float64) bool {
+	for _, o := range OfficialScaleFactors {
+		if sf == float64(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// anchor is a (scale factor, rowcount) calibration point.
+type anchor struct {
+	sf   float64
+	rows int64
+}
+
+// tableModel describes how one table's cardinality responds to scale.
+type tableModel struct {
+	// linearPerSF, if > 0, makes rows = linearPerSF * SF (fact tables).
+	linearPerSF float64
+	// anchors, if set, define a piecewise log-log interpolation
+	// (sub-linear dimensions).
+	anchors []anchor
+	// fixed, if > 0, is a scale-independent cardinality.
+	fixed int64
+	// min is a floor applied after evaluation so tiny development scale
+	// factors still produce usable dimension tables.
+	min int64
+}
+
+// Table 2 of the paper publishes: store_sales 288M/2.9B/30B/297B,
+// store_returns 14M/147M/1.5B/15B, store 200/500/750/1500,
+// customer 2M/8M/20M/100M, item 200K/300K/400K/500K at SF
+// 100/1000/10000/100000. Those anchors appear verbatim below; the
+// remaining tables follow the same regimes with coefficients chosen to
+// keep per-channel proportions (catalog ~ 1/2 of store volume, web ~ 1/4,
+// returns ~ 5-10% of sales — consistent with the 100GB example in §3.1).
+var models = map[string]tableModel{
+	// Fact tables: linear in SF.
+	"store_sales":     {linearPerSF: 2_880_000, min: 100},
+	"store_returns":   {linearPerSF: 144_000, min: 10},
+	"catalog_sales":   {linearPerSF: 1_440_000, min: 50},
+	"catalog_returns": {linearPerSF: 144_000, min: 10},
+	"web_sales":       {linearPerSF: 720_000, min: 25},
+	"web_returns":     {linearPerSF: 72_000, min: 5},
+	"inventory":       {linearPerSF: 3_990_000, min: 200},
+
+	// Sub-linear dimensions, anchored on Table 2 where published.
+	"store": {anchors: []anchor{{100, 200}, {1000, 500}, {10000, 750}, {100000, 1500}}, min: 4},
+	"customer": {anchors: []anchor{
+		{100, 2_000_000}, {1000, 8_000_000}, {10000, 20_000_000}, {100000, 100_000_000}}, min: 100},
+	"item": {anchors: []anchor{
+		{100, 200_000}, {1000, 300_000}, {10000, 400_000}, {100000, 500_000}}, min: 50},
+	"customer_address": {anchors: []anchor{
+		{100, 1_000_000}, {1000, 4_000_000}, {10000, 10_000_000}, {100000, 50_000_000}}, min: 50},
+	"call_center": {anchors: []anchor{{100, 24}, {1000, 42}, {10000, 54}, {100000, 60}}, min: 2},
+	"catalog_page": {anchors: []anchor{
+		{100, 20_400}, {1000, 30_000}, {10000, 40_000}, {100000, 50_000}}, min: 20},
+	"web_site":  {anchors: []anchor{{100, 24}, {1000, 54}, {10000, 78}, {100000, 96}}, min: 2},
+	"web_page":  {anchors: []anchor{{100, 2040}, {1000, 3000}, {10000, 4002}, {100000, 5004}}, min: 4},
+	"warehouse": {anchors: []anchor{{100, 15}, {1000, 20}, {10000, 25}, {100000, 30}}, min: 2},
+	"promotion": {anchors: []anchor{{100, 1000}, {1000, 1500}, {10000, 2000}, {100000, 2500}}, min: 5},
+
+	// Static cardinalities (domain-scaled or calendar-defined).
+	"customer_demographics":  {fixed: 1_920_800},
+	"household_demographics": {fixed: 7200},
+	"income_band":            {fixed: 20},
+	"reason":                 {anchors: []anchor{{100, 55}, {1000, 65}, {10000, 70}, {100000, 75}}, min: 3},
+	"ship_mode":              {fixed: 20},
+	"time_dim":               {fixed: 86_400},
+	"date_dim":               {fixed: 73_049},
+}
+
+// Rows returns the cardinality of the named table at scale factor sf.
+// It panics on unknown table names (a programming error: the schema
+// catalog and the scaling model must stay in sync; TestModelCoversSchema
+// enforces this).
+func Rows(table string, sf float64) int64 {
+	m, ok := models[table]
+	if !ok {
+		panic(fmt.Sprintf("scaling: no model for table %q", table))
+	}
+	if sf <= 0 {
+		panic(fmt.Sprintf("scaling: non-positive scale factor %v", sf))
+	}
+	var rows int64
+	switch {
+	case m.fixed > 0:
+		rows = m.fixed
+	case m.linearPerSF > 0:
+		rows = int64(math.Round(m.linearPerSF * sf))
+	default:
+		rows = interpolate(m.anchors, sf)
+	}
+	if rows < m.min {
+		rows = m.min
+	}
+	return rows
+}
+
+// interpolate evaluates a piecewise log-log model through the anchors:
+// between anchors rowcount follows rows = a * sf^b, which is linear in
+// log-log space. Outside the anchored range the nearest segment's
+// exponent is extended.
+func interpolate(anchors []anchor, sf float64) int64 {
+	if len(anchors) == 0 {
+		panic("scaling: empty anchors")
+	}
+	if len(anchors) == 1 {
+		return anchors[0].rows
+	}
+	// Below the first anchor (development scale factors) dimensions
+	// follow square-root scaling from the smallest official anchor. The
+	// published log-log exponents are very flat for tables like item
+	// (x2.5 over x1000 SF); extending them downward would leave a tiny
+	// development database with tens of thousands of items and only a
+	// few thousand fact rows, inverting the fact/dimension proportions
+	// the workload depends on.
+	if first := anchors[0]; sf < first.sf {
+		rows := float64(first.rows) * math.Sqrt(sf/first.sf)
+		return int64(math.Round(rows))
+	}
+	// Find the segment. sort.Search returns the first anchor with
+	// anchor.sf >= sf.
+	i := sort.Search(len(anchors), func(i int) bool { return anchors[i].sf >= sf })
+	var lo, hi anchor
+	switch {
+	case i == 0:
+		lo, hi = anchors[0], anchors[1]
+	case i == len(anchors):
+		lo, hi = anchors[len(anchors)-2], anchors[len(anchors)-1]
+	default:
+		lo, hi = anchors[i-1], anchors[i]
+	}
+	b := math.Log(float64(hi.rows)/float64(lo.rows)) / math.Log(hi.sf/lo.sf)
+	rows := float64(lo.rows) * math.Pow(sf/lo.sf, b)
+	return int64(math.Round(rows))
+}
+
+// TableNames returns the names covered by the model in sorted order.
+func TableNames() []string {
+	names := make([]string, 0, len(models))
+	for n := range models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsLinear reports whether the table scales linearly (fact tables).
+func IsLinear(table string) bool {
+	m, ok := models[table]
+	return ok && m.linearPerSF > 0
+}
+
+// RawDataBytes estimates the total flat-file size in bytes at sf, given
+// per-table average row widths. The scale factor is defined as the raw
+// data size in GB, so this should come out near sf GB; a unit test checks
+// the model's self-consistency within a factor of ~2 (the paper's widths
+// are themselves approximate).
+func RawDataBytes(sf float64, avgRowBytes map[string]float64) float64 {
+	var total float64
+	for name, w := range avgRowBytes {
+		total += float64(Rows(name, sf)) * w
+	}
+	return total
+}

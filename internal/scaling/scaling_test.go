@@ -1,0 +1,239 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpcds/internal/schema"
+)
+
+// TestTable2RowcountsMatchPaper pins the exact rowcounts the paper
+// publishes in Table 2 at scale factors 100, 1000, 10000 and 100000.
+func TestTable2RowcountsMatchPaper(t *testing.T) {
+	cases := []struct {
+		table string
+		sf    float64
+		want  int64
+	}{
+		{"store_sales", 100, 288_000_000},
+		{"store_sales", 1000, 2_880_000_000},
+		{"store_sales", 10000, 28_800_000_000},
+		{"store_sales", 100000, 288_000_000_000},
+		{"store_returns", 100, 14_400_000},
+		{"store_returns", 1000, 144_000_000},
+		{"store", 100, 200},
+		{"store", 1000, 500},
+		{"store", 10000, 750},
+		{"store", 100000, 1500},
+		{"customer", 100, 2_000_000},
+		{"customer", 1000, 8_000_000},
+		{"customer", 10000, 20_000_000},
+		{"customer", 100000, 100_000_000},
+		{"item", 100, 200_000},
+		{"item", 1000, 300_000},
+		{"item", 10000, 400_000},
+		{"item", 100000, 500_000},
+	}
+	for _, c := range cases {
+		got := Rows(c.table, c.sf)
+		// The paper rounds store_sales to 288M/2.9B/30B/297B; our linear
+		// model must land within 5% of the published values.
+		diff := math.Abs(float64(got-c.want)) / float64(c.want)
+		if diff > 0.05 {
+			t.Errorf("Rows(%s, %v) = %d, paper value %d (%.1f%% off)",
+				c.table, c.sf, got, c.want, diff*100)
+		}
+	}
+}
+
+// TestPaper100GBNarrative checks the §3.1 prose: "At scale factor 100
+// ... 58 Million items are sold per year by 2 Million customers in 200
+// stores" — store_sales covers a 5-year history, so ~288M rows / 5 years
+// ≈ 58M item-sales per year.
+func TestPaper100GBNarrative(t *testing.T) {
+	perYear := float64(Rows("store_sales", 100)) / 5
+	if perYear < 50e6 || perYear > 65e6 {
+		t.Errorf("items sold per year at SF100 = %.0fM, paper says ~58M", perYear/1e6)
+	}
+	if Rows("customer", 100) != 2_000_000 {
+		t.Errorf("customers at SF100 = %d, paper says 2M", Rows("customer", 100))
+	}
+	if Rows("store", 100) != 200 {
+		t.Errorf("stores at SF100 = %d, paper says 200", Rows("store", 100))
+	}
+}
+
+// TestModelCoversSchema ensures every schema table has a scaling model
+// and vice versa.
+func TestModelCoversSchema(t *testing.T) {
+	inSchema := map[string]bool{}
+	for _, tb := range schema.Tables() {
+		inSchema[tb.Name] = true
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Errorf("no scaling model for schema table %s", tb.Name)
+				}
+			}()
+			Rows(tb.Name, 100)
+		}()
+	}
+	for _, name := range TableNames() {
+		if !inSchema[name] {
+			t.Errorf("scaling model covers unknown table %s", name)
+		}
+	}
+}
+
+// TestFactsLinearDimsSublinear verifies the paper's core scaling claim:
+// facts grow 10x per 10x SF; dimensions grow strictly slower.
+func TestFactsLinearDimsSublinear(t *testing.T) {
+	for _, tb := range schema.Tables() {
+		lo := Rows(tb.Name, 100)
+		hi := Rows(tb.Name, 1000)
+		ratio := float64(hi) / float64(lo)
+		if tb.Kind == schema.Fact {
+			if math.Abs(ratio-10) > 0.01 {
+				t.Errorf("fact %s grows %.2fx per 10x SF, want 10x", tb.Name, ratio)
+			}
+			if !IsLinear(tb.Name) {
+				t.Errorf("fact %s not marked linear", tb.Name)
+			}
+		} else {
+			if ratio > 5.01 {
+				t.Errorf("dimension %s grows %.2fx per 10x SF, want sub-linear", tb.Name, ratio)
+			}
+			if IsLinear(tb.Name) {
+				t.Errorf("dimension %s marked linear", tb.Name)
+			}
+		}
+	}
+}
+
+// TestRealisticAtHugeScale reproduces the paper's critique of TPC-H: at
+// the largest scale factor TPC-DS keeps customers and items realistic
+// (100M customers, 500K items — not 15B customers and 20B parts).
+func TestRealisticAtHugeScale(t *testing.T) {
+	if c := Rows("customer", 100000); c > 200_000_000 {
+		t.Errorf("customers at SF100000 = %d: unrealistically large", c)
+	}
+	if i := Rows("item", 100000); i > 1_000_000 {
+		t.Errorf("items at SF100000 = %d: unrealistically large", i)
+	}
+}
+
+func TestOfficialScaleFactors(t *testing.T) {
+	want := []int{100, 300, 1000, 3000, 10000, 30000, 100000}
+	if len(OfficialScaleFactors) != len(want) {
+		t.Fatalf("official SF list length %d, want %d", len(OfficialScaleFactors), len(want))
+	}
+	for i, sf := range want {
+		if OfficialScaleFactors[i] != sf {
+			t.Errorf("official SF[%d] = %d, want %d", i, OfficialScaleFactors[i], sf)
+		}
+		if !IsOfficial(float64(sf)) {
+			t.Errorf("IsOfficial(%d) = false", sf)
+		}
+	}
+	for _, sf := range []float64{0.01, 1, 50, 200, 99999} {
+		if IsOfficial(sf) {
+			t.Errorf("IsOfficial(%v) = true, want false", sf)
+		}
+	}
+}
+
+// TestInterpolatedScaleFactors checks the unpublished official SFs (300,
+// 3000, 30000) fall strictly between their published neighbours.
+func TestInterpolatedScaleFactors(t *testing.T) {
+	for _, table := range []string{"store", "customer", "item", "call_center"} {
+		for _, trio := range [][3]float64{{100, 300, 1000}, {1000, 3000, 10000}, {10000, 30000, 100000}} {
+			lo, mid, hi := Rows(table, trio[0]), Rows(table, trio[1]), Rows(table, trio[2])
+			if !(lo < mid && mid < hi) {
+				t.Errorf("%s: Rows not monotone across SF %v: %d, %d, %d", table, trio, lo, mid, hi)
+			}
+		}
+	}
+}
+
+// TestTinyScaleFactorsUsable verifies development scale factors produce
+// non-degenerate tables.
+func TestTinyScaleFactorsUsable(t *testing.T) {
+	for _, tb := range schema.Tables() {
+		if n := Rows(tb.Name, 0.01); n < 1 {
+			t.Errorf("%s has %d rows at SF 0.01", tb.Name, n)
+		}
+	}
+	// Dimension floors keep joins meaningful at tiny SF.
+	if Rows("store", 0.01) < 2 {
+		t.Error("store too small at tiny SF for multi-store queries")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	// Calendar and demographic cross-product tables are scale-invariant.
+	for _, name := range []string{"date_dim", "time_dim", "customer_demographics", "income_band", "ship_mode"} {
+		if Rows(name, 100) != Rows(name, 100000) {
+			t.Errorf("%s should be scale-invariant", name)
+		}
+	}
+	if Rows("date_dim", 100) != 73_049 {
+		t.Errorf("date_dim = %d rows, want 73049 (calendar 1900-2100)", Rows("date_dim", 100))
+	}
+	if Rows("time_dim", 100) != 86_400 {
+		t.Errorf("time_dim = %d rows, want 86400 (seconds per day)", Rows("time_dim", 100))
+	}
+}
+
+// Property: Rows is monotone non-decreasing in SF for every table.
+func TestQuickMonotone(t *testing.T) {
+	tables := TableNames()
+	f := func(a, b uint16, ti uint8) bool {
+		sfA := 0.01 + float64(a)
+		sfB := 0.01 + float64(b)
+		if sfA > sfB {
+			sfA, sfB = sfB, sfA
+		}
+		name := tables[int(ti)%len(tables)]
+		return Rows(name, sfA) <= Rows(name, sfB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRawDataSizeSelfConsistent: the scale factor is defined as raw data
+// size in GB; with our estimated row widths the model should land within
+// a factor of ~2 of that definition at the anchored SFs.
+func TestRawDataSizeSelfConsistent(t *testing.T) {
+	widths := map[string]float64{}
+	for _, tb := range schema.Tables() {
+		widths[tb.Name] = tb.AvgRowBytes()
+	}
+	for _, sf := range []float64{100, 1000} {
+		got := RawDataBytes(sf, widths)
+		want := sf * 1e9
+		if got < want/2 || got > want*2 {
+			t.Errorf("raw data at SF %v = %.1f GB, want within 2x of %.0f GB",
+				sf, got/1e9, sf)
+		}
+	}
+}
+
+func TestRowsPanicsOnUnknownTable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rows on unknown table did not panic")
+		}
+	}()
+	Rows("no_such_table", 100)
+}
+
+func TestRowsPanicsOnBadSF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rows with sf=0 did not panic")
+		}
+	}()
+	Rows("store_sales", 0)
+}

@@ -1,0 +1,521 @@
+package schema
+
+// Compact column constructors used by the catalog below.
+func id(name string) Column         { return Column{Name: name, Type: Identifier} }
+func idN(name string) Column        { return Column{Name: name, Type: Identifier, Nullable: true} }
+func in(name string) Column         { return Column{Name: name, Type: Integer, Nullable: true} }
+func dec(name string) Column        { return Column{Name: name, Type: Decimal, Nullable: true} }
+func ch(name string, n int) Column  { return Column{Name: name, Type: Char, Len: n, Nullable: true} }
+func vc(name string, n int) Column  { return Column{Name: name, Type: Varchar, Len: n, Nullable: true} }
+func dt(name string) Column         { return Column{Name: name, Type: Date, Nullable: true} }
+func fk(col, ref string) ForeignKey { return ForeignKey{Column: col, Ref: ref} }
+
+// Tables returns the complete snowstorm schema catalog: 24 tables with
+// 104 declared foreign keys (Table 1 of the paper). The returned slice is
+// freshly allocated; callers may reorder it.
+func Tables() []*Table {
+	return []*Table{
+		storeSales(), storeReturns(),
+		catalogSales(), catalogReturns(),
+		webSales(), webReturns(),
+		inventory(),
+		store(), callCenter(), catalogPage(), webSite(), webPage(),
+		warehouse(), customer(), customerAddress(), customerDemographics(),
+		householdDemographics(), incomeBand(), item(), promotion(),
+		reason(), shipMode(), timeDim(), dateDim(),
+	}
+}
+
+// ByName returns a lookup map over Tables().
+func ByName() map[string]*Table {
+	m := make(map[string]*Table)
+	for _, t := range Tables() {
+		m[t.Name] = t
+	}
+	return m
+}
+
+// FactLinks returns the composite fact-to-fact relationships of §2.2:
+// each returns fact links back to its sales fact through (item, order)
+// column pairs, enabling large fact-to-fact joins without self-joins.
+func FactLinks() []FactLink {
+	return []FactLink{
+		{From: "store_returns", To: "store_sales", Columns: []string{"sr_item_sk", "sr_ticket_number"}},
+		{From: "catalog_returns", To: "catalog_sales", Columns: []string{"cr_item_sk", "cr_order_number"}},
+		{From: "web_returns", To: "web_sales", Columns: []string{"wr_item_sk", "wr_order_number"}},
+	}
+}
+
+func storeSales() *Table {
+	return &Table{
+		Name: "store_sales", Kind: Fact, Channel: Store,
+		Columns: []Column{
+			idN("ss_sold_date_sk"), idN("ss_sold_time_sk"), id("ss_item_sk"),
+			idN("ss_customer_sk"), idN("ss_cdemo_sk"), idN("ss_hdemo_sk"),
+			idN("ss_addr_sk"), idN("ss_store_sk"), idN("ss_promo_sk"),
+			id("ss_ticket_number"), in("ss_quantity"),
+			dec("ss_wholesale_cost"), dec("ss_list_price"), dec("ss_sales_price"),
+			dec("ss_ext_discount_amt"), dec("ss_ext_sales_price"),
+			dec("ss_ext_wholesale_cost"), dec("ss_ext_list_price"), dec("ss_ext_tax"),
+			dec("ss_coupon_amt"), dec("ss_net_paid"), dec("ss_net_paid_inc_tax"),
+			dec("ss_net_profit"),
+		},
+		PrimaryKey: []string{"ss_item_sk", "ss_ticket_number"},
+		ForeignKeys: []ForeignKey{
+			fk("ss_sold_date_sk", "date_dim"), fk("ss_sold_time_sk", "time_dim"),
+			fk("ss_item_sk", "item"), fk("ss_customer_sk", "customer"),
+			fk("ss_cdemo_sk", "customer_demographics"), fk("ss_hdemo_sk", "household_demographics"),
+			fk("ss_addr_sk", "customer_address"), fk("ss_store_sk", "store"),
+			fk("ss_promo_sk", "promotion"),
+		},
+	}
+}
+
+func storeReturns() *Table {
+	return &Table{
+		Name: "store_returns", Kind: Fact, Channel: Store,
+		Columns: []Column{
+			idN("sr_returned_date_sk"), idN("sr_return_time_sk"), id("sr_item_sk"),
+			idN("sr_customer_sk"), idN("sr_cdemo_sk"), idN("sr_hdemo_sk"),
+			idN("sr_addr_sk"), idN("sr_store_sk"), idN("sr_reason_sk"),
+			id("sr_ticket_number"), in("sr_return_quantity"),
+			dec("sr_return_amt"), dec("sr_return_tax"), dec("sr_return_amt_inc_tax"),
+			dec("sr_fee"), dec("sr_return_ship_cost"), dec("sr_refunded_cash"),
+			dec("sr_reversed_charge"), dec("sr_store_credit"), dec("sr_net_loss"),
+		},
+		PrimaryKey: []string{"sr_item_sk", "sr_ticket_number"},
+		ForeignKeys: []ForeignKey{
+			fk("sr_returned_date_sk", "date_dim"), fk("sr_return_time_sk", "time_dim"),
+			fk("sr_item_sk", "item"), fk("sr_customer_sk", "customer"),
+			fk("sr_cdemo_sk", "customer_demographics"), fk("sr_hdemo_sk", "household_demographics"),
+			fk("sr_addr_sk", "customer_address"), fk("sr_store_sk", "store"),
+			fk("sr_reason_sk", "reason"),
+		},
+	}
+}
+
+func catalogSales() *Table {
+	return &Table{
+		Name: "catalog_sales", Kind: Fact, Channel: Catalog,
+		Columns: []Column{
+			idN("cs_sold_date_sk"), idN("cs_sold_time_sk"), idN("cs_ship_date_sk"),
+			idN("cs_bill_customer_sk"), idN("cs_bill_cdemo_sk"), idN("cs_bill_hdemo_sk"),
+			idN("cs_bill_addr_sk"), idN("cs_ship_customer_sk"), idN("cs_ship_cdemo_sk"),
+			idN("cs_ship_hdemo_sk"), idN("cs_ship_addr_sk"), idN("cs_call_center_sk"),
+			idN("cs_catalog_page_sk"), idN("cs_ship_mode_sk"), idN("cs_warehouse_sk"),
+			id("cs_item_sk"), idN("cs_promo_sk"), id("cs_order_number"),
+			in("cs_quantity"), dec("cs_wholesale_cost"), dec("cs_list_price"),
+			dec("cs_sales_price"), dec("cs_ext_discount_amt"), dec("cs_ext_sales_price"),
+			dec("cs_ext_wholesale_cost"), dec("cs_ext_list_price"), dec("cs_ext_tax"),
+			dec("cs_coupon_amt"), dec("cs_ext_ship_cost"), dec("cs_net_paid"),
+			dec("cs_net_paid_inc_tax"), dec("cs_net_paid_inc_ship"),
+			dec("cs_net_paid_inc_ship_tax"), dec("cs_net_profit"),
+		},
+		PrimaryKey: []string{"cs_item_sk", "cs_order_number"},
+		ForeignKeys: []ForeignKey{
+			fk("cs_sold_date_sk", "date_dim"), fk("cs_sold_time_sk", "time_dim"),
+			fk("cs_ship_date_sk", "date_dim"),
+			fk("cs_bill_customer_sk", "customer"), fk("cs_bill_cdemo_sk", "customer_demographics"),
+			fk("cs_bill_hdemo_sk", "household_demographics"), fk("cs_bill_addr_sk", "customer_address"),
+			fk("cs_ship_customer_sk", "customer"), fk("cs_ship_cdemo_sk", "customer_demographics"),
+			fk("cs_ship_hdemo_sk", "household_demographics"), fk("cs_ship_addr_sk", "customer_address"),
+			fk("cs_call_center_sk", "call_center"), fk("cs_catalog_page_sk", "catalog_page"),
+			fk("cs_ship_mode_sk", "ship_mode"), fk("cs_warehouse_sk", "warehouse"),
+			fk("cs_item_sk", "item"), fk("cs_promo_sk", "promotion"),
+		},
+	}
+}
+
+func catalogReturns() *Table {
+	return &Table{
+		Name: "catalog_returns", Kind: Fact, Channel: Catalog,
+		Columns: []Column{
+			idN("cr_returned_date_sk"), idN("cr_returned_time_sk"), id("cr_item_sk"),
+			idN("cr_refunded_customer_sk"), idN("cr_refunded_cdemo_sk"),
+			idN("cr_refunded_hdemo_sk"), idN("cr_refunded_addr_sk"),
+			idN("cr_returning_customer_sk"), idN("cr_returning_cdemo_sk"),
+			idN("cr_returning_hdemo_sk"), idN("cr_returning_addr_sk"),
+			idN("cr_call_center_sk"), idN("cr_catalog_page_sk"), idN("cr_ship_mode_sk"),
+			idN("cr_warehouse_sk"), idN("cr_reason_sk"), id("cr_order_number"),
+			in("cr_return_quantity"), dec("cr_return_amount"), dec("cr_return_tax"),
+			dec("cr_return_amt_inc_tax"), dec("cr_fee"), dec("cr_return_ship_cost"),
+			dec("cr_refunded_cash"), dec("cr_reversed_charge"), dec("cr_store_credit"),
+			dec("cr_net_loss"),
+		},
+		PrimaryKey: []string{"cr_item_sk", "cr_order_number"},
+		ForeignKeys: []ForeignKey{
+			fk("cr_returned_date_sk", "date_dim"), fk("cr_returned_time_sk", "time_dim"),
+			fk("cr_item_sk", "item"),
+			fk("cr_refunded_customer_sk", "customer"), fk("cr_refunded_cdemo_sk", "customer_demographics"),
+			fk("cr_refunded_hdemo_sk", "household_demographics"), fk("cr_refunded_addr_sk", "customer_address"),
+			fk("cr_returning_customer_sk", "customer"), fk("cr_returning_cdemo_sk", "customer_demographics"),
+			fk("cr_returning_hdemo_sk", "household_demographics"), fk("cr_returning_addr_sk", "customer_address"),
+			fk("cr_call_center_sk", "call_center"), fk("cr_catalog_page_sk", "catalog_page"),
+			fk("cr_ship_mode_sk", "ship_mode"), fk("cr_warehouse_sk", "warehouse"),
+			fk("cr_reason_sk", "reason"),
+		},
+	}
+}
+
+func webSales() *Table {
+	return &Table{
+		Name: "web_sales", Kind: Fact, Channel: Web,
+		Columns: []Column{
+			idN("ws_sold_date_sk"), idN("ws_sold_time_sk"), idN("ws_ship_date_sk"),
+			id("ws_item_sk"),
+			idN("ws_bill_customer_sk"), idN("ws_bill_cdemo_sk"), idN("ws_bill_hdemo_sk"),
+			idN("ws_bill_addr_sk"), idN("ws_ship_customer_sk"), idN("ws_ship_cdemo_sk"),
+			idN("ws_ship_hdemo_sk"), idN("ws_ship_addr_sk"), idN("ws_web_page_sk"),
+			idN("ws_web_site_sk"), idN("ws_ship_mode_sk"), idN("ws_warehouse_sk"),
+			idN("ws_promo_sk"), id("ws_order_number"),
+			in("ws_quantity"), dec("ws_wholesale_cost"), dec("ws_list_price"),
+			dec("ws_sales_price"), dec("ws_ext_discount_amt"), dec("ws_ext_sales_price"),
+			dec("ws_ext_wholesale_cost"), dec("ws_ext_list_price"), dec("ws_ext_tax"),
+			dec("ws_coupon_amt"), dec("ws_ext_ship_cost"), dec("ws_net_paid"),
+			dec("ws_net_paid_inc_tax"), dec("ws_net_paid_inc_ship"),
+			dec("ws_net_paid_inc_ship_tax"), dec("ws_net_profit"),
+		},
+		PrimaryKey: []string{"ws_item_sk", "ws_order_number"},
+		ForeignKeys: []ForeignKey{
+			fk("ws_sold_date_sk", "date_dim"), fk("ws_sold_time_sk", "time_dim"),
+			fk("ws_ship_date_sk", "date_dim"), fk("ws_item_sk", "item"),
+			fk("ws_bill_customer_sk", "customer"), fk("ws_bill_cdemo_sk", "customer_demographics"),
+			fk("ws_bill_hdemo_sk", "household_demographics"), fk("ws_bill_addr_sk", "customer_address"),
+			fk("ws_ship_customer_sk", "customer"), fk("ws_ship_cdemo_sk", "customer_demographics"),
+			fk("ws_ship_hdemo_sk", "household_demographics"), fk("ws_ship_addr_sk", "customer_address"),
+			fk("ws_web_page_sk", "web_page"), fk("ws_web_site_sk", "web_site"),
+			fk("ws_ship_mode_sk", "ship_mode"), fk("ws_warehouse_sk", "warehouse"),
+			fk("ws_promo_sk", "promotion"),
+		},
+	}
+}
+
+func webReturns() *Table {
+	return &Table{
+		Name: "web_returns", Kind: Fact, Channel: Web,
+		Columns: []Column{
+			idN("wr_returned_date_sk"), idN("wr_returned_time_sk"), id("wr_item_sk"),
+			idN("wr_refunded_customer_sk"), idN("wr_refunded_cdemo_sk"),
+			idN("wr_refunded_hdemo_sk"), idN("wr_refunded_addr_sk"),
+			idN("wr_returning_customer_sk"), idN("wr_returning_cdemo_sk"),
+			idN("wr_returning_hdemo_sk"), idN("wr_returning_addr_sk"),
+			idN("wr_web_page_sk"), idN("wr_reason_sk"), id("wr_order_number"),
+			in("wr_return_quantity"), dec("wr_return_amt"), dec("wr_return_tax"),
+			dec("wr_return_amt_inc_tax"), dec("wr_fee"), dec("wr_return_ship_cost"),
+			dec("wr_refunded_cash"), dec("wr_reversed_charge"), dec("wr_account_credit"),
+			dec("wr_net_loss"),
+		},
+		PrimaryKey: []string{"wr_item_sk", "wr_order_number"},
+		ForeignKeys: []ForeignKey{
+			fk("wr_returned_date_sk", "date_dim"), fk("wr_returned_time_sk", "time_dim"),
+			fk("wr_item_sk", "item"),
+			fk("wr_refunded_customer_sk", "customer"), fk("wr_refunded_cdemo_sk", "customer_demographics"),
+			fk("wr_refunded_hdemo_sk", "household_demographics"), fk("wr_refunded_addr_sk", "customer_address"),
+			fk("wr_returning_customer_sk", "customer"), fk("wr_returning_cdemo_sk", "customer_demographics"),
+			fk("wr_returning_hdemo_sk", "household_demographics"), fk("wr_returning_addr_sk", "customer_address"),
+			fk("wr_web_page_sk", "web_page"), fk("wr_reason_sk", "reason"),
+		},
+	}
+}
+
+func inventory() *Table {
+	return &Table{
+		// Inventory is shared between catalog and web (§2.2) — per the
+		// reporting/ad-hoc partition it belongs to the reporting side
+		// only when referenced together with catalog tables, so it is
+		// marked Shared here.
+		Name: "inventory", Kind: Fact, Channel: Shared,
+		Columns: []Column{
+			id("inv_date_sk"), id("inv_item_sk"), id("inv_warehouse_sk"),
+			in("inv_quantity_on_hand"),
+		},
+		PrimaryKey: []string{"inv_date_sk", "inv_item_sk", "inv_warehouse_sk"},
+		ForeignKeys: []ForeignKey{
+			fk("inv_date_sk", "date_dim"), fk("inv_item_sk", "item"),
+			fk("inv_warehouse_sk", "warehouse"),
+		},
+	}
+}
+
+func store() *Table {
+	return &Table{
+		Name: "store", Kind: Dimension, Channel: Store, SCD: HistoryKeeping,
+		BusinessKey: "s_store_id",
+		Columns: []Column{
+			id("s_store_sk"), ch("s_store_id", 16), dt("s_rec_start_date"),
+			dt("s_rec_end_date"), idN("s_closed_date_sk"), vc("s_store_name", 50),
+			in("s_number_employees"), in("s_floor_space"), ch("s_hours", 20),
+			vc("s_manager", 40), in("s_market_id"), vc("s_geography_class", 100),
+			vc("s_market_desc", 100), vc("s_market_manager", 40), in("s_division_id"),
+			vc("s_division_name", 50), in("s_company_id"), vc("s_company_name", 50),
+			vc("s_street_number", 10), vc("s_street_name", 60), ch("s_street_type", 15),
+			ch("s_suite_number", 10), vc("s_city", 60), vc("s_county", 30),
+			ch("s_state", 2), ch("s_zip", 10), vc("s_country", 20),
+			dec("s_gmt_offset"), dec("s_tax_percentage"),
+		},
+		PrimaryKey:  []string{"s_store_sk"},
+		ForeignKeys: []ForeignKey{fk("s_closed_date_sk", "date_dim")},
+	}
+}
+
+func callCenter() *Table {
+	return &Table{
+		Name: "call_center", Kind: Dimension, Channel: Catalog, SCD: HistoryKeeping,
+		BusinessKey: "cc_call_center_id",
+		Columns: []Column{
+			id("cc_call_center_sk"), ch("cc_call_center_id", 16), dt("cc_rec_start_date"),
+			dt("cc_rec_end_date"), idN("cc_closed_date_sk"), idN("cc_open_date_sk"),
+			vc("cc_name", 50), vc("cc_class", 50), in("cc_employees"), in("cc_sq_ft"),
+			ch("cc_hours", 20), vc("cc_manager", 40), in("cc_mkt_id"),
+			vc("cc_mkt_class", 50), vc("cc_mkt_desc", 100), vc("cc_market_manager", 40),
+			in("cc_division"), vc("cc_division_name", 50), in("cc_company"),
+			ch("cc_company_name", 50), ch("cc_street_number", 10), vc("cc_street_name", 60),
+			ch("cc_street_type", 15), ch("cc_suite_number", 10), vc("cc_city", 60),
+			vc("cc_county", 30), ch("cc_state", 2), ch("cc_zip", 10),
+			vc("cc_country", 20), dec("cc_gmt_offset"), dec("cc_tax_percentage"),
+		},
+		PrimaryKey: []string{"cc_call_center_sk"},
+		ForeignKeys: []ForeignKey{
+			fk("cc_closed_date_sk", "date_dim"), fk("cc_open_date_sk", "date_dim"),
+		},
+	}
+}
+
+func catalogPage() *Table {
+	return &Table{
+		Name: "catalog_page", Kind: Dimension, Channel: Catalog, SCD: NonHistory,
+		BusinessKey: "cp_catalog_page_id",
+		Columns: []Column{
+			id("cp_catalog_page_sk"), ch("cp_catalog_page_id", 16),
+			idN("cp_start_date_sk"), idN("cp_end_date_sk"), vc("cp_department", 50),
+			in("cp_catalog_number"), in("cp_catalog_page_number"),
+			vc("cp_description", 100), vc("cp_type", 100),
+		},
+		PrimaryKey: []string{"cp_catalog_page_sk"},
+		ForeignKeys: []ForeignKey{
+			fk("cp_start_date_sk", "date_dim"), fk("cp_end_date_sk", "date_dim"),
+		},
+	}
+}
+
+func webSite() *Table {
+	return &Table{
+		Name: "web_site", Kind: Dimension, Channel: Web, SCD: HistoryKeeping,
+		BusinessKey: "web_site_id",
+		Columns: []Column{
+			id("web_site_sk"), ch("web_site_id", 16), dt("web_rec_start_date"),
+			dt("web_rec_end_date"), vc("web_name", 50), idN("web_open_date_sk"),
+			idN("web_close_date_sk"), vc("web_class", 50), vc("web_manager", 40),
+			in("web_mkt_id"), vc("web_mkt_class", 50), vc("web_mkt_desc", 100),
+			vc("web_market_manager", 40), in("web_company_id"), ch("web_company_name", 50),
+			ch("web_street_number", 10), vc("web_street_name", 60), ch("web_street_type", 15),
+			ch("web_suite_number", 10), vc("web_city", 60), vc("web_county", 30),
+			ch("web_state", 2), ch("web_zip", 10), vc("web_country", 20),
+			dec("web_gmt_offset"), dec("web_tax_percentage"),
+		},
+		PrimaryKey: []string{"web_site_sk"},
+		ForeignKeys: []ForeignKey{
+			fk("web_open_date_sk", "date_dim"), fk("web_close_date_sk", "date_dim"),
+		},
+	}
+}
+
+func webPage() *Table {
+	return &Table{
+		Name: "web_page", Kind: Dimension, Channel: Web, SCD: HistoryKeeping,
+		BusinessKey: "wp_web_page_id",
+		Columns: []Column{
+			id("wp_web_page_sk"), ch("wp_web_page_id", 16), dt("wp_rec_start_date"),
+			dt("wp_rec_end_date"), idN("wp_creation_date_sk"), idN("wp_access_date_sk"),
+			ch("wp_autogen_flag", 1), idN("wp_customer_sk"), vc("wp_url", 100),
+			ch("wp_type", 50), in("wp_char_count"), in("wp_link_count"),
+			in("wp_image_count"), in("wp_max_ad_count"),
+		},
+		PrimaryKey: []string{"wp_web_page_sk"},
+		ForeignKeys: []ForeignKey{
+			fk("wp_creation_date_sk", "date_dim"), fk("wp_access_date_sk", "date_dim"),
+			fk("wp_customer_sk", "customer"),
+		},
+	}
+}
+
+func warehouse() *Table {
+	return &Table{
+		Name: "warehouse", Kind: Dimension, Channel: Shared, SCD: NonHistory,
+		BusinessKey: "w_warehouse_id",
+		Columns: []Column{
+			id("w_warehouse_sk"), ch("w_warehouse_id", 16), vc("w_warehouse_name", 20),
+			in("w_warehouse_sq_ft"), ch("w_street_number", 10), vc("w_street_name", 60),
+			ch("w_street_type", 15), ch("w_suite_number", 10), vc("w_city", 60),
+			vc("w_county", 30), ch("w_state", 2), ch("w_zip", 10),
+			vc("w_country", 20), dec("w_gmt_offset"),
+		},
+		PrimaryKey: []string{"w_warehouse_sk"},
+	}
+}
+
+func customer() *Table {
+	return &Table{
+		Name: "customer", Kind: Dimension, Channel: Shared, SCD: NonHistory,
+		BusinessKey: "c_customer_id",
+		Columns: []Column{
+			id("c_customer_sk"), ch("c_customer_id", 16), idN("c_current_cdemo_sk"),
+			idN("c_current_hdemo_sk"), idN("c_current_addr_sk"),
+			idN("c_first_shipto_date_sk"), idN("c_first_sales_date_sk"),
+			ch("c_salutation", 10), ch("c_first_name", 20), ch("c_last_name", 30),
+			ch("c_preferred_cust_flag", 1), in("c_birth_day"), in("c_birth_month"),
+			in("c_birth_year"), vc("c_birth_country", 20), ch("c_login", 13),
+			ch("c_email_address", 50), idN("c_last_review_date_sk"),
+		},
+		PrimaryKey: []string{"c_customer_sk"},
+		ForeignKeys: []ForeignKey{
+			fk("c_current_cdemo_sk", "customer_demographics"),
+			fk("c_current_hdemo_sk", "household_demographics"),
+			fk("c_current_addr_sk", "customer_address"),
+			fk("c_first_shipto_date_sk", "date_dim"),
+			fk("c_first_sales_date_sk", "date_dim"),
+			fk("c_last_review_date_sk", "date_dim"),
+		},
+	}
+}
+
+func customerAddress() *Table {
+	return &Table{
+		Name: "customer_address", Kind: Dimension, Channel: Shared, SCD: NonHistory,
+		BusinessKey: "ca_address_id",
+		Columns: []Column{
+			id("ca_address_sk"), ch("ca_address_id", 16), ch("ca_street_number", 10),
+			vc("ca_street_name", 60), ch("ca_street_type", 15), ch("ca_suite_number", 10),
+			vc("ca_city", 60), vc("ca_county", 30), ch("ca_state", 2),
+			ch("ca_zip", 10), vc("ca_country", 20), dec("ca_gmt_offset"),
+			ch("ca_location_type", 20),
+		},
+		PrimaryKey: []string{"ca_address_sk"},
+	}
+}
+
+func customerDemographics() *Table {
+	return &Table{
+		Name: "customer_demographics", Kind: Dimension, Channel: Shared, SCD: StaticDim,
+		Columns: []Column{
+			id("cd_demo_sk"), ch("cd_gender", 1), ch("cd_marital_status", 1),
+			ch("cd_education_status", 20), in("cd_purchase_estimate"),
+			ch("cd_credit_rating", 10), in("cd_dep_count"),
+			in("cd_dep_employed_count"), in("cd_dep_college_count"),
+		},
+		PrimaryKey: []string{"cd_demo_sk"},
+	}
+}
+
+func householdDemographics() *Table {
+	return &Table{
+		Name: "household_demographics", Kind: Dimension, Channel: Shared, SCD: StaticDim,
+		Columns: []Column{
+			id("hd_demo_sk"), idN("hd_income_band_sk"), ch("hd_buy_potential", 15),
+			in("hd_dep_count"), in("hd_vehicle_count"),
+		},
+		PrimaryKey:  []string{"hd_demo_sk"},
+		ForeignKeys: []ForeignKey{fk("hd_income_band_sk", "income_band")},
+	}
+}
+
+func incomeBand() *Table {
+	return &Table{
+		Name: "income_band", Kind: Dimension, Channel: Shared, SCD: StaticDim,
+		Columns: []Column{
+			id("ib_income_band_sk"), in("ib_lower_bound"), in("ib_upper_bound"),
+		},
+		PrimaryKey: []string{"ib_income_band_sk"},
+	}
+}
+
+func item() *Table {
+	return &Table{
+		Name: "item", Kind: Dimension, Channel: Shared, SCD: HistoryKeeping,
+		BusinessKey: "i_item_id",
+		Columns: []Column{
+			id("i_item_sk"), ch("i_item_id", 16), dt("i_rec_start_date"),
+			dt("i_rec_end_date"), vc("i_item_desc", 200), dec("i_current_price"),
+			dec("i_wholesale_cost"), in("i_brand_id"), ch("i_brand", 50),
+			in("i_class_id"), ch("i_class", 50), in("i_category_id"),
+			ch("i_category", 50), in("i_manufact_id"), ch("i_manufact", 50),
+			ch("i_size", 20), ch("i_formulation", 20), ch("i_color", 20),
+			ch("i_units", 10), ch("i_container", 10), in("i_manager_id"),
+			ch("i_product_name", 50),
+		},
+		PrimaryKey: []string{"i_item_sk"},
+	}
+}
+
+func promotion() *Table {
+	return &Table{
+		Name: "promotion", Kind: Dimension, Channel: Shared, SCD: NonHistory,
+		BusinessKey: "p_promo_id",
+		Columns: []Column{
+			id("p_promo_sk"), ch("p_promo_id", 16), idN("p_start_date_sk"),
+			idN("p_end_date_sk"), idN("p_item_sk"), dec("p_cost"),
+			in("p_response_target"), ch("p_promo_name", 50), ch("p_channel_dmail", 1),
+			ch("p_channel_email", 1), ch("p_channel_catalog", 1), ch("p_channel_tv", 1),
+			ch("p_channel_radio", 1), ch("p_channel_press", 1), ch("p_channel_event", 1),
+			ch("p_channel_demo", 1), vc("p_channel_details", 100), ch("p_purpose", 15),
+			ch("p_discount_active", 1),
+		},
+		PrimaryKey: []string{"p_promo_sk"},
+		ForeignKeys: []ForeignKey{
+			fk("p_start_date_sk", "date_dim"), fk("p_end_date_sk", "date_dim"),
+			fk("p_item_sk", "item"),
+		},
+	}
+}
+
+func reason() *Table {
+	return &Table{
+		Name: "reason", Kind: Dimension, Channel: Store, SCD: StaticDim,
+		Columns: []Column{
+			id("r_reason_sk"), ch("r_reason_id", 16), ch("r_reason_desc", 100),
+		},
+		PrimaryKey: []string{"r_reason_sk"},
+	}
+}
+
+func shipMode() *Table {
+	return &Table{
+		Name: "ship_mode", Kind: Dimension, Channel: Shared, SCD: StaticDim,
+		Columns: []Column{
+			id("sm_ship_mode_sk"), ch("sm_ship_mode_id", 16), ch("sm_type", 30),
+			ch("sm_code", 10), ch("sm_carrier", 20), ch("sm_contract", 20),
+		},
+		PrimaryKey: []string{"sm_ship_mode_sk"},
+	}
+}
+
+func timeDim() *Table {
+	return &Table{
+		// _dim suffix avoids vendor reserved-word conflicts (paper fn. 2).
+		Name: "time_dim", Kind: Dimension, Channel: Shared, SCD: StaticDim,
+		Columns: []Column{
+			id("t_time_sk"), ch("t_time_id", 16), in("t_time"), in("t_hour"),
+			in("t_minute"), in("t_second"), ch("t_am_pm", 2), ch("t_shift", 20),
+			ch("t_sub_shift", 20), ch("t_meal_time", 20),
+		},
+		PrimaryKey: []string{"t_time_sk"},
+	}
+}
+
+func dateDim() *Table {
+	return &Table{
+		Name: "date_dim", Kind: Dimension, Channel: Shared, SCD: StaticDim,
+		Columns: []Column{
+			id("d_date_sk"), ch("d_date_id", 16), dt("d_date"), in("d_month_seq"),
+			in("d_week_seq"), in("d_quarter_seq"), in("d_year"), in("d_dow"),
+			in("d_moy"), in("d_dom"), in("d_qoy"), in("d_fy_year"),
+			in("d_fy_quarter_seq"), in("d_fy_week_seq"), ch("d_day_name", 9),
+			ch("d_quarter_name", 6), ch("d_holiday", 1), ch("d_weekend", 1),
+			ch("d_following_holiday", 1), in("d_first_dom"), in("d_last_dom"),
+			in("d_same_day_ly"), in("d_same_day_lq"), ch("d_current_day", 1),
+			ch("d_current_week", 1), ch("d_current_month", 1),
+			ch("d_current_quarter", 1), ch("d_current_year", 1),
+		},
+		PrimaryKey: []string{"d_date_sk"},
+	}
+}

@@ -1,0 +1,243 @@
+// Package schema defines the TPC-DS "snowstorm" schema: 24 tables (7 fact,
+// 17 dimension) modeling a retail product supplier selling through three
+// channels — store, catalog and web — plus a shared inventory fact
+// (paper §2, Table 1, Figure 1).
+//
+// The catalog is the single source of truth for the rest of the system:
+// the data generator derives column value domains from it, the storage
+// layer derives physical column types, the SQL binder resolves names
+// against it, and the workload classifier uses the channel partition
+// (store+web = ad-hoc, catalog = reporting) mandated by §2.2.
+package schema
+
+import "strings"
+
+// Kind distinguishes fact tables from dimension tables.
+type Kind int
+
+const (
+	// Fact tables store frequently added transaction data and scale
+	// linearly with the scale factor.
+	Fact Kind = iota
+	// Dimension tables supply context for fact rows and scale
+	// sub-linearly (or not at all).
+	Dimension
+)
+
+func (k Kind) String() string {
+	if k == Fact {
+		return "fact"
+	}
+	return "dimension"
+}
+
+// Channel identifies the sales channel a table belongs to. The channel
+// determines the workload class of queries referencing the table: per
+// §2.2, the catalog channel constitutes the reporting part of the schema
+// (complex auxiliary structures allowed) while store and web constitute
+// the ad-hoc part.
+type Channel int
+
+const (
+	// Shared marks dimensions referenced by more than one channel.
+	Shared Channel = iota
+	// Store is the store sales channel (ad-hoc part).
+	Store
+	// Catalog is the catalog sales channel (reporting part).
+	Catalog
+	// Web is the internet sales channel (ad-hoc part).
+	Web
+)
+
+func (c Channel) String() string {
+	switch c {
+	case Store:
+		return "store"
+	case Catalog:
+		return "catalog"
+	case Web:
+		return "web"
+	default:
+		return "shared"
+	}
+}
+
+// Type is the logical column type.
+type Type int
+
+const (
+	// Identifier is a surrogate or business key (int64).
+	Identifier Type = iota
+	// Integer is a plain integer quantity or count.
+	Integer
+	// Decimal is a fixed-point money or rate value (stored as float64).
+	Decimal
+	// Char is a fixed-length string.
+	Char
+	// Varchar is a variable-length string.
+	Varchar
+	// Date is a calendar date (stored as days since epoch).
+	Date
+)
+
+func (t Type) String() string {
+	switch t {
+	case Identifier:
+		return "identifier"
+	case Integer:
+		return "integer"
+	case Decimal:
+		return "decimal"
+	case Char:
+		return "char"
+	case Varchar:
+		return "varchar"
+	default:
+		return "date"
+	}
+}
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type Type
+	// Len is the declared length for Char/Varchar columns and the
+	// precision hint for numeric columns; it drives the flat-file row
+	// width estimate (Table 1 reports raw flat-file row lengths).
+	Len int
+	// Nullable marks columns that may carry NULL in the generated data.
+	Nullable bool
+}
+
+// avgWidth estimates the average raw flat-file width in bytes of a value
+// of this column, matching footnote 4 of the paper ("raw size of flat
+// files as created by the data generator").
+func (c Column) avgWidth() float64 {
+	switch c.Type {
+	case Identifier:
+		return 7
+	case Integer:
+		return 4
+	case Decimal:
+		return 5
+	case Date:
+		return 10
+	case Char, Varchar:
+		// The generator does not pad text fields in flat files: a 50-char
+		// s_store_name holds a short synthesized word. Short declared
+		// fields (flags, state codes) are filled fully; longer fields fill
+		// roughly 40% plus a small constant, calibrated so the aggregate
+		// row lengths reproduce Table 1 (min 16, max 317, avg 136).
+		if c.Len <= 4 {
+			return float64(c.Len)
+		}
+		return float64(c.Len)*0.3 + 2
+	default:
+		return float64(c.Len)
+	}
+}
+
+// ForeignKey declares that Column of the owning table references the
+// surrogate key of Ref.
+type ForeignKey struct {
+	Column string
+	Ref    string // referenced table name
+}
+
+// FactLink is a composite relationship between two fact tables, such as
+// store_returns(item_sk, ticket_number) -> store_sales. The paper (§2.2)
+// uses these for large fact-to-fact joins; they are tracked separately
+// from the 104 declared single-column foreign keys of Table 1.
+type FactLink struct {
+	From    string
+	To      string
+	Columns []string // columns on From forming the link
+}
+
+// SCDClass categorizes dimensions for the data-maintenance workload
+// (§4.2): static dimensions are loaded once and never updated; history
+// keeping dimensions are versioned with rec_start/rec_end dates (type-2
+// SCD); non-history keeping dimensions are updated in place (type-1).
+type SCDClass int
+
+const (
+	// StaticDim dimensions (date_dim, time_dim, reason, ...) never change.
+	StaticDim SCDClass = iota
+	// NonHistory dimensions are updated in place (Figure 8).
+	NonHistory
+	// HistoryKeeping dimensions get a new revision per update (Figure 9).
+	HistoryKeeping
+)
+
+func (s SCDClass) String() string {
+	switch s {
+	case StaticDim:
+		return "static"
+	case NonHistory:
+		return "non-history"
+	default:
+		return "history-keeping"
+	}
+}
+
+// Table describes one table of the snowstorm schema.
+type Table struct {
+	Name        string
+	Kind        Kind
+	Channel     Channel
+	SCD         SCDClass
+	Columns     []Column
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+	// BusinessKey names the column resembling the OLTP primary key
+	// (§4.2); empty for fact tables.
+	BusinessKey string
+}
+
+// Column returns the named column and whether it exists.
+func (t *Table) Column(name string) (Column, bool) {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AvgRowBytes estimates the average raw flat-file row length, including
+// one pipe separator per field (dsdgen emits '|'-separated rows).
+func (t *Table) AvgRowBytes() float64 {
+	var w float64
+	for _, c := range t.Columns {
+		w += c.avgWidth()
+	}
+	return w + float64(len(t.Columns)) // one separator/terminator per field
+}
+
+// IsAdHocPart reports whether queries referencing this table fall into
+// the ad-hoc portion of the schema (§2.2: store and web channels; shared
+// dimensions do not by themselves make a query ad-hoc or reporting).
+func (t *Table) IsAdHocPart() bool {
+	return t.Channel == Store || t.Channel == Web
+}
+
+// HasColumnPrefix reports whether every column starts with the given
+// prefix (TPC-DS uses per-table column prefixes, e.g. "ss_").
+func (t *Table) HasColumnPrefix(prefix string) bool {
+	for _, c := range t.Columns {
+		if !strings.HasPrefix(c.Name, prefix) {
+			return false
+		}
+	}
+	return true
+}

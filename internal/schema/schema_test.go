@@ -1,0 +1,298 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogIsValid(t *testing.T) {
+	for _, p := range Validate() {
+		t.Error(p)
+	}
+}
+
+// TestSchemaStatisticsMatchPaper pins the Table 1 numbers of the paper:
+// 7 fact tables, 17 dimension tables, column counts min 3 / max 34 / avg
+// 18, and 104 declared foreign keys.
+func TestSchemaStatisticsMatchPaper(t *testing.T) {
+	s := ComputeStatistics()
+	if s.FactTables != 7 {
+		t.Errorf("fact tables = %d, paper says 7", s.FactTables)
+	}
+	if s.DimensionTables != 17 {
+		t.Errorf("dimension tables = %d, paper says 17", s.DimensionTables)
+	}
+	if s.MinColumns != 3 {
+		t.Errorf("min columns = %d, paper says 3", s.MinColumns)
+	}
+	if s.MaxColumns != 34 {
+		t.Errorf("max columns = %d, paper says 34", s.MaxColumns)
+	}
+	if s.AvgColumns < 17 || s.AvgColumns > 19 {
+		t.Errorf("avg columns = %.1f, paper says ~18", s.AvgColumns)
+	}
+	if s.ForeignKeys != 104 {
+		t.Errorf("foreign keys = %d, paper says 104", s.ForeignKeys)
+	}
+}
+
+// TestRowLengthsMatchPaperShape checks the flat-file row-length estimates
+// against Table 1 (min 16, max 317, avg 136). Our widths are estimates of
+// the generator's average output, so the test pins the shape: the
+// smallest row is the 4-column inventory fact near 16 bytes, the largest
+// is a wide dimension near ~300, and the average lands near ~136.
+func TestRowLengthsMatchPaperShape(t *testing.T) {
+	s := ComputeStatistics()
+	if s.MinRowBytes < 10 || s.MinRowBytes > 30 {
+		t.Errorf("min row bytes = %.0f, paper says 16", s.MinRowBytes)
+	}
+	if s.MaxRowBytes < 250 || s.MaxRowBytes > 400 {
+		t.Errorf("max row bytes = %.0f, paper says 317", s.MaxRowBytes)
+	}
+	if s.AvgRowBytes < 100 || s.AvgRowBytes > 180 {
+		t.Errorf("avg row bytes = %.0f, paper says 136", s.AvgRowBytes)
+	}
+}
+
+func TestTableCount(t *testing.T) {
+	if n := len(Tables()); n != 24 {
+		t.Fatalf("table count = %d, want 24", n)
+	}
+}
+
+// TestStoreSalesSnowflake verifies the Figure 1 snowflake: store_sales
+// references the classic dimensions, customer is normalized into
+// address/demographics, and household demographics snowflakes into
+// income_band.
+func TestStoreSalesSnowflake(t *testing.T) {
+	byName := ByName()
+	ss := byName["store_sales"]
+	if ss == nil {
+		t.Fatal("store_sales missing")
+	}
+	wantRefs := []string{
+		"date_dim", "time_dim", "item", "customer", "customer_demographics",
+		"household_demographics", "customer_address", "store", "promotion",
+	}
+	refs := map[string]bool{}
+	for _, f := range ss.ForeignKeys {
+		refs[f.Ref] = true
+	}
+	for _, w := range wantRefs {
+		if !refs[w] {
+			t.Errorf("store_sales does not reference %s", w)
+		}
+	}
+	// Snowflake second level: customer -> customer_address, and
+	// household_demographics -> income_band.
+	cust := byName["customer"]
+	found := false
+	for _, f := range cust.ForeignKeys {
+		if f.Ref == "customer_address" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("customer does not snowflake into customer_address")
+	}
+	hd := byName["household_demographics"]
+	if len(hd.ForeignKeys) != 1 || hd.ForeignKeys[0].Ref != "income_band" {
+		t.Error("household_demographics does not snowflake into income_band")
+	}
+}
+
+// TestCircularAddressRelationship verifies the paper's "challenging"
+// circular relationship: customer_address is referenced both directly
+// from store_sales (address at time of sale) and from customer (current
+// address).
+func TestCircularAddressRelationship(t *testing.T) {
+	byName := ByName()
+	direct, viaCustomer := false, false
+	for _, f := range byName["store_sales"].ForeignKeys {
+		if f.Ref == "customer_address" {
+			direct = true
+		}
+	}
+	for _, f := range byName["customer"].ForeignKeys {
+		if f.Ref == "customer_address" {
+			viaCustomer = true
+		}
+	}
+	if !direct || !viaCustomer {
+		t.Errorf("circular address relationship missing: direct=%v via customer=%v", direct, viaCustomer)
+	}
+}
+
+func TestFactLinks(t *testing.T) {
+	links := FactLinks()
+	if len(links) != 3 {
+		t.Fatalf("fact links = %d, want 3 (one per channel)", len(links))
+	}
+	byName := ByName()
+	for _, l := range links {
+		from, to := byName[l.From], byName[l.To]
+		if from == nil || to == nil {
+			t.Fatalf("link %s->%s references unknown table", l.From, l.To)
+		}
+		if from.Kind != Fact || to.Kind != Fact {
+			t.Errorf("link %s->%s is not fact-to-fact", l.From, l.To)
+		}
+		if len(l.Columns) != 2 {
+			t.Errorf("link %s->%s should use the (item, order) pair", l.From, l.To)
+		}
+	}
+}
+
+// TestChannelPartition verifies §2.2: store and web are the ad-hoc part,
+// catalog is the reporting part.
+func TestChannelPartition(t *testing.T) {
+	for _, tb := range Tables() {
+		switch tb.Channel {
+		case Store, Web:
+			if !tb.IsAdHocPart() {
+				t.Errorf("%s should be in the ad-hoc part", tb.Name)
+			}
+		case Catalog:
+			if tb.IsAdHocPart() {
+				t.Errorf("%s should be in the reporting part", tb.Name)
+			}
+		}
+	}
+	byName := ByName()
+	if byName["catalog_sales"].Channel != Catalog {
+		t.Error("catalog_sales must be in the catalog (reporting) channel")
+	}
+	if byName["store_sales"].Channel != Store || byName["web_sales"].Channel != Web {
+		t.Error("store_sales/web_sales must be in the ad-hoc channels")
+	}
+}
+
+// TestSharedDimensions verifies that the snowstorm shares its core
+// dimensions between channels (§2: "multiple snowflake schemas with
+// shared dimensions").
+func TestSharedDimensions(t *testing.T) {
+	shared := map[string]bool{}
+	for _, tb := range Tables() {
+		if tb.Kind == Dimension && tb.Channel == Shared {
+			shared[tb.Name] = true
+		}
+	}
+	for _, want := range []string{"item", "customer", "date_dim", "time_dim", "customer_address", "promotion", "warehouse"} {
+		if !shared[want] {
+			t.Errorf("dimension %s should be shared between channels", want)
+		}
+	}
+}
+
+func TestColumnPrefixes(t *testing.T) {
+	prefixes := map[string]string{
+		"store_sales": "ss_", "store_returns": "sr_",
+		"catalog_sales": "cs_", "catalog_returns": "cr_",
+		"web_sales": "ws_", "web_returns": "wr_",
+		"inventory": "inv_", "store": "s_", "call_center": "cc_",
+		"catalog_page": "cp_", "web_site": "web_", "web_page": "wp_",
+		"warehouse": "w_", "customer": "c_", "customer_address": "ca_",
+		"customer_demographics": "cd_", "household_demographics": "hd_",
+		"income_band": "ib_", "item": "i_", "promotion": "p_",
+		"reason": "r_", "ship_mode": "sm_", "time_dim": "t_", "date_dim": "d_",
+	}
+	byName := ByName()
+	for name, prefix := range prefixes {
+		tb := byName[name]
+		if tb == nil {
+			t.Errorf("table %s missing", name)
+			continue
+		}
+		if !tb.HasColumnPrefix(prefix) {
+			t.Errorf("table %s has columns without prefix %q", name, prefix)
+		}
+	}
+}
+
+// TestSCDClassification verifies §4.2's dimension categories: static
+// dimensions include date_dim, time_dim and reason; history-keeping
+// dimensions carry rec_start_date/rec_end_date pairs; non-static
+// dimensions carry a business key.
+func TestSCDClassification(t *testing.T) {
+	byName := ByName()
+	for _, name := range []string{"date_dim", "time_dim", "reason"} {
+		if byName[name].SCD != StaticDim {
+			t.Errorf("%s should be a static dimension", name)
+		}
+	}
+	for _, tb := range Tables() {
+		if tb.Kind != Dimension {
+			continue
+		}
+		hasRecDates := false
+		start, end := false, false
+		for _, c := range tb.Columns {
+			if strings.HasSuffix(c.Name, "rec_start_date") {
+				start = true
+			}
+			if strings.HasSuffix(c.Name, "rec_end_date") {
+				end = true
+			}
+		}
+		hasRecDates = start && end
+		if tb.SCD == HistoryKeeping && !hasRecDates {
+			t.Errorf("%s is history-keeping but lacks rec_start/rec_end dates", tb.Name)
+		}
+		if tb.SCD != HistoryKeeping && hasRecDates {
+			t.Errorf("%s has rec dates but is not history-keeping", tb.Name)
+		}
+		if tb.SCD != StaticDim && tb.BusinessKey == "" {
+			t.Errorf("%s is maintainable but has no business key", tb.Name)
+		}
+		if tb.BusinessKey != "" {
+			if _, ok := tb.Column(tb.BusinessKey); !ok {
+				t.Errorf("%s business key %s not a column", tb.Name, tb.BusinessKey)
+			}
+		}
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tb := ByName()["item"]
+	if c, ok := tb.Column("i_brand"); !ok || c.Type != Char {
+		t.Error("item.i_brand lookup failed")
+	}
+	if _, ok := tb.Column("nonexistent"); ok {
+		t.Error("lookup of nonexistent column succeeded")
+	}
+	if tb.ColumnIndex("i_item_sk") != 0 {
+		t.Error("i_item_sk should be column 0")
+	}
+	if tb.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex of missing column should be -1")
+	}
+}
+
+func TestKindAndChannelStrings(t *testing.T) {
+	if Fact.String() != "fact" || Dimension.String() != "dimension" {
+		t.Error("Kind.String broken")
+	}
+	if Store.String() != "store" || Catalog.String() != "catalog" ||
+		Web.String() != "web" || Shared.String() != "shared" {
+		t.Error("Channel.String broken")
+	}
+	if StaticDim.String() != "static" || NonHistory.String() != "non-history" ||
+		HistoryKeeping.String() != "history-keeping" {
+		t.Error("SCDClass.String broken")
+	}
+}
+
+func TestCatalogSalesIsWidest(t *testing.T) {
+	// The paper's max of 34 columns corresponds to catalog_sales (and
+	// web_sales); income_band is the 3-column minimum.
+	byName := ByName()
+	if n := len(byName["catalog_sales"].Columns); n != 34 {
+		t.Errorf("catalog_sales has %d columns, want 34", n)
+	}
+	if n := len(byName["web_sales"].Columns); n != 34 {
+		t.Errorf("web_sales has %d columns, want 34", n)
+	}
+	if n := len(byName["income_band"].Columns); n != 3 {
+		t.Errorf("income_band has %d columns, want 3", n)
+	}
+}

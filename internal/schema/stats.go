@@ -1,0 +1,121 @@
+package schema
+
+// Statistics aggregates the schema-level numbers the paper reports in
+// Table 1: table counts by kind, column count extremes, declared foreign
+// keys, and raw flat-file row-length extremes.
+type Statistics struct {
+	FactTables      int
+	DimensionTables int
+	MinColumns      int
+	MaxColumns      int
+	AvgColumns      float64
+	ForeignKeys     int
+	MinRowBytes     float64
+	MaxRowBytes     float64
+	AvgRowBytes     float64
+}
+
+// ComputeStatistics derives the Table 1 statistics from the catalog.
+func ComputeStatistics() Statistics {
+	tables := Tables()
+	s := Statistics{MinColumns: 1 << 30, MinRowBytes: 1e18}
+	var colSum int
+	var rowSum float64
+	for _, t := range tables {
+		if t.Kind == Fact {
+			s.FactTables++
+		} else {
+			s.DimensionTables++
+		}
+		n := len(t.Columns)
+		colSum += n
+		if n < s.MinColumns {
+			s.MinColumns = n
+		}
+		if n > s.MaxColumns {
+			s.MaxColumns = n
+		}
+		s.ForeignKeys += len(t.ForeignKeys)
+		w := t.AvgRowBytes()
+		rowSum += w
+		if w < s.MinRowBytes {
+			s.MinRowBytes = w
+		}
+		if w > s.MaxRowBytes {
+			s.MaxRowBytes = w
+		}
+	}
+	s.AvgColumns = float64(colSum) / float64(len(tables))
+	s.AvgRowBytes = rowSum / float64(len(tables))
+	return s
+}
+
+// Validate checks the internal consistency of the catalog: unique table
+// names, unique column names within a table, per-table column prefixes,
+// primary keys existing, and every foreign key referencing an existing
+// table's surrogate key column. It returns a list of problems (empty if
+// the catalog is sound).
+func Validate() []string {
+	var problems []string
+	byName := map[string]*Table{}
+	for _, t := range Tables() {
+		if _, dup := byName[t.Name]; dup {
+			problems = append(problems, "duplicate table "+t.Name)
+		}
+		byName[t.Name] = t
+	}
+	for _, t := range byName {
+		seen := map[string]bool{}
+		for _, c := range t.Columns {
+			if seen[c.Name] {
+				problems = append(problems, t.Name+": duplicate column "+c.Name)
+			}
+			seen[c.Name] = true
+		}
+		if len(t.PrimaryKey) == 0 {
+			problems = append(problems, t.Name+": no primary key")
+		}
+		for _, pk := range t.PrimaryKey {
+			if !seen[pk] {
+				problems = append(problems, t.Name+": primary key column "+pk+" missing")
+			}
+		}
+		for _, f := range t.ForeignKeys {
+			if !seen[f.Column] {
+				problems = append(problems, t.Name+": FK column "+f.Column+" missing")
+			}
+			ref, ok := byName[f.Ref]
+			if !ok {
+				problems = append(problems, t.Name+": FK references unknown table "+f.Ref)
+				continue
+			}
+			if ref.Kind != Dimension {
+				problems = append(problems, t.Name+": FK "+f.Column+" references non-dimension "+f.Ref)
+			}
+		}
+	}
+	for _, l := range FactLinks() {
+		from, ok := byName[l.From]
+		if !ok {
+			problems = append(problems, "fact link from unknown table "+l.From)
+			continue
+		}
+		if _, ok := byName[l.To]; !ok {
+			problems = append(problems, "fact link to unknown table "+l.To)
+		}
+		for _, c := range l.Columns {
+			if from.ColumnIndex(c) < 0 {
+				problems = append(problems, l.From+": fact link column "+c+" missing")
+			}
+		}
+	}
+	return problems
+}
+
+// SurrogateKey returns the name of a table's surrogate key column. For
+// dimensions this is the single primary key column; for fact tables it
+// is the first primary key component's partner, so callers should use
+// PrimaryKey directly for facts.
+func SurrogateKey(t *Table) string {
+	return t.PrimaryKey[0]
+}

@@ -1,0 +1,301 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestParseQuery52(t *testing.T) {
+	// Figure 6 of the paper, verbatim (modulo whitespace).
+	q := `SELECT dt.d_year, item.i_brand_id brand_id, item.i_brand brand,
+	 SUM(ss_ext_sales_price) ext_price
+	FROM date_dim dt, store_sales, item
+	WHERE dt.d_date_sk = store_sales.ss_sold_date_sk
+	  AND store_sales.ss_item_sk = item.i_item_sk
+	  AND item.i_manager_id = 1
+	  AND dt.d_moy = 11
+	  AND dt.d_year = 2000
+	GROUP BY dt.d_year, item.i_brand, item.i_brand_id
+	ORDER BY dt.d_year, ext_price DESC, brand_id;`
+	s := mustParse(t, q)
+	if len(s.Items) != 4 {
+		t.Errorf("select items = %d, want 4", len(s.Items))
+	}
+	if s.Items[1].Alias != "brand_id" {
+		t.Errorf("item 1 alias = %q", s.Items[1].Alias)
+	}
+	if len(s.From) != 3 || s.From[0].Binding() != "dt" || s.From[1].Binding() != "store_sales" {
+		t.Errorf("FROM = %+v", s.From)
+	}
+	if len(s.GroupBy) != 3 || len(s.OrderBy) != 3 {
+		t.Errorf("group by %d order by %d", len(s.GroupBy), len(s.OrderBy))
+	}
+	if !s.OrderBy[1].Desc || s.OrderBy[0].Desc {
+		t.Error("ORDER BY direction flags wrong")
+	}
+}
+
+func TestParseQuery20(t *testing.T) {
+	// Figure 7 of the paper: window function over a partitioned SUM.
+	q := `SELECT i_item_desc, i_category, i_class, i_current_price,
+	 SUM(cs_ext_sales_price) AS itemrevenue,
+	 SUM(cs_ext_sales_price)*100/SUM(SUM(cs_ext_sales_price)) OVER (PARTITION BY i_class) AS revenueratio
+	FROM catalog_sales, item, date_dim
+	WHERE cs_item_sk = i_item_sk
+	  AND i_category IN ('Sports', 'Books', 'Home')
+	  AND cs_sold_date_sk = d_date_sk
+	  AND d_date BETWEEN CAST('1999-02-21' AS DATE) AND CAST('1999-03-21' AS DATE)
+	GROUP BY i_item_id, i_item_desc, i_category, i_class, i_current_price
+	ORDER BY i_category, i_class, i_item_id, i_item_desc, revenueratio`
+	s := mustParse(t, q)
+	if len(s.Items) != 6 {
+		t.Fatalf("select items = %d, want 6", len(s.Items))
+	}
+	// The 6th item must contain a window expression.
+	found := false
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *Window:
+			found = true
+			if len(v.PartitionBy) != 1 || v.PartitionBy[0].Render() != "i_class" {
+				t.Errorf("window partition = %v", v.PartitionBy)
+			}
+		case *BinOp:
+			walk(v.L)
+			walk(v.R)
+		}
+	}
+	walk(s.Items[5].Expr)
+	if !found {
+		t.Error("window function not parsed")
+	}
+	if len(s.GroupBy) != 5 {
+		t.Errorf("group by %d, want 5", len(s.GroupBy))
+	}
+}
+
+func TestParseJoinOn(t *testing.T) {
+	s := mustParse(t, `SELECT a.x FROM t1 a JOIN t2 b ON a.k = b.k JOIN t3 c ON b.j = c.j WHERE a.y > 5`)
+	if len(s.From) != 3 {
+		t.Fatalf("FROM = %d tables", len(s.From))
+	}
+	// ON conditions folded into WHERE: ((a.k=b.k AND b.j=c.j) AND a.y>5).
+	r := s.Where.Render()
+	for _, want := range []string{"a.k = b.k", "b.j = c.j", "a.y > 5"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("WHERE %q missing %q", r, want)
+		}
+	}
+}
+
+func TestParseLeftJoin(t *testing.T) {
+	s := mustParse(t, `SELECT a.x FROM t1 a LEFT OUTER JOIN t2 b ON a.k = b.k`)
+	if len(s.From) != 2 || !s.From[1].LeftJoin || s.From[1].On == nil {
+		t.Fatalf("LEFT JOIN not captured: %+v", s.From)
+	}
+	if s.Where != nil {
+		t.Error("LEFT JOIN condition must not leak into WHERE")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	s := mustParse(t, `SELECT x FROM t WHERE a BETWEEN 1 AND 10 AND b NOT IN (1,2,3)
+	 AND c LIKE 'ab%' AND d IS NOT NULL AND NOT (e = 1 OR f < 2.5)`)
+	r := s.Where.Render()
+	for _, want := range []string{"BETWEEN", "NOT IN", "LIKE 'ab%'", "IS NOT NULL", "(NOT"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("WHERE %q missing %q", r, want)
+		}
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	s := mustParse(t, `SELECT x FROM t WHERE k IN (SELECT k FROM u WHERE v = 1)`)
+	in, ok := s.Where.(*In)
+	if !ok || in.Sub == nil {
+		t.Fatalf("IN subquery not parsed: %T", s.Where)
+	}
+}
+
+func TestParseScalarSubquery(t *testing.T) {
+	s := mustParse(t, `SELECT x FROM t WHERE v > (SELECT AVG(v) FROM t)`)
+	cmp, ok := s.Where.(*BinOp)
+	if !ok {
+		t.Fatalf("WHERE is %T", s.Where)
+	}
+	if _, ok := cmp.R.(*SubQuery); !ok {
+		t.Fatalf("right side is %T, want SubQuery", cmp.R)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	s := mustParse(t, `SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END lbl FROM t`)
+	c, ok := s.Items[0].Expr.(*CaseExpr)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("CASE parse: %+v", s.Items[0].Expr)
+	}
+	if s.Items[0].Alias != "lbl" {
+		t.Error("implicit alias lost")
+	}
+}
+
+func TestParseWith(t *testing.T) {
+	s := mustParse(t, `WITH top AS (SELECT k, SUM(v) s FROM t GROUP BY k)
+	 SELECT k FROM top WHERE s > 100 ORDER BY k LIMIT 10`)
+	if len(s.With) != 1 || s.With[0].Name != "top" {
+		t.Fatalf("WITH = %+v", s.With)
+	}
+	if s.Limit != 10 {
+		t.Errorf("LIMIT = %d", s.Limit)
+	}
+}
+
+func TestParseUnionAll(t *testing.T) {
+	s := mustParse(t, `SELECT x FROM a UNION ALL SELECT x FROM b UNION ALL SELECT x FROM c ORDER BY x`)
+	n := 0
+	for cur := s; cur != nil; cur = cur.UnionAll {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("union chain length = %d, want 3", n)
+	}
+	// The trailing ORDER BY belongs to the head (whole result).
+	if len(s.OrderBy) != 1 {
+		t.Errorf("head ORDER BY = %d items", len(s.OrderBy))
+	}
+}
+
+func TestParseDistinctAndCountStar(t *testing.T) {
+	s := mustParse(t, `SELECT DISTINCT a, COUNT(*) c, COUNT(DISTINCT b) FROM t GROUP BY a`)
+	if !s.Distinct {
+		t.Error("DISTINCT lost")
+	}
+	fc := s.Items[1].Expr.(*FuncCall)
+	if !fc.Star {
+		t.Error("COUNT(*) star lost")
+	}
+	fc2 := s.Items[2].Expr.(*FuncCall)
+	if !fc2.Distinct {
+		t.Error("COUNT(DISTINCT) lost")
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	s := mustParse(t, `SELECT x FROM t WHERE d BETWEEN DATE '1999-02-21' AND DATE '1999-03-21'`)
+	b := s.Where.(*Between)
+	lo := b.Lo.(*Lit)
+	if lo.Kind != LitDate || lo.Str != "1999-02-21" {
+		t.Errorf("date literal = %+v", lo)
+	}
+}
+
+func TestParseArithPrecedence(t *testing.T) {
+	s := mustParse(t, `SELECT 1 + 2 * 3 - 4 / 2 FROM t`)
+	if got := s.Items[0].Expr.Render(); got != "((1 + (2 * 3)) - (4 / 2))" {
+		t.Errorf("precedence render = %s", got)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	s := mustParse(t, `SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3`)
+	top := s.Where.(*BinOp)
+	if top.Op != "OR" {
+		t.Fatalf("top op = %s, want OR (AND binds tighter)", top.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT x FROM t WHERE",
+		"SELECT x FROM t GROUP",
+		"SELECT x FROM t LIMIT -1",
+		"SELECT x FROM t WHERE a BETWEEN 1",
+		"SELECT x FROM t WHERE a IN",
+		"SELECT x FROM t UNION SELECT x FROM u", // bare UNION unsupported
+		"SELECT x FROM t WHERE a LIKE b",        // LIKE needs a literal
+		"SELECT x + OVER (PARTITION BY y) FROM t",
+		"SELECT CASE END FROM t",
+		"SELECT x FROM t; SELECT y FROM u",
+		"SELECT 'unterminated FROM t",
+		"SELECT x FROM t WHERE a ~ b",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", q)
+		}
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a.b, 'it''s' -- comment\n FROM t WHERE x <> 1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	joined := strings.Join(texts, " ")
+	for _, want := range []string{"SELECT", "a", ".", "b", "it's", "FROM", "<>", "1.5"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lex output %q missing %q", joined, want)
+		}
+	}
+	if strings.Contains(joined, "comment") {
+		t.Error("comment not stripped")
+	}
+}
+
+func TestRenderRoundTrips(t *testing.T) {
+	// Render of a parsed expression should itself be parseable.
+	exprs := []string{
+		`SELECT a + b * c FROM t`,
+		`SELECT x FROM t WHERE a BETWEEN 1 AND 2 OR c IS NULL`,
+		`SELECT CASE WHEN a = 1 THEN 2 ELSE 3 END FROM t`,
+		`SELECT SUM(a) OVER (PARTITION BY b, c) FROM t`,
+	}
+	for _, q := range exprs {
+		s := mustParse(t, q)
+		r := "SELECT " + s.Items[0].Expr.Render() + " FROM t"
+		if _, err := Parse(r); err != nil {
+			t.Errorf("re-parse of rendered %q failed: %v", r, err)
+		}
+	}
+}
+
+func TestParseRollup(t *testing.T) {
+	s := mustParse(t, `SELECT a, b, SUM(c) FROM t GROUP BY ROLLUP(a, b) ORDER BY a`)
+	if !s.Rollup {
+		t.Fatal("ROLLUP flag not set")
+	}
+	if len(s.GroupBy) != 2 {
+		t.Fatalf("rollup group-by count = %d", len(s.GroupBy))
+	}
+	plain := mustParse(t, `SELECT a, SUM(c) FROM t GROUP BY a`)
+	if plain.Rollup {
+		t.Fatal("plain GROUP BY must not set Rollup")
+	}
+	for _, bad := range []string{
+		`SELECT a FROM t GROUP BY ROLLUP a`, // missing parens
+		`SELECT a FROM t GROUP BY ROLLUP(a`, // unclosed
+		`SELECT a FROM t GROUP BY ROLLUP()`, // empty
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%s) should fail", bad)
+		}
+	}
+}

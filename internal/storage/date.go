@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// The date epoch is 1900-01-01; date_dim spans 1900-01-01 .. 2100-01-01
+// (73049 days), matching the official calendar dimension. Surrogate keys
+// of date_dim are days-since-epoch + 1 so that key 1 is 1900-01-01 and
+// keys are dense and join-friendly.
+
+var epoch = time.Date(1900, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// DateDimRows is the number of calendar days covered by date_dim.
+const DateDimRows = 73049
+
+// DaysFromYMD converts a calendar date to days since 1900-01-01.
+func DaysFromYMD(year, month, day int) int64 {
+	t := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	return int64(t.Sub(epoch).Hours() / 24)
+}
+
+// YMDFromDays converts days since 1900-01-01 to calendar components.
+func YMDFromDays(days int64) (year, month, day int) {
+	t := epoch.AddDate(0, 0, int(days))
+	return t.Year(), int(t.Month()), t.Day()
+}
+
+// Weekday returns the 0-based day of week (0 = Sunday) for days since
+// the epoch. 1900-01-01 was a Monday.
+func Weekday(days int64) int {
+	return int((days + 1) % 7)
+}
+
+// DayName returns the English day name for days since epoch.
+func DayName(days int64) string {
+	names := [...]string{"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"}
+	return names[Weekday(days)]
+}
+
+// FormatDate renders days since epoch as ISO yyyy-mm-dd.
+func FormatDate(days int64) string {
+	y, m, d := YMDFromDays(days)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// ParseDate parses an ISO yyyy-mm-dd string to days since epoch.
+func ParseDate(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("storage: bad date %q: %w", s, err)
+	}
+	return int64(t.Sub(epoch).Hours() / 24), nil
+}
+
+// DateSK converts days since epoch to the date_dim surrogate key
+// (1-based, dense).
+func DateSK(days int64) int64 { return days + 1 }
+
+// DaysFromSK converts a date_dim surrogate key back to days since epoch.
+func DaysFromSK(sk int64) int64 { return sk - 1 }
+
+// IsLeapYear reports whether the year is a Gregorian leap year.
+func IsLeapYear(year int) bool {
+	return year%4 == 0 && (year%100 != 0 || year%400 == 0)
+}

@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tpcds/internal/schema"
+)
+
+// Flat-file format: one row per line, fields separated by '|', with a
+// trailing '|' before the newline (dsdgen's format). NULL is the empty
+// field. Dates are ISO yyyy-mm-dd.
+
+// WriteFlat writes the whole table in flat-file format.
+func (t *Table) WriteFlat(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	n := t.NumRows()
+	for r := 0; r < n; r++ {
+		if err := writeFlatRow(bw, t, r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeFlatRow(bw *bufio.Writer, t *Table, r int) error {
+	for c := 0; c < t.NumCols(); c++ {
+		if _, err := bw.WriteString(t.Get(r, c).String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('|'); err != nil {
+			return err
+		}
+	}
+	return bw.WriteByte('\n')
+}
+
+// ParseField converts one flat-file field to a Value of the given
+// logical type. The empty field is NULL.
+func ParseField(field string, typ schema.Type) (Value, error) {
+	if field == "" {
+		return Null, nil
+	}
+	switch typ {
+	case schema.Identifier, schema.Integer:
+		v, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("storage: bad integer field %q: %w", field, err)
+		}
+		return Int(v), nil
+	case schema.Decimal:
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return Null, fmt.Errorf("storage: bad decimal field %q: %w", field, err)
+		}
+		return Float(v), nil
+	case schema.Date:
+		d, err := ParseDate(field)
+		if err != nil {
+			return Null, err
+		}
+		return DateV(d), nil
+	default:
+		return Str(field), nil
+	}
+}
+
+// ReadFlat loads flat-file rows into the table, appending to existing
+// content. It returns the number of rows loaded.
+func (t *Table) ReadFlat(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	rows := 0
+	row := make([]Value, t.NumCols())
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		line = strings.TrimSuffix(line, "|")
+		fields := strings.Split(line, "|")
+		if len(fields) != t.NumCols() {
+			return rows, fmt.Errorf("storage: %s row %d has %d fields, want %d",
+				t.Def.Name, rows+1, len(fields), t.NumCols())
+		}
+		for i, f := range fields {
+			v, err := ParseField(f, t.Def.Columns[i].Type)
+			if err != nil {
+				return rows, fmt.Errorf("%s row %d col %s: %w", t.Def.Name, rows+1, t.Def.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		t.Append(row)
+		rows++
+	}
+	return rows, sc.Err()
+}

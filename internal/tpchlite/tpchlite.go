@@ -1,0 +1,269 @@
+// Package tpchlite implements a reduced TPC-H-style baseline: the
+// previous-generation decision support benchmark the paper contrasts
+// TPC-DS against (§1). It reproduces the properties the paper
+// criticizes, so the benchmark-level benchmarks can demonstrate the
+// differences:
+//
+//   - a pure 3NF schema of 8 tables with few columns,
+//   - uniform, un-skewed synthetic data ("imposes little challenges on
+//     statistic collection and optimal plan generation"),
+//   - linear scaling of the main tables — customers and parts grow with
+//     the scale factor, producing the "20 billion distinct parts to 15
+//     billion customers" absurdity at large SF, and
+//   - a geometric-mean power metric, under which "a reduction of elapsed
+//     time for a query from 6 hours to 2 hours has the same effect on
+//     the metric as reducing a query from 6 seconds to 2 seconds".
+//
+// The tables run on the same storage and execution engine as TPC-DS, so
+// comparisons isolate the workload design rather than the
+// implementation.
+package tpchlite
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tpcds/internal/rng"
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
+)
+
+// Tables returns the 8-table 3NF schema (TPC-D/H lineage).
+func Tables() []*schema.Table {
+	id := func(n string) schema.Column { return schema.Column{Name: n, Type: schema.Identifier} }
+	in := func(n string) schema.Column { return schema.Column{Name: n, Type: schema.Integer} }
+	dec := func(n string) schema.Column { return schema.Column{Name: n, Type: schema.Decimal} }
+	ch := func(n string, l int) schema.Column { return schema.Column{Name: n, Type: schema.Char, Len: l} }
+	dt := func(n string) schema.Column { return schema.Column{Name: n, Type: schema.Date} }
+	return []*schema.Table{
+		{Name: "region", Kind: schema.Dimension, Columns: []schema.Column{
+			id("r_regionkey"), ch("r_name", 25)}, PrimaryKey: []string{"r_regionkey"}},
+		{Name: "nation", Kind: schema.Dimension, Columns: []schema.Column{
+			id("n_nationkey"), ch("n_name", 25), id("n_regionkey")},
+			PrimaryKey:  []string{"n_nationkey"},
+			ForeignKeys: []schema.ForeignKey{{Column: "n_regionkey", Ref: "region"}}},
+		{Name: "supplier", Kind: schema.Dimension, Columns: []schema.Column{
+			id("s_suppkey"), ch("s_name", 25), id("s_nationkey"), dec("s_acctbal")},
+			PrimaryKey:  []string{"s_suppkey"},
+			ForeignKeys: []schema.ForeignKey{{Column: "s_nationkey", Ref: "nation"}}},
+		{Name: "part", Kind: schema.Dimension, Columns: []schema.Column{
+			id("p_partkey"), ch("p_name", 55), ch("p_brand", 10), ch("p_type", 25),
+			in("p_size"), dec("p_retailprice")}, PrimaryKey: []string{"p_partkey"}},
+		{Name: "partsupp", Kind: schema.Fact, Columns: []schema.Column{
+			id("ps_partkey"), id("ps_suppkey"), in("ps_availqty"), dec("ps_supplycost")},
+			PrimaryKey: []string{"ps_partkey", "ps_suppkey"},
+			ForeignKeys: []schema.ForeignKey{
+				{Column: "ps_partkey", Ref: "part"}, {Column: "ps_suppkey", Ref: "supplier"}}},
+		{Name: "customer", Kind: schema.Dimension, Columns: []schema.Column{
+			id("c_custkey"), ch("c_name", 25), id("c_nationkey"), dec("c_acctbal"),
+			ch("c_mktsegment", 10)},
+			PrimaryKey:  []string{"c_custkey"},
+			ForeignKeys: []schema.ForeignKey{{Column: "c_nationkey", Ref: "nation"}}},
+		{Name: "orders", Kind: schema.Fact, Columns: []schema.Column{
+			id("o_orderkey"), id("o_custkey"), ch("o_orderstatus", 1), dec("o_totalprice"),
+			dt("o_orderdate"), in("o_shippriority")},
+			PrimaryKey:  []string{"o_orderkey"},
+			ForeignKeys: []schema.ForeignKey{{Column: "o_custkey", Ref: "customer"}}},
+		{Name: "lineitem", Kind: schema.Fact, Columns: []schema.Column{
+			id("l_orderkey"), id("l_partkey"), id("l_suppkey"), in("l_linenumber"),
+			in("l_quantity"), dec("l_extendedprice"), dec("l_discount"), dec("l_tax"),
+			ch("l_returnflag", 1), ch("l_linestatus", 1), dt("l_shipdate")},
+			PrimaryKey: []string{"l_orderkey", "l_linenumber"},
+			ForeignKeys: []schema.ForeignKey{
+				{Column: "l_orderkey", Ref: "orders"}, {Column: "l_partkey", Ref: "part"},
+				{Column: "l_suppkey", Ref: "supplier"}}},
+	}
+}
+
+// Rows returns the cardinality at scale factor sf. Every main table is
+// LINEAR in sf — the scaling model the paper criticizes: at SF 100,000
+// this models 20 billion parts and 15 billion customers.
+func Rows(table string, sf float64) int64 {
+	perSF := map[string]float64{
+		"supplier": 10_000,
+		"part":     200_000,
+		"partsupp": 800_000,
+		"customer": 150_000,
+		"orders":   1_500_000,
+		"lineitem": 6_000_000,
+	}
+	switch table {
+	case "region":
+		return 5
+	case "nation":
+		return 25
+	}
+	r, ok := perSF[table]
+	if !ok {
+		panic(fmt.Sprintf("tpchlite: unknown table %q", table))
+	}
+	n := int64(math.Round(r * sf))
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// Generate builds the database with uniform, un-skewed data — no
+// seasonality, no frequent-name skew, no comparability zones.
+func Generate(sf float64, seed uint64) *storage.DB {
+	if sf <= 0 {
+		panic("tpchlite: non-positive scale factor")
+	}
+	db := storage.NewDB()
+	defs := map[string]*schema.Table{}
+	for _, d := range Tables() {
+		defs[d.Name] = d
+	}
+	stream := func(table string) *rng.Stream {
+		return rng.NewStream(rng.ColumnSeed(seed, "tpchlite-"+table, "row"))
+	}
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	types := []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	epoch := storage.DaysFromYMD(1992, 1, 1)
+	span := storage.DaysFromYMD(1998, 12, 1) - epoch
+
+	region := db.Create(defs["region"])
+	for i := int64(1); i <= Rows("region", sf); i++ {
+		region.Append([]storage.Value{storage.Int(i), storage.Str(fmt.Sprintf("REGION#%d", i))})
+	}
+	nation := db.Create(defs["nation"])
+	for i := int64(1); i <= Rows("nation", sf); i++ {
+		nation.Append([]storage.Value{
+			storage.Int(i), storage.Str(fmt.Sprintf("NATION#%d", i)),
+			storage.Int((i-1)%Rows("region", sf) + 1)})
+	}
+	supplier := db.Create(defs["supplier"])
+	s := stream("supplier")
+	for i := int64(1); i <= Rows("supplier", sf); i++ {
+		supplier.Append([]storage.Value{
+			storage.Int(i), storage.Str(fmt.Sprintf("Supplier#%09d", i)),
+			storage.Int(1 + s.Int63n(25)), storage.Float(float64(s.Range(-99999, 999999)) / 100)})
+	}
+	part := db.Create(defs["part"])
+	s = stream("part")
+	for i := int64(1); i <= Rows("part", sf); i++ {
+		part.Append([]storage.Value{
+			storage.Int(i), storage.Str(fmt.Sprintf("part %d", i)),
+			storage.Str(fmt.Sprintf("Brand#%d%d", 1+s.Intn(5), 1+s.Intn(5))),
+			storage.Str(types[s.Intn(len(types))]),
+			storage.Int(s.Range(1, 50)), storage.Float(float64(90000+i%20000) / 100)})
+	}
+	partsupp := db.Create(defs["partsupp"])
+	s = stream("partsupp")
+	nPart, nSupp := Rows("part", sf), Rows("supplier", sf)
+	for i := int64(0); i < Rows("partsupp", sf); i++ {
+		partsupp.Append([]storage.Value{
+			storage.Int(i%nPart + 1), storage.Int((i/nPart)%nSupp + 1),
+			storage.Int(s.Range(1, 9999)), storage.Float(float64(s.Range(100, 100000)) / 100)})
+	}
+	customer := db.Create(defs["customer"])
+	s = stream("customer")
+	for i := int64(1); i <= Rows("customer", sf); i++ {
+		customer.Append([]storage.Value{
+			storage.Int(i), storage.Str(fmt.Sprintf("Customer#%09d", i)),
+			storage.Int(1 + s.Int63n(25)), storage.Float(float64(s.Range(-99999, 999999)) / 100),
+			storage.Str(segments[s.Intn(len(segments))])})
+	}
+	orders := db.Create(defs["orders"])
+	s = stream("orders")
+	nCust := Rows("customer", sf)
+	for i := int64(1); i <= Rows("orders", sf); i++ {
+		// Uniform order dates: the un-skewed distribution the paper
+		// contrasts with the zoned seasonal distribution of TPC-DS.
+		orders.Append([]storage.Value{
+			storage.Int(i), storage.Int(1 + s.Int63n(nCust)),
+			storage.Str([]string{"O", "F", "P"}[s.Intn(3)]),
+			storage.Float(float64(s.Range(1000, 50000000)) / 100),
+			storage.DateV(epoch + s.Int63n(span)), storage.Int(0)})
+	}
+	lineitem := db.Create(defs["lineitem"])
+	lineitem.Grow(int(Rows("lineitem", sf)))
+	s = stream("lineitem")
+	nOrders := Rows("orders", sf)
+	for i := int64(0); i < Rows("lineitem", sf); i++ {
+		qty := s.Range(1, 50)
+		price := float64(s.Range(90000, 200000)) / 100 * float64(qty)
+		lineitem.Append([]storage.Value{
+			storage.Int(i%nOrders + 1), storage.Int(1 + s.Int63n(nPart)),
+			storage.Int(1 + s.Int63n(nSupp)), storage.Int(i / nOrders),
+			storage.Int(qty), storage.Float(price),
+			storage.Float(float64(s.Intn(11)) / 100), storage.Float(float64(s.Intn(9)) / 100),
+			storage.Str([]string{"R", "A", "N"}[s.Intn(3)]),
+			storage.Str([]string{"O", "F"}[s.Intn(2)]),
+			storage.DateV(epoch + s.Int63n(span))})
+	}
+	return db
+}
+
+// Queries returns the fixed TPC-H-style query set: 8 known-in-advance
+// queries with no substitution model. "There are relatively few distinct
+// queries in TPC-H, and since they are known before benchmark execution,
+// engineers can tune optimizers and execution paths" (§1).
+func Queries() []string {
+	return []string{
+		// Q1-style pricing summary.
+		`SELECT l_returnflag, l_linestatus, SUM(l_quantity) sum_qty,
+		   SUM(l_extendedprice) sum_base, AVG(l_discount) avg_disc, COUNT(*) cnt
+		 FROM lineitem WHERE l_shipdate <= '1998-09-01'
+		 GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+		// Q3-style shipping priority.
+		`SELECT o_orderkey, SUM(l_extendedprice * (1 - l_discount)) revenue, o_orderdate
+		 FROM customer, orders, lineitem
+		 WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+		   AND o_orderdate < '1995-03-15'
+		 GROUP BY o_orderkey, o_orderdate ORDER BY revenue DESC, o_orderdate LIMIT 10`,
+		// Q5-style local supplier volume.
+		`SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) revenue
+		 FROM customer, orders, lineitem, supplier, nation
+		 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		   AND l_suppkey = s_suppkey AND s_nationkey = n_nationkey
+		   AND c_nationkey = s_nationkey
+		   AND o_orderdate BETWEEN '1994-01-01' AND '1994-12-31'
+		 GROUP BY n_name ORDER BY revenue DESC`,
+		// Q6-style forecast revenue change.
+		`SELECT SUM(l_extendedprice * l_discount) revenue
+		 FROM lineitem
+		 WHERE l_shipdate BETWEEN '1994-01-01' AND '1994-12-31'
+		   AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`,
+		// Q10-style returned item reporting.
+		`SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) revenue
+		 FROM customer, orders, lineitem
+		 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_returnflag = 'R'
+		 GROUP BY c_custkey, c_name ORDER BY revenue DESC LIMIT 20`,
+		// Q12-style shipping mode count.
+		`SELECT l_linestatus, COUNT(*) cnt FROM lineitem, orders
+		 WHERE l_orderkey = o_orderkey AND o_orderstatus = 'F'
+		 GROUP BY l_linestatus ORDER BY l_linestatus`,
+		// Q14-style promotion effect.
+		`SELECT SUM(CASE WHEN p_type = 'PROMO' THEN l_extendedprice ELSE 0 END) * 100 /
+		        SUM(l_extendedprice) promo_share
+		 FROM lineitem, part WHERE l_partkey = p_partkey`,
+		// Q18-style large volume customer.
+		`SELECT o_orderkey, SUM(l_quantity) total_qty FROM orders, lineitem
+		 WHERE o_orderkey = l_orderkey
+		 GROUP BY o_orderkey HAVING SUM(l_quantity) > 150
+		 ORDER BY total_qty DESC LIMIT 20`,
+	}
+}
+
+// PowerMetric is the previous-generation geometric-mean power metric:
+// 3600 * SF / geomean(times in seconds). Its weakness, per §5.3: a query
+// going from 6h to 2h moves the metric exactly as much as one going
+// from 6s to 2s.
+func PowerMetric(sf float64, times []time.Duration) float64 {
+	if len(times) == 0 || sf <= 0 {
+		return 0
+	}
+	var logSum float64
+	for _, t := range times {
+		s := t.Seconds()
+		if s <= 0 {
+			s = 1e-9
+		}
+		logSum += math.Log(s)
+	}
+	geomean := math.Exp(logSum / float64(len(times)))
+	return sf * 3600 / geomean
+}

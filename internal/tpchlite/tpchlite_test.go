@@ -1,0 +1,162 @@
+package tpchlite
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tpcds/internal/exec"
+	"tpcds/internal/scaling"
+	"tpcds/internal/storage"
+)
+
+const testSF = 0.002
+
+var sharedDB = Generate(testSF, 1)
+
+func TestSchemaShape(t *testing.T) {
+	tabs := Tables()
+	if len(tabs) != 8 {
+		t.Fatalf("tables = %d, TPC-H has 8", len(tabs))
+	}
+	// The paper: TPC-H's low column counts don't reveal optimizer
+	// differences; verify our baseline is indeed much narrower than
+	// TPC-DS (avg 18 columns).
+	total := 0
+	for _, tb := range tabs {
+		total += len(tb.Columns)
+	}
+	avg := float64(total) / float64(len(tabs))
+	if avg > 10 {
+		t.Errorf("baseline avg columns = %.1f, should be well below TPC-DS's 18", avg)
+	}
+}
+
+func TestRowcountsLinear(t *testing.T) {
+	// Core critique: EVERY main table scales linearly, including
+	// customers and parts.
+	for _, tb := range []string{"supplier", "part", "partsupp", "customer", "orders", "lineitem"} {
+		lo, hi := Rows(tb, 1), Rows(tb, 10)
+		if ratio := float64(hi) / float64(lo); math.Abs(ratio-10) > 0.01 {
+			t.Errorf("%s grows %.2fx per 10x SF, want exactly 10x", tb, ratio)
+		}
+	}
+	if Rows("region", 1) != Rows("region", 100000) {
+		t.Error("region should be fixed")
+	}
+}
+
+// TestUnrealisticAtScale pins the paper's numeric example: "at scale
+// factor 100,000 the database models a retailer selling 20 billion
+// distinct parts to 15 billion customers".
+func TestUnrealisticAtScale(t *testing.T) {
+	if got := Rows("part", 100000); got != 20_000_000_000 {
+		t.Errorf("parts at SF100000 = %d, paper says 20 billion", got)
+	}
+	if got := Rows("customer", 100000); got != 15_000_000_000 {
+		t.Errorf("customers at SF100000 = %d, paper says 15 billion", got)
+	}
+	if got := Rows("orders", 100000); got != 150_000_000_000 {
+		t.Errorf("orders at SF100000 = %d, paper says 150 billion transactions", got)
+	}
+}
+
+func TestGenerateAllTables(t *testing.T) {
+	for _, tb := range Tables() {
+		got := sharedDB.Table(tb.Name)
+		if got == nil || got.NumRows() == 0 {
+			t.Errorf("table %s missing or empty", tb.Name)
+			continue
+		}
+		if int64(got.NumRows()) != Rows(tb.Name, testSF) {
+			t.Errorf("%s rows = %d, model says %d", tb.Name, got.NumRows(), Rows(tb.Name, testSF))
+		}
+	}
+}
+
+// TestUniformDates: order dates must be un-skewed (flat months) — the
+// anti-property of the TPC-DS seasonal distribution.
+func TestUniformDates(t *testing.T) {
+	orders := sharedDB.Table("orders")
+	dateCol := orders.Def.ColumnIndex("o_orderdate")
+	counts := make([]int, 13)
+	for r := 0; r < orders.NumRows(); r++ {
+		_, m, _ := storage.YMDFromDays(orders.Get(r, dateCol).AsInt())
+		counts[m]++
+	}
+	min, max := counts[1], counts[1]
+	for m := 2; m <= 12; m++ {
+		if counts[m] < min {
+			min = counts[m]
+		}
+		if counts[m] > max {
+			max = counts[m]
+		}
+	}
+	if min == 0 {
+		t.Fatal("a month has no orders")
+	}
+	if spread := float64(max) / float64(min); spread > 1.5 {
+		t.Errorf("order months spread %.2fx; baseline should be uniform", spread)
+	}
+}
+
+func TestQueriesExecute(t *testing.T) {
+	eng := exec.New(sharedDB)
+	qs := Queries()
+	if len(qs) < 8 {
+		t.Fatalf("query set = %d, want >= 8", len(qs))
+	}
+	for i, q := range qs {
+		if _, err := eng.Query(q); err != nil {
+			t.Errorf("baseline query %d failed: %v", i+1, err)
+		}
+	}
+}
+
+// TestPowerMetricWeakness demonstrates §5.3's critique: improving one
+// query from 6h to 2h moves the geometric mean exactly as much as
+// improving another from 6s to 2s.
+func TestPowerMetricWeakness(t *testing.T) {
+	base := []time.Duration{6 * time.Hour, 6 * time.Second, time.Minute}
+	fastBig := []time.Duration{2 * time.Hour, 6 * time.Second, time.Minute}
+	fastSmall := []time.Duration{6 * time.Hour, 2 * time.Second, time.Minute}
+	a := PowerMetric(100, fastBig) / PowerMetric(100, base)
+	b := PowerMetric(100, fastSmall) / PowerMetric(100, base)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("power metric gains differ: 6h->2h gives %.6f, 6s->2s gives %.6f", a, b)
+	}
+	if a <= 1 {
+		t.Error("improvement should raise the metric")
+	}
+}
+
+func TestPowerMetricEdge(t *testing.T) {
+	if PowerMetric(100, nil) != 0 {
+		t.Error("empty times should yield 0")
+	}
+	if PowerMetric(0, []time.Duration{time.Second}) != 0 {
+		t.Error("zero SF should yield 0")
+	}
+}
+
+// TestLinearVsSublinearContrast quantifies the §3.1 comparison at a
+// large scale factor: TPC-H-lite customers explode linearly while the
+// TPC-DS model stays realistic.
+func TestLinearVsSublinearContrast(t *testing.T) {
+	hCustomers := Rows("customer", 100000)
+	dsCustomers := scaling.Rows("customer", 100000)
+	if hCustomers <= dsCustomers*100 {
+		t.Errorf("baseline customers (%d) should dwarf TPC-DS customers (%d)",
+			hCustomers, dsCustomers)
+	}
+}
+
+func TestRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown table should panic")
+		}
+	}()
+	Rows("nope", 1)
+}
