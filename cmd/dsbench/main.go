@@ -36,12 +36,13 @@ func main() {
 	topN := flag.Int("top", 10, "slowest queries to report")
 	dataDir := flag.String("data", "", "load from dsdgen flat files instead of generating")
 	parallel := flag.Bool("parallel", false, "generate tables concurrently during the load test")
+	parallelism := flag.Int("parallelism", 0, "morsel workers per query (0 = all cores, 1 = serial)")
 	runAudit := flag.Bool("audit", false, "audit the database after the benchmark (TPC audit checks)")
 	flag.Parse()
 
 	cfg := driver.Config{
 		SF: *sf, Streams: *streams, Seed: *seed,
-		DataDir: *dataDir, ParallelLoad: *parallel,
+		DataDir: *dataDir, ParallelLoad: *parallel, Parallelism: *parallelism,
 		Price: metric.PriceModel{HardwareUSD: *hw, SoftwareUSD: *sw, MaintenanceUSD: *maint},
 	}
 	switch *mode {

@@ -25,6 +25,7 @@ func main() {
 	query := flag.String("e", "", "query text (default: read stdin)")
 	mode := flag.String("mode", "auto", "plan mode: auto|hash|star")
 	explain := flag.Bool("explain", false, "print the optimizer decision after execution")
+	parallelism := flag.Int("parallelism", 0, "morsel workers (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	text := *query
@@ -45,10 +46,11 @@ func main() {
 	case "star":
 		eng.SetMode(plan.ForceStar)
 	}
+	eng.SetParallelism(*parallelism)
 	fmt.Fprintf(os.Stderr, "loaded SF %v in %v\n", *sf, time.Since(loadStart).Round(time.Millisecond))
 
 	start := time.Now()
-	res, err := eng.Query(text)
+	res, tr, err := eng.QueryTraced(text)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
 		os.Exit(1)
@@ -56,6 +58,6 @@ func main() {
 	fmt.Print(res.String())
 	fmt.Fprintf(os.Stderr, "%d rows in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
 	if *explain {
-		fmt.Fprint(os.Stderr, eng.LastTrace().String())
+		fmt.Fprint(os.Stderr, tr.String())
 	}
 }

@@ -60,6 +60,13 @@ func TestFullBenchmarkRun(t *testing.T) {
 	if res.Report.Official {
 		t.Error("development subset run must not be publishable")
 	}
+	if !res.Report.Subset {
+		t.Error("subset run not flagged in the report")
+	}
+	if res.Report.PerStream != len(tinyCfg().QueryIDs) {
+		t.Errorf("report per-stream query count = %d, want %d",
+			res.Report.PerStream, len(tinyCfg().QueryIDs))
+	}
 	if res.DMStats.FactInserts == 0 {
 		t.Error("data maintenance did not insert facts")
 	}
@@ -219,6 +226,41 @@ func TestLoadFromFlatFiles(t *testing.T) {
 func dumpFreshDatabase(cfg Config, dir string) error {
 	db := freshDB(cfg)
 	return db.DumpDir(dir)
+}
+
+// TestParallelExecutionMatchesSerial runs the full benchmark with the
+// morsel executor enabled against a serial run: row counts must match
+// per (run, stream, query). With 2 concurrent streams each fanning out
+// morsel workers, this is also the -race exercise of the engine and
+// driver concurrency (satellite: `go test -race ./internal/driver`).
+func TestParallelExecutionMatchesSerial(t *testing.T) {
+	cfg := tinyCfg()
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	cfg.MorselRows = 32 // force real morsel splits at development scale
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := func(r *Result) map[[3]int]int {
+		m := map[[3]int]int{}
+		for _, qt := range r.Queries {
+			m[[3]int{qt.Run, qt.Stream, qt.QueryID}] = qt.Rows
+		}
+		return m
+	}
+	a, b := rows(serial), rows(par)
+	if len(a) != len(b) {
+		t.Fatalf("execution counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("query %v: serial %d rows vs parallel %d rows", k, v, b[k])
+		}
+	}
 }
 
 func TestParallelLoadProducesSameResults(t *testing.T) {

@@ -189,7 +189,7 @@ func collectAggregates(e sql.Expr, aggs map[string]*sql.FuncCall, windows map[st
 // aggregate executes the grouping path: hash aggregation over the joined
 // base rows, windowed aggregates over the groups, then HAVING,
 // projection, DISTINCT, ORDER BY and LIMIT.
-func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Value, orderBy []sql.OrderItem) (*Result, []schema.Type, error) {
+func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Value, orderBy []sql.OrderItem, tr *Trace) (*Result, []schema.Type, error) {
 	// Gather distinct aggregate and window calls across all clauses.
 	aggMap := map[string]*sql.FuncCall{}
 	winMap := map[string]*sql.Window{}
@@ -242,22 +242,31 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		}
 	}
 
-	// Hash aggregation. aggregateLevel groups by the first `level`
-	// group-by expressions, padding the remaining group slots with NULL
-	// — level == len(groupExprs) is the ordinary grouping; lower levels
-	// are the ROLLUP subtotals of the SQL-99 OLAP amendment.
+	// Hash aggregation. aggregateMask groups by the group-by expressions
+	// whose bit is set in mask, padding the others with NULL. The full
+	// mask is ordinary grouping; ROLLUP uses prefix masks, CUBE every
+	// subset (SQL-99 OLAP amendment).
 	type group struct {
-		vals []storage.Value
-		accs []aggAcc
+		vals  []storage.Value
+		accs  []aggAcc
+		first int // first contributing row (serial emit order)
 	}
 	width := len(groupExprs) + len(specs)
-	// aggregateMask groups by the group-by expressions whose bit is set
-	// in mask, padding the others with NULL. The full mask is ordinary
-	// grouping; ROLLUP uses prefix masks, CUBE every subset (SQL-99 OLAP
-	// amendment).
-	aggregateMask := func(mask uint) [][]storage.Value {
+	emit := func(groups []*group) [][]storage.Value {
+		out := make([][]storage.Value, 0, len(groups))
+		for _, g := range groups {
+			row := make([]storage.Value, width, width+len(winMap))
+			copy(row, g.vals)
+			for i := range specs {
+				row[len(groupExprs)+i] = g.accs[i].finalize(specs[i])
+			}
+			out = append(out, row)
+		}
+		return out
+	}
+	aggregateMaskSerial := func(mask uint) [][]storage.Value {
 		groups := map[string]*group{}
-		var order []string // preserve first-seen order for determinism
+		var order []*group // preserve first-seen order for determinism
 		for _, row := range rows {
 			key := ""
 			gvals := make([]storage.Value, len(groupExprs))
@@ -274,7 +283,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 			if g == nil {
 				g = &group{vals: gvals, accs: make([]aggAcc, len(specs))}
 				groups[key] = g
-				order = append(order, key)
+				order = append(order, g)
 			}
 			for i := range specs {
 				v := storage.Int(1) // COUNT(*) counts rows
@@ -286,20 +295,106 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		}
 		// Global aggregate with no groups: one (possibly empty) group.
 		if mask == 0 && len(groups) == 0 {
-			groups[""] = &group{vals: make([]storage.Value, len(groupExprs)), accs: make([]aggAcc, len(specs))}
-			order = append(order, "")
+			order = append(order, &group{vals: make([]storage.Value, len(groupExprs)), accs: make([]aggAcc, len(specs))})
 		}
-		out := make([][]storage.Value, 0, len(groups))
-		for _, key := range order {
-			g := groups[key]
-			row := make([]storage.Value, width, width+len(winMap))
-			copy(row, g.vals)
-			for i := range specs {
-				row[len(groupExprs)+i] = g.accs[i].finalize(specs[i])
+		return emit(order)
+	}
+
+	// Parallel aggregation: group-by and aggregate-argument expressions
+	// are evaluated once per row in morsels (shared by every mask), then
+	// each mask partitions groups by key hash. One worker per partition
+	// accumulates its groups walking the rows in global row order, so
+	// per-group accumulation order — and therefore every float sum —
+	// matches the serial fold bit for bit. Groups are emitted in
+	// first-seen row order, the serial emit order.
+	var gv, av [][]storage.Value // per-row group-expr / agg-arg values
+	precompute := func(workers, morsel int) {
+		if gv != nil {
+			return
+		}
+		n := len(rows)
+		gv = make([][]storage.Value, n)
+		av = make([][]storage.Value, n)
+		counts := forEachMorsel(workers, n, morsel, func(_, _, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				row := rows[r]
+				g := make([]storage.Value, len(groupExprs))
+				for i := range groupExprs {
+					g[i] = groupExprs[i].eval(row)
+				}
+				a := make([]storage.Value, len(specs))
+				for i := range specs {
+					if specs[i].arg != nil {
+						a[i] = specs[i].arg.eval(row)
+					} else {
+						a[i] = storage.Int(1) // COUNT(*) counts rows
+					}
+				}
+				gv[r], av[r] = g, a
 			}
-			out = append(out, row)
+		})
+		tr.addWork(counts)
+	}
+	aggregateMaskParallel := func(mask uint, workers, morsel int) [][]storage.Value {
+		precompute(workers, morsel)
+		n := len(rows)
+		keys := make([]string, n)
+		parts := make([]int, n)
+		counts := forEachMorsel(workers, n, morsel, func(_, _, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				key := ""
+				for i := range groupExprs {
+					if mask&(1<<uint(i)) != 0 {
+						key += gv[r][i].GroupKey()
+					} else {
+						key += "\x00-"
+					}
+				}
+				keys[r] = key
+				parts[r] = partOf(key, workers)
+			}
+		})
+		tr.addWork(counts)
+		partGroups := make([][]*group, workers)
+		parallelFor(workers, func(p int) {
+			groups := map[string]*group{}
+			var order []*group
+			for r := 0; r < n; r++ {
+				if parts[r] != p {
+					continue
+				}
+				g := groups[keys[r]]
+				if g == nil {
+					gvals := make([]storage.Value, len(groupExprs))
+					for i := range groupExprs {
+						if mask&(1<<uint(i)) != 0 {
+							gvals[i] = gv[r][i]
+						} else {
+							gvals[i] = storage.Null
+						}
+					}
+					g = &group{vals: gvals, accs: make([]aggAcc, len(specs)), first: r}
+					groups[keys[r]] = g
+					order = append(order, g)
+				}
+				for i := range specs {
+					g.accs[i].add(av[r][i], specs[i].distinct)
+				}
+			}
+			partGroups[p] = order
+		})
+		var all []*group
+		for _, pg := range partGroups {
+			all = append(all, pg...)
 		}
-		return out
+		sort.Slice(all, func(a, b int) bool { return all[a].first < all[b].first })
+		return emit(all)
+	}
+	aggregateMask := func(mask uint) [][]storage.Value {
+		if workers, morsel := e.workers(), e.morselSize(); workers > 1 && len(rows) > morsel {
+			return aggregateMaskParallel(mask, workers, morsel)
+		}
+		return aggregateMaskSerial(mask)
 	}
 
 	fullMask := uint(1)<<uint(len(groupExprs)) - 1
@@ -464,6 +559,6 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		}
 		sortKeys = append(sortKeys, be)
 	}
-	res := e.finish(aggRows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols)
+	res := e.finish(aggRows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols, tr)
 	return res, outTypes, nil
 }

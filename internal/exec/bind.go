@@ -334,7 +334,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 		}
 		in := &inExpr{x: x, set: map[string]bool{}, not: v.Not}
 		if v.Sub != nil {
-			res, _, err := b.eng.runStatement(v.Sub, b.ctes)
+			res, _, _, err := b.eng.runStatement(v.Sub, b.ctes)
 			if err != nil {
 				return nil, fmt.Errorf("IN subquery: %w", err)
 			}
@@ -428,7 +428,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 	case *sql.Window:
 		return nil, fmt.Errorf("window function not allowed in this context")
 	case *sql.SubQuery:
-		res, types, err := b.eng.runStatement(v.Select, b.ctes)
+		res, types, _, err := b.eng.runStatement(v.Select, b.ctes)
 		if err != nil {
 			return nil, fmt.Errorf("scalar subquery: %w", err)
 		}

@@ -21,6 +21,13 @@ type Engine struct {
 	db   *storage.DB
 	mode plan.Mode
 
+	// parallelism is the configured worker count for morsel-driven
+	// execution: 0 means runtime.NumCPU(), 1 forces the serial path.
+	// morselRows overrides the scan morsel size (tests and benchmarks
+	// shrink it so development-scale tables still split into morsels).
+	parallelism int
+	morselRows  int
+
 	mu         sync.Mutex
 	hashIdx    map[string]*index.HashIndex   // "table.column" -> index
 	bmIdx      map[string]*index.BitmapIndex // "table.column" -> index
@@ -52,6 +59,31 @@ func (e *Engine) SetMode(m plan.Mode) { e.mode = m }
 
 // Mode returns the current strategy mode.
 func (e *Engine) Mode() plan.Mode { return e.mode }
+
+// SetParallelism configures the morsel worker count: 0 (the default)
+// resolves to runtime.NumCPU(), 1 forces serial execution, n > 1 uses n
+// workers. Results are bit-identical at every setting. Not safe to call
+// concurrently with queries.
+func (e *Engine) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.parallelism = n
+}
+
+// Parallelism returns the configured (unresolved) parallelism knob.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// SetMorselSize overrides the scan morsel row count (test/benchmark
+// hook: development-scale tables never reach the production 64K-row
+// morsels). n <= 0 restores the default. Not safe to call concurrently
+// with queries.
+func (e *Engine) SetMorselSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.morselRows = n
+}
 
 // SetUseStatistics toggles statistics-based selectivity estimation (on
 // by default); with it off the optimizer falls back to fixed textbook

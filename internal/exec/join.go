@@ -20,35 +20,38 @@ type leftJoin struct {
 // joinRows produces the joined base rows of a query: full-width rows
 // over the canonical layout (each table instance owning a contiguous
 // span). It selects between the star transformation and the hash-join
-// pipeline via the plan package.
-func (e *Engine) joinRows(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin) ([][]storage.Value, error) {
+// pipeline via the plan package. The returned trace belongs to this
+// call alone, so concurrent streams never see each other's plans.
+func (e *Engine) joinRows(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin) ([][]storage.Value, Trace, error) {
 	if len(b.tables) == 0 {
-		return nil, fmt.Errorf("no tables to join")
+		return nil, Trace{}, fmt.Errorf("no tables to join")
 	}
-	tr := Trace{Strategy: plan.HashJoinPipeline, Tables: e.buildTableTraces(b, filters)}
+	tr := Trace{
+		Strategy:    plan.HashJoinPipeline,
+		Tables:      e.buildTableTraces(b, filters),
+		Parallelism: e.workers(),
+	}
 	if shape, dimOfTable, ok := e.starShape(b, filters, edges, lefts); ok {
 		decision := plan.Choose(shape, e.mode)
 		e.setDecision(decision)
 		tr.Decision = decision
 		if decision.Strategy == plan.StarTransform {
-			rows, ok := e.runStar(b, filters, edges, residual, dimOfTable)
+			rows, ok := e.runStar(b, filters, edges, residual, dimOfTable, &tr)
 			if ok {
 				tr.Strategy = plan.StarTransform
 				tr.JoinOrder = []string{shape.FactName + " (bitmap-driven)"}
 				tr.BaseRows = len(rows)
-				e.setTrace(tr)
-				return rows, nil
+				return rows, tr, nil
 			}
 		}
 	}
-	rows, order, err := e.hashJoinRows(b, filters, edges, residual, lefts)
+	rows, order, err := e.hashJoinRows(b, filters, edges, residual, lefts, &tr)
 	if err != nil {
-		return nil, err
+		return nil, Trace{}, err
 	}
 	tr.JoinOrder = order
 	tr.BaseRows = len(rows)
-	e.setTrace(tr)
-	return rows, nil
+	return rows, tr, nil
 }
 
 // tablePreds collects the bound local predicates of one table.
@@ -136,7 +139,7 @@ func (e *Engine) estimateFiltered(b *binder, ti int, filters []filterInfo) float
 // 3NF DSS system are dominated by large hash-joins"): the largest
 // filtered table drives; every other table is hash-built on its join
 // columns (row ids only — spans are copied on match) and probed.
-func (e *Engine) hashJoinRows(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin) ([][]storage.Value, []string, error) {
+func (e *Engine) hashJoinRows(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin, tr *Trace) ([][]storage.Value, []string, error) {
 	isLeft := map[int]bool{}
 	for _, lj := range lefts {
 		isLeft[lj.table] = true
@@ -165,7 +168,7 @@ func (e *Engine) hashJoinRows(b *binder, filters []filterInfo, edges []joinEdge,
 	if driver < 0 {
 		return nil, nil, fmt.Errorf("all tables are left-joined")
 	}
-	current := b.filteredRows(driver, filters)
+	current := e.scanFiltered(b, driver, filters, tr)
 	joined := map[int]bool{driver: true}
 	order := []string{b.tables[driver].binding + " (driver)"}
 
@@ -196,13 +199,13 @@ func (e *Engine) hashJoinRows(b *binder, filters []filterInfo, edges []joinEdge,
 			}
 		}
 		delete(remaining, next)
-		current = e.innerHashJoin(b, current, next, filters, edges, joined)
+		current = e.innerHashJoin(b, current, next, filters, edges, joined, tr)
 		joined[next] = true
 		order = append(order, b.tables[next].binding)
 	}
 	// LEFT OUTER joins, in declaration order.
 	for _, lj := range lefts {
-		current = e.leftHashJoin(b, current, lj, filters)
+		current = e.leftHashJoin(b, current, lj, filters, tr)
 		joined[lj.table] = true
 		order = append(order, b.tables[lj.table].binding+" (left)")
 	}
@@ -276,7 +279,7 @@ func (b *binder) fillSpan(ti int, r int32, dst []storage.Value) {
 }
 
 // innerHashJoin joins current rows with table ti.
-func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, filters []filterInfo, edges []joinEdge, joined map[int]bool) [][]storage.Value {
+func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, filters []filterInfo, edges []joinEdge, joined map[int]bool, tr *Trace) [][]storage.Value {
 	probe, build := joinKeys(edges, joined, ti)
 	if len(probe) == 0 {
 		// No connecting edge: cartesian product (rare; small sides only).
@@ -300,68 +303,37 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 	// filtered fact), hash the current rows instead and stream the big
 	// table past them.
 	if est := e.estimateFiltered(b, ti, filters); est > 2*float64(len(current)) {
-		ht := make(map[string][]int, len(current))
-		for li, l := range current {
-			if key, ok := keyOf(l, probe); ok {
-				ht[key] = append(ht[key], li)
-			}
-		}
-		var out [][]storage.Value
-		b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
-			key, ok := keyOf(row, build)
-			if !ok {
-				return
-			}
-			for _, li := range ht[key] {
-				m := make([]storage.Value, b.total)
-				copy(m, current[li])
-				b.fillSpan(ti, int32(r), m)
-				out = append(out, m)
-			}
-		})
-		return out
+		return e.streamJoin(b, current, ti, probe, build, filters, tr)
 	}
-	ht := b.buildHash(ti, filters, build)
-	var out [][]storage.Value
-	for _, l := range current {
-		key, ok := keyOf(l, probe)
-		if !ok {
-			continue
-		}
-		for _, r := range ht[key] {
-			m := make([]storage.Value, b.total)
-			copy(m, l)
-			b.fillSpan(ti, r, m)
-			out = append(out, m)
-		}
-	}
-	return out
+	ht := e.buildHashTable(b, ti, filters, build, tr)
+	return e.probeJoin(b, current, ti, probe, ht, tr)
 }
 
 // leftHashJoin outer-joins current rows with the lj table: rows without
-// a match keep NULLs in the outer span.
-func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin, filters []filterInfo) [][]storage.Value {
+// a match keep NULLs in the outer span. The probe side runs in morsels
+// over current (each probe row is independent; per-morsel buffers keep
+// the serial output order).
+func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin, filters []filterInfo, tr *Trace) [][]storage.Value {
 	var probe, build []*colExpr
 	for _, ed := range lj.edges {
 		probe = append(probe, ed.aCol)
 		build = append(build, ed.bCol)
 	}
 	var allIDs []int32
-	var ht map[string][]int32
+	var ht *hashTable
 	if len(probe) == 0 {
 		b.forEachFiltered(lj.table, filters, func(r int, _ []storage.Value) {
 			allIDs = append(allIDs, int32(r))
 		})
 	} else {
-		ht = b.buildHash(lj.table, filters, build)
+		ht = e.buildHashTable(b, lj.table, filters, build, tr)
 	}
-	var out [][]storage.Value
-	for _, l := range current {
+	probeOne := func(l []storage.Value, out [][]storage.Value) [][]storage.Value {
 		matched := false
 		candidates := allIDs
 		if ht != nil {
 			if key, ok := keyOf(l, probe); ok {
-				candidates = ht[key]
+				candidates = ht.lookup(key)
 			} else {
 				candidates = nil
 			}
@@ -388,6 +360,27 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 			// Outer span stays NULL (zero Value is NULL).
 			out = append(out, m)
 		}
+		return out
 	}
-	return out
+	n := len(current)
+	workers := e.workers()
+	morsel := e.morselSize()
+	if workers <= 1 || n <= morsel {
+		var out [][]storage.Value
+		for _, l := range current {
+			out = probeOne(l, out)
+		}
+		return out
+	}
+	numMorsels := (n + morsel - 1) / morsel
+	outs := make([][][]storage.Value, numMorsels)
+	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+		var out [][]storage.Value
+		for _, l := range current[lo:hi] {
+			out = probeOne(l, out)
+		}
+		outs[m] = out
+	})
+	tr.addWork(counts)
+	return concatRows(outs)
 }

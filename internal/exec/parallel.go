@@ -1,0 +1,391 @@
+// Morsel-driven intra-query parallelism. The paper's data generator is
+// explicitly parallel (MUDD-style independent streams, §3); the
+// executor matches it: every large scan, hash-join build/probe and
+// aggregation is split into fixed-size morsels of rows dispatched to a
+// worker pool (Leis et al., "Morsel-Driven Parallelism", SIGMOD 2014).
+// Workers pull morsels from a shared counter, so stragglers cannot
+// stall the pool.
+//
+// Determinism contract: every parallel operator produces output
+// bit-identical to its serial counterpart —
+//
+//   - scans and probes buffer output per morsel and concatenate in
+//     morsel order, which equals the serial row order;
+//   - hash-table builds partition by key hash, and each partition is
+//     filled by one worker walking the morsels in order, so row-id
+//     lists per key match the serial build;
+//   - aggregation partitions groups by key hash and each partition
+//     worker visits rows in global row order, so per-group accumulation
+//     order (and therefore float sums) matches the serial fold, and
+//     groups are emitted in first-seen row order.
+//
+// The differential tests run every query in both modes and compare
+// results exactly.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tpcds/internal/plan"
+	"tpcds/internal/storage"
+)
+
+// defaultMorselRows is the scan morsel size. ~64K rows amortizes
+// scheduling overhead while leaving enough morsels for load balancing
+// on warehouse-scale tables.
+const defaultMorselRows = 64 * 1024
+
+// workers resolves the engine's configured parallelism to a worker
+// count (package plan owns the resolution rule).
+func (e *Engine) workers() int { return plan.Parallelism(e.parallelism) }
+
+// morselSize returns the configured morsel row count.
+func (e *Engine) morselSize() int {
+	if e.morselRows > 0 {
+		return e.morselRows
+	}
+	return defaultMorselRows
+}
+
+// forEachMorsel splits [0,n) into morsels of morselRows rows and
+// dispatches them to workers goroutines. Workers pull morsel indexes
+// from a shared atomic counter. fn receives (worker, morsel, lo, hi).
+// Returns the number of morsels each worker processed. A panic inside
+// fn is re-raised on the calling goroutine so Query's recover converts
+// it to an error as usual.
+func forEachMorsel(workers, n, morselRows int, fn func(worker, morsel, lo, hi int)) []int {
+	numMorsels := (n + morselRows - 1) / morselRows
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	counts := make([]int, workers)
+	if workers == 1 {
+		for m := 0; m < numMorsels; m++ {
+			lo := m * morselRows
+			hi := lo + morselRows
+			if hi > n {
+				hi = n
+			}
+			fn(0, m, lo, hi)
+		}
+		counts[0] = numMorsels
+		return counts
+	}
+	var next atomic.Int64
+	var panicMu sync.Mutex
+	var panicVal any
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= numMorsels {
+					return
+				}
+				lo := m * morselRows
+				hi := lo + morselRows
+				if hi > n {
+					hi = n
+				}
+				fn(worker, m, lo, hi)
+				counts[worker]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return counts
+}
+
+// parallelFor runs fn(p) for every p in [0,workers) on its own
+// goroutine and waits; the first panic is re-raised on the caller.
+func parallelFor(workers int, fn func(p int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var panicMu sync.Mutex
+	var panicVal any
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			fn(p)
+		}(p)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// concatRows flattens per-morsel output buffers in morsel order.
+func concatRows(outs [][][]storage.Value) [][]storage.Value {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	out := make([][]storage.Value, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// partOf hashes a group/join key to a partition (FNV-1a; must be
+// deterministic across runs, so no seeded maphash).
+func partOf(key string, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(parts))
+}
+
+// scanFiltered materializes table ti's rows surviving its local filters
+// as full-width rows — the parallel counterpart of filteredRows. Morsel
+// outputs concatenate in morsel order, matching the serial scan.
+func (e *Engine) scanFiltered(b *binder, ti int, filters []filterInfo, tr *Trace) [][]storage.Value {
+	inst := &b.tables[ti]
+	n := inst.tab.NumRows()
+	workers := e.workers()
+	morsel := e.morselSize()
+	if workers <= 1 || n <= morsel {
+		return b.filteredRows(ti, filters)
+	}
+	preds := tablePreds(ti, filters)
+	cols := b.usedCols(ti)
+	numMorsels := (n + morsel - 1) / morsel
+	outs := make([][][]storage.Value, numMorsels)
+	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+		row := make([]storage.Value, b.total)
+		var keep [][]storage.Value
+		for r := lo; r < hi; r++ {
+			for _, c := range cols {
+				row[inst.offset+c] = inst.tab.Get(r, c)
+			}
+			ok := true
+			for _, p := range preds {
+				if !truthy(p.eval(row)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cp := make([]storage.Value, b.total)
+				copy(cp, row)
+				keep = append(keep, cp)
+			}
+		}
+		outs[m] = keep
+	})
+	tr.addWork(counts)
+	return concatRows(outs)
+}
+
+// hashTable is a join build side: base-table row ids keyed by join key,
+// partitioned by key hash when built in parallel. Within a partition,
+// row ids appear in base-table row order — exactly what the serial
+// build produces — so probe output is identical either way.
+type hashTable struct {
+	parts []map[string][]int32
+}
+
+func (h *hashTable) lookup(key string) []int32 {
+	return h.parts[partOf(key, len(h.parts))][key]
+}
+
+// buildEntry is one qualifying build-side row awaiting partitioning.
+type buildEntry struct {
+	r   int32
+	key string
+}
+
+// buildHashTable indexes the filtered rows of table ti by the build key
+// columns. Large tables use a two-phase partitioned build: a parallel
+// morsel scan collects (row id, key) pairs, then one worker per
+// partition inserts its share walking the morsels in global row order.
+func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, build []*colExpr, tr *Trace) *hashTable {
+	inst := &b.tables[ti]
+	n := inst.tab.NumRows()
+	workers := e.workers()
+	morsel := e.morselSize()
+	if workers <= 1 || n <= morsel {
+		return &hashTable{parts: []map[string][]int32{b.buildHash(ti, filters, build)}}
+	}
+	preds := tablePreds(ti, filters)
+	cols := b.usedCols(ti)
+	numMorsels := (n + morsel - 1) / morsel
+	entries := make([][]buildEntry, numMorsels)
+	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+		row := make([]storage.Value, b.total)
+		var keep []buildEntry
+		for r := lo; r < hi; r++ {
+			for _, c := range cols {
+				row[inst.offset+c] = inst.tab.Get(r, c)
+			}
+			ok := true
+			for _, p := range preds {
+				if !truthy(p.eval(row)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if key, ok := keyOf(row, build); ok {
+				keep = append(keep, buildEntry{r: int32(r), key: key})
+			}
+		}
+		entries[m] = keep
+	})
+	tr.addWork(counts)
+	ht := &hashTable{parts: make([]map[string][]int32, workers)}
+	parallelFor(workers, func(p int) {
+		part := map[string][]int32{}
+		for _, chunk := range entries {
+			for _, en := range chunk {
+				if partOf(en.key, workers) == p {
+					part[en.key] = append(part[en.key], en.r)
+				}
+			}
+		}
+		ht.parts[p] = part
+	})
+	return ht
+}
+
+// probeJoin probes ht with every current row, emitting joined rows in
+// the serial iteration order (per-morsel buffers concatenated in
+// order).
+func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe []*colExpr, ht *hashTable, tr *Trace) [][]storage.Value {
+	n := len(current)
+	workers := e.workers()
+	morsel := e.morselSize()
+	probeOne := func(l []storage.Value, out [][]storage.Value) [][]storage.Value {
+		key, ok := keyOf(l, probe)
+		if !ok {
+			return out
+		}
+		for _, r := range ht.lookup(key) {
+			m := make([]storage.Value, b.total)
+			copy(m, l)
+			b.fillSpan(ti, r, m)
+			out = append(out, m)
+		}
+		return out
+	}
+	if workers <= 1 || n <= morsel {
+		var out [][]storage.Value
+		for _, l := range current {
+			out = probeOne(l, out)
+		}
+		return out
+	}
+	numMorsels := (n + morsel - 1) / morsel
+	outs := make([][][]storage.Value, numMorsels)
+	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+		var out [][]storage.Value
+		for _, l := range current[lo:hi] {
+			out = probeOne(l, out)
+		}
+		outs[m] = out
+	})
+	tr.addWork(counts)
+	return concatRows(outs)
+}
+
+// streamJoin hashes the (smaller) current intermediate result and
+// streams the rows of table ti past it — the build-on-smaller-side
+// branch of the hash pipeline. The streamed scan is morsel-parallel;
+// output order equals the serial stream (table row order).
+func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe, build []*colExpr, filters []filterInfo, tr *Trace) [][]storage.Value {
+	htCur := make(map[string][]int, len(current))
+	for li, l := range current {
+		if key, ok := keyOf(l, probe); ok {
+			htCur[key] = append(htCur[key], li)
+		}
+	}
+	inst := &b.tables[ti]
+	n := inst.tab.NumRows()
+	workers := e.workers()
+	morsel := e.morselSize()
+	emit := func(row []storage.Value, r int, out [][]storage.Value) [][]storage.Value {
+		key, ok := keyOf(row, build)
+		if !ok {
+			return out
+		}
+		for _, li := range htCur[key] {
+			m := make([]storage.Value, b.total)
+			copy(m, current[li])
+			b.fillSpan(ti, int32(r), m)
+			out = append(out, m)
+		}
+		return out
+	}
+	if workers <= 1 || n <= morsel {
+		var out [][]storage.Value
+		b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
+			out = emit(row, r, out)
+		})
+		return out
+	}
+	preds := tablePreds(ti, filters)
+	cols := b.usedCols(ti)
+	numMorsels := (n + morsel - 1) / morsel
+	outs := make([][][]storage.Value, numMorsels)
+	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+		row := make([]storage.Value, b.total)
+		var out [][]storage.Value
+		for r := lo; r < hi; r++ {
+			for _, c := range cols {
+				row[inst.offset+c] = inst.tab.Get(r, c)
+			}
+			ok := true
+			for _, p := range preds {
+				if !truthy(p.eval(row)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = emit(row, r, out)
+			}
+		}
+		outs[m] = out
+	})
+	tr.addWork(counts)
+	return concatRows(outs)
+}

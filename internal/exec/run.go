@@ -12,46 +12,60 @@ import (
 // Query parses and executes one SELECT statement. Internal panics are
 // converted to errors: one malformed query must not take down the
 // benchmark's concurrent streams.
-func (e *Engine) Query(q string) (res *Result, err error) {
+func (e *Engine) Query(q string) (*Result, error) {
+	res, _, err := e.QueryTraced(q)
+	return res, err
+}
+
+// QueryTraced executes one SELECT statement and returns the execution
+// trace of its outermost block alongside the result. Unlike LastTrace
+// the returned trace belongs to this call, so concurrent streams get
+// their own traces.
+func (e *Engine) QueryTraced(q string) (res *Result, tr Trace, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = nil
+			res, tr = nil, Trace{}
 			err = queryError(q, fmt.Errorf("internal error: %v", r))
 		}
 	}()
 	stmt, err := sql.Parse(q)
 	if err != nil {
-		return nil, queryError(q, err)
+		return nil, Trace{}, queryError(q, err)
 	}
-	res, _, err = e.runStatement(stmt, nil)
+	res, _, tr, err = e.runStatement(stmt, nil)
 	if err != nil {
-		return nil, queryError(q, err)
+		return nil, Trace{}, queryError(q, err)
 	}
-	return res, nil
+	e.setTrace(tr)
+	return res, tr, nil
 }
 
 // Run executes an already parsed statement.
 func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
-	res, _, err := e.runStatement(stmt, nil)
+	res, _, tr, err := e.runStatement(stmt, nil)
+	if err == nil {
+		e.setTrace(tr)
+	}
 	return res, err
 }
 
 // runStatement materializes WITH clauses, dispatches union chains, and
-// runs the head select. It returns the result and per-column types (for
-// CTE materialization).
-func (e *Engine) runStatement(stmt *sql.SelectStmt, outer map[string]*storage.Table) (*Result, []schema.Type, error) {
+// runs the head select. It returns the result, per-column types (for
+// CTE materialization), and the trace of the head block (CTE and
+// subquery traces stay local to their execution).
+func (e *Engine) runStatement(stmt *sql.SelectStmt, outer map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
 	ctes := map[string]*storage.Table{}
 	for k, v := range outer {
 		ctes[k] = v
 	}
 	for _, cte := range stmt.With {
-		res, types, err := e.runStatement(cte.Select, ctes)
+		res, types, _, err := e.runStatement(cte.Select, ctes)
 		if err != nil {
-			return nil, nil, fmt.Errorf("WITH %s: %w", cte.Name, err)
+			return nil, nil, Trace{}, fmt.Errorf("WITH %s: %w", cte.Name, err)
 		}
 		tab, err := materialize(cte.Name, res, types)
 		if err != nil {
-			return nil, nil, fmt.Errorf("WITH %s: %w", cte.Name, err)
+			return nil, nil, Trace{}, fmt.Errorf("WITH %s: %w", cte.Name, err)
 		}
 		ctes[cte.Name] = tab
 	}
@@ -88,10 +102,12 @@ func materialize(name string, res *Result, types []schema.Type) (*storage.Table,
 
 // runUnion executes a UNION ALL chain; ORDER BY / LIMIT of the head
 // apply to the concatenated result and may only reference output columns
-// by name or ordinal.
-func (e *Engine) runUnion(head *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, error) {
+// by name or ordinal. The returned trace is the first block's (the
+// head's FROM clause).
+func (e *Engine) runUnion(head *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
 	var out *Result
 	var types []schema.Type
+	var headTrace Trace
 	orderBy := head.OrderBy
 	limit := head.Limit
 	offset := head.Offset
@@ -102,16 +118,16 @@ func (e *Engine) runUnion(head *sql.SelectStmt, ctes map[string]*storage.Table) 
 		block.Offset = 0
 		block.UnionAll = nil
 		block.With = nil
-		res, ts, err := e.runSelect(&block, ctes)
+		res, ts, tr, err := e.runSelect(&block, ctes)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, Trace{}, err
 		}
 		if out == nil {
-			out, types = res, ts
+			out, types, headTrace = res, ts, tr
 			continue
 		}
 		if len(res.Columns) != len(out.Columns) {
-			return nil, nil, fmt.Errorf("UNION ALL blocks have %d vs %d columns",
+			return nil, nil, Trace{}, fmt.Errorf("UNION ALL blocks have %d vs %d columns",
 				len(out.Columns), len(res.Columns))
 		}
 		out.Rows = append(out.Rows, res.Rows...)
@@ -131,16 +147,16 @@ func (e *Engine) runUnion(head *sql.SelectStmt, ctes map[string]*storage.Table) 
 					}
 				}
 				if found < 0 {
-					return nil, nil, fmt.Errorf("ORDER BY %s not in union output", v.Name)
+					return nil, nil, Trace{}, fmt.Errorf("ORDER BY %s not in union output", v.Name)
 				}
 				keys[i] = found
 			case *sql.Lit:
 				if !v.IsInt || v.IntVal < 1 || int(v.IntVal) > len(out.Columns) {
-					return nil, nil, fmt.Errorf("ORDER BY ordinal out of range")
+					return nil, nil, Trace{}, fmt.Errorf("ORDER BY ordinal out of range")
 				}
 				keys[i] = int(v.IntVal) - 1
 			default:
-				return nil, nil, fmt.Errorf("ORDER BY over UNION ALL must use column names or ordinals")
+				return nil, nil, Trace{}, fmt.Errorf("ORDER BY over UNION ALL must use column names or ordinals")
 			}
 		}
 		sort.SliceStable(out.Rows, func(a, b int) bool {
@@ -167,7 +183,7 @@ func (e *Engine) runUnion(head *sql.SelectStmt, ctes map[string]*storage.Table) 
 	if limit >= 0 && len(out.Rows) > limit {
 		out.Rows = out.Rows[:limit]
 	}
-	return out, types, nil
+	return out, types, headTrace, nil
 }
 
 // filterInfo records one bound single-table predicate with the AST
@@ -188,17 +204,17 @@ type joinEdge struct {
 }
 
 // runSelect executes one plain SELECT block.
-func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, error) {
+func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
 	b := newBinder(e, ctes)
 	for _, ref := range stmt.From {
 		if err := b.addTable(ref); err != nil {
-			return nil, nil, err
+			return nil, nil, Trace{}, err
 		}
 	}
 	// Rewrite ORDER BY aliases and ordinals to their select expressions.
 	orderBy, err := rewriteOrderBy(stmt.OrderBy, stmt.Items)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, Trace{}, err
 	}
 
 	// Registration pass: mark every column the query will read so the
@@ -229,7 +245,7 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table)
 	for _, c := range conjuncts(stmt.Where) {
 		be, err := b.bind(c)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, Trace{}, err
 		}
 		m := be.mask()
 		switch popcount(m) {
@@ -257,7 +273,7 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table)
 		for _, c := range conjuncts(b.tables[ti].on) {
 			be, err := b.bind(c)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, Trace{}, err
 			}
 			if edge, ok := asJoinEdge(be); ok && (edge.aTbl == ti || edge.bTbl == ti) {
 				if edge.bTbl != ti { // normalize: b side is the left-joined table
@@ -275,15 +291,14 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table)
 	// Constant predicates: if any is false the result is empty.
 	for _, p := range constPreds {
 		if !truthy(p.eval(nil)) {
-			empty, types, err := e.projectEmpty(stmt, b, orderBy)
-			return empty, types, err
+			return e.projectEmpty(stmt, b, orderBy)
 		}
 	}
 
 	// Produce joined base rows.
-	rows, err := e.joinRows(b, filters, edges, residual, leftJoins)
+	rows, tr, err := e.joinRows(b, filters, edges, residual, leftJoins)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, Trace{}, err
 	}
 
 	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
@@ -299,28 +314,33 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table)
 	}
 
 	if aggregated {
-		return e.aggregate(stmt, b, rows, orderBy)
+		res, types, err := e.aggregate(stmt, b, rows, orderBy, &tr)
+		return res, types, tr, err
 	}
-	return e.projectSimple(stmt, b, rows, orderBy)
+	res, types, err := e.projectSimple(stmt, b, rows, orderBy, &tr)
+	return res, types, tr, err
 }
 
 // projectEmpty produces a zero-row result with the right output columns.
-func (e *Engine) projectEmpty(stmt *sql.SelectStmt, b *binder, orderBy []sql.OrderItem) (*Result, []schema.Type, error) {
+func (e *Engine) projectEmpty(stmt *sql.SelectStmt, b *binder, orderBy []sql.OrderItem) (*Result, []schema.Type, Trace, error) {
 	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
 	for _, item := range stmt.Items {
 		if !item.Star && exprContainsAggregate(item.Expr) {
 			aggregated = true
 		}
 	}
+	var tr Trace
 	if aggregated {
-		return e.aggregate(stmt, b, nil, orderBy)
+		res, types, err := e.aggregate(stmt, b, nil, orderBy, &tr)
+		return res, types, tr, err
 	}
-	return e.projectSimple(stmt, b, nil, orderBy)
+	res, types, err := e.projectSimple(stmt, b, nil, orderBy, &tr)
+	return res, types, tr, err
 }
 
 // projectSimple handles the non-aggregated path: project, DISTINCT,
 // ORDER BY, LIMIT.
-func (e *Engine) projectSimple(stmt *sql.SelectStmt, b *binder, rows [][]storage.Value, orderBy []sql.OrderItem) (*Result, []schema.Type, error) {
+func (e *Engine) projectSimple(stmt *sql.SelectStmt, b *binder, rows [][]storage.Value, orderBy []sql.OrderItem, tr *Trace) (*Result, []schema.Type, error) {
 	var outCols []string
 	var outTypes []schema.Type
 	var projs []bexpr
@@ -352,39 +372,65 @@ func (e *Engine) projectSimple(stmt *sql.SelectStmt, b *binder, rows [][]storage
 		}
 		sortKeys = append(sortKeys, be)
 	}
-	res := e.finish(rows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols)
+	res := e.finish(rows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols, tr)
 	return res, outTypes, nil
 }
 
 // finish evaluates projections and sort keys, applies DISTINCT, ORDER BY
-// and LIMIT, and assembles the result.
-func (e *Engine) finish(rows [][]storage.Value, projs, sortKeys []bexpr, orderBy []sql.OrderItem, distinct bool, limit, offset int, outCols []string) *Result {
+// and LIMIT, and assembles the result. Projection/sort-key evaluation
+// runs in morsels (expressions are pure); DISTINCT dedup then walks the
+// concatenated rows in order, so first-wins matches the serial pass.
+func (e *Engine) finish(rows [][]storage.Value, projs, sortKeys []bexpr, orderBy []sql.OrderItem, distinct bool, limit, offset int, outCols []string, tr *Trace) *Result {
 	type outRow struct {
 		proj []storage.Value
 		keys []storage.Value
 	}
-	outs := make([]outRow, 0, len(rows))
-	seen := map[string]bool{}
-	for _, row := range rows {
+	evalRow := func(row []storage.Value) outRow {
 		proj := make([]storage.Value, len(projs))
 		for i, p := range projs {
 			proj[i] = p.eval(row)
 		}
-		if distinct {
+		keys := make([]storage.Value, len(sortKeys))
+		for i, k := range sortKeys {
+			keys[i] = k.eval(row)
+		}
+		return outRow{proj, keys}
+	}
+	var outs []outRow
+	n := len(rows)
+	workers := e.workers()
+	morsel := e.morselSize()
+	if workers > 1 && n > morsel {
+		evaled := make([]outRow, n)
+		counts := forEachMorsel(workers, n, morsel, func(_, _, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				evaled[r] = evalRow(rows[r])
+			}
+		})
+		tr.addWork(counts)
+		outs = evaled
+	} else {
+		outs = make([]outRow, 0, n)
+		for _, row := range rows {
+			outs = append(outs, evalRow(row))
+		}
+	}
+	if distinct {
+		seen := map[string]bool{}
+		w := 0
+		for _, o := range outs {
 			key := ""
-			for _, v := range proj {
+			for _, v := range o.proj {
 				key += v.GroupKey()
 			}
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
+			outs[w] = o
+			w++
 		}
-		keys := make([]storage.Value, len(sortKeys))
-		for i, k := range sortKeys {
-			keys[i] = k.eval(row)
-		}
-		outs = append(outs, outRow{proj, keys})
+		outs = outs[:w]
 	}
 	if len(sortKeys) > 0 {
 		sort.SliceStable(outs, func(a, b int) bool {

@@ -107,8 +107,9 @@ func (e *Engine) starShape(b *binder, filters []filterInfo, edges []joinEdge, le
 // dimension, the qualifying surrogate keys are turned into a fact bitmap
 // through the fact FK's bitmap index (bitmap access), the bitmaps are
 // merged (AND), and only the qualifying fact rows are fetched and joined
-// back to the dimensions by key lookup (bitmap join).
-func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, dims map[int]dimSpec) ([][]storage.Value, bool) {
+// back to the dimensions by key lookup (bitmap join). The fact fetch
+// runs in morsels over the qualifying row ids.
+func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, dims map[int]dimSpec, tr *Trace) ([][]storage.Value, bool) {
 	// Identify the fact: the one table not in dims.
 	fact := -1
 	for ti := range b.tables {
@@ -169,10 +170,16 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		}
 	}
 
-	var out [][]storage.Value
-	row := make([]storage.Value, b.total)
-	factCols := b.usedCols(fact)
+	// Collect the qualifying fact row ids, then fetch + join them back in
+	// morsels. Per-morsel buffers concatenate in bitmap order, so the
+	// output matches the serial ForEach walk exactly.
+	var ids []int32
 	accBitmap.ForEach(func(r int) bool {
+		ids = append(ids, int32(r))
+		return true
+	})
+	factCols := b.usedCols(fact)
+	fetch := func(r int, row []storage.Value, out [][]storage.Value) [][]storage.Value {
 		for i := range row {
 			row[i] = storage.Null
 		}
@@ -181,35 +188,50 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		}
 		for _, p := range factPreds {
 			if !truthy(p.eval(row)) {
-				return true
+				return out
 			}
 		}
-		ok := true
 		for _, dd := range dimDatas {
 			fkVal := row[dd.spec.factCol.off]
 			if fkVal.IsNull() {
-				ok = false
-				break
+				return out
 			}
 			dimRowID, found := dd.rows[fkVal.AsInt()]
 			if !found {
-				ok = false
-				break
+				return out
 			}
 			b.fillSpan(dd.spec.table, dimRowID, row)
 		}
-		if !ok {
-			return true
-		}
 		for _, p := range residual {
 			if !truthy(p.eval(row)) {
-				return true
+				return out
 			}
 		}
 		cp := make([]storage.Value, b.total)
 		copy(cp, row)
-		out = append(out, cp)
-		return true
+		return append(out, cp)
+	}
+	n := len(ids)
+	workers := e.workers()
+	morsel := e.morselSize()
+	if workers <= 1 || n <= morsel {
+		var out [][]storage.Value
+		row := make([]storage.Value, b.total)
+		for _, r := range ids {
+			out = fetch(int(r), row, out)
+		}
+		return out, true
+	}
+	numMorsels := (n + morsel - 1) / morsel
+	outs := make([][][]storage.Value, numMorsels)
+	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+		row := make([]storage.Value, b.total)
+		var out [][]storage.Value
+		for _, r := range ids[lo:hi] {
+			out = fetch(int(r), row, out)
+		}
+		outs[m] = out
 	})
-	return out, true
+	tr.addWork(counts)
+	return concatRows(outs), true
 }

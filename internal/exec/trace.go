@@ -23,6 +23,28 @@ type Trace struct {
 	Tables    []TableTrace
 	JoinOrder []string // driver first
 	BaseRows  int      // joined rows fed to aggregation/projection
+
+	// Morsel-execution accounting: Parallelism is the resolved worker
+	// count, WorkerMorsels[i] the number of morsels worker i processed
+	// across all parallel operators of the query. Empty when every
+	// operator took the serial path.
+	Parallelism   int
+	WorkerMorsels []int
+}
+
+// addWork folds one parallel operator's per-worker morsel counts into
+// the trace. Only the goroutine coordinating the operator calls it, so
+// no locking is needed. Nil-safe so serial helpers can pass nil.
+func (t *Trace) addWork(counts []int) {
+	if t == nil {
+		return
+	}
+	for len(t.WorkerMorsels) < len(counts) {
+		t.WorkerMorsels = append(t.WorkerMorsels, 0)
+	}
+	for i, c := range counts {
+		t.WorkerMorsels[i] += c
+	}
 }
 
 // String renders the trace in an EXPLAIN-like layout.
@@ -41,6 +63,10 @@ func (t Trace) String() string {
 			tt.Binding, tt.Rows, tt.Filters, tt.Estimate)
 	}
 	fmt.Fprintf(&sb, "joined base rows: %d\n", t.BaseRows)
+	if len(t.WorkerMorsels) > 0 {
+		fmt.Fprintf(&sb, "parallelism: %d workers, morsels per worker %v\n",
+			t.Parallelism, t.WorkerMorsels)
+	}
 	return sb.String()
 }
 
@@ -50,9 +76,10 @@ func (e *Engine) setTrace(t Trace) {
 	e.mu.Unlock()
 }
 
-// LastTrace returns the execution trace of the most recent query's
-// top-level join phase (subqueries and CTEs overwrite it as they run;
-// the final value reflects the outermost block, which runs last).
+// LastTrace returns the execution trace of the most recent completed
+// query's outermost block. It is a convenience for single-threaded
+// diagnostics; concurrent streams should use QueryTraced, which returns
+// the trace of the specific call.
 func (e *Engine) LastTrace() Trace {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -63,11 +90,10 @@ func (e *Engine) LastTrace() Trace {
 // with the result shape. The engine is an in-memory executor, so
 // explaining by doing is exact rather than estimated.
 func (e *Engine) Explain(q string) (string, error) {
-	res, err := e.Query(q)
+	res, t, err := e.QueryTraced(q)
 	if err != nil {
 		return "", err
 	}
-	t := e.LastTrace()
 	return fmt.Sprintf("%sresult: %d rows x %d columns\n", t.String(), len(res.Rows), len(res.Columns)), nil
 }
 

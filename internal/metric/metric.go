@@ -34,22 +34,20 @@ var minStreams = map[int]int{
 }
 
 // MinStreams returns the minimum required query streams for a scale
-// factor. Development scale factors below 100 require one stream.
+// factor: the Figure 12 entry of the largest official tier not above
+// sf. Development scale factors below the smallest tier (100) require
+// one stream; scale factors above the largest tier keep its minimum.
 func MinStreams(sf float64) int {
-	if s, ok := minStreams[int(sf)]; ok && sf == float64(int(sf)) {
-		return s
-	}
-	if sf < 100 {
-		return 1
-	}
-	// Between official points, require the next lower official tier.
-	best := 3
+	tier := 0
 	for _, o := range scaling.OfficialScaleFactors {
-		if float64(o) <= sf {
-			best = minStreams[o]
+		if float64(o) <= sf && o > tier {
+			tier = o
 		}
 	}
-	return best
+	if tier == 0 {
+		return 1
+	}
+	return minStreams[tier]
 }
 
 // ValidateScaleFactor returns an error unless sf is publishable (§3:
@@ -86,12 +84,24 @@ type Timings struct {
 // times S streams ("198 * S", §5.3).
 func TotalQueries(streams int) int { return 2 * QueriesPerStream * streams }
 
+// TotalQueriesFor generalizes TotalQueries to development runs that
+// execute a subset of the templates per stream.
+func TotalQueriesFor(streams, perStream int) int { return 2 * perStream * streams }
+
 // QphDS computes the primary performance metric. The load time enters
 // at 1% weight per stream — enough to "realistically limit the use of
 // auxiliary structures without disallowing them" (§5.3) — and the
 // result is normalized to queries per hour and by scale factor.
 func QphDS(sf float64, streams int, t Timings) float64 {
-	if sf <= 0 || streams <= 0 {
+	return QphDSForQueries(sf, streams, QueriesPerStream, t)
+}
+
+// QphDSForQueries computes the metric with an explicit per-stream query
+// count. A run that executes a template subset must use the number it
+// actually ran — counting all 99 would inflate the metric — and is
+// never publishable.
+func QphDSForQueries(sf float64, streams, perStream int, t Timings) float64 {
+	if sf <= 0 || streams <= 0 || perStream <= 0 {
 		return 0
 	}
 	den := t.QR1.Seconds() + t.DM.Seconds() + t.QR2.Seconds() +
@@ -99,7 +109,7 @@ func QphDS(sf float64, streams int, t Timings) float64 {
 	if den <= 0 {
 		return 0
 	}
-	return sf * 3600 * float64(TotalQueries(streams)) / den
+	return sf * 3600 * float64(TotalQueriesFor(streams, perStream)) / den
 }
 
 // PricePerformance returns the $/QphDS@SF ratio given the 3-year total
@@ -132,18 +142,37 @@ type Report struct {
 	QphDS    float64
 	TCO      float64
 	PerQphDS float64
+	// PerStream is the number of query templates each stream executed
+	// per query run (99 for a full run; zero-value reports are treated
+	// as full runs).
+	PerStream int
+	// Subset is true when the run executed fewer than the 99 templates
+	// per stream; its QphDS is computed over the queries actually run
+	// and is a development-only number.
+	Subset bool
 	// Official is false for development runs on non-official scale
-	// factors; such results are not publishable.
+	// factors, with too few streams, or over a template subset; such
+	// results are not publishable.
 	Official bool
 }
 
-// NewReport assembles a report, computing the metrics and validity.
+// NewReport assembles a full-run report, computing the metrics and
+// validity.
 func NewReport(sf float64, streams int, t Timings, price PriceModel) Report {
-	q := QphDS(sf, streams, t)
+	return NewReportForQueries(sf, streams, QueriesPerStream, t, price)
+}
+
+// NewReportForQueries assembles a report for a run executing perStream
+// templates per stream. Subset runs keep an honest QphDS (computed over
+// the queries actually run) but are flagged development-only.
+func NewReportForQueries(sf float64, streams, perStream int, t Timings, price PriceModel) Report {
+	q := QphDSForQueries(sf, streams, perStream, t)
+	subset := perStream != QueriesPerStream
 	return Report{
 		SF: sf, Streams: streams, Timings: t,
 		QphDS: q, TCO: price.TCO(), PerQphDS: PricePerformance(price.TCO(), q),
-		Official: ValidateScaleFactor(sf) == nil && ValidateStreams(sf, streams) == nil,
+		PerStream: perStream, Subset: subset,
+		Official: !subset && ValidateScaleFactor(sf) == nil && ValidateStreams(sf, streams) == nil,
 	}
 }
 
@@ -152,6 +181,15 @@ func (r Report) String() string {
 	status := "DEVELOPMENT (not publishable)"
 	if r.Official {
 		status = "OFFICIAL"
+	}
+	perStream := r.PerStream
+	if perStream == 0 {
+		perStream = QueriesPerStream
+	}
+	qphdsNote := ""
+	if r.Subset {
+		qphdsNote = fmt.Sprintf(" (subset: %d of %d templates, development only)",
+			perStream, QueriesPerStream)
 	}
 	return fmt.Sprintf(
 		"TPC-DS Result [%s]\n"+
@@ -162,11 +200,11 @@ func (r Report) String() string {
 			"  T_QR1:             %v\n"+
 			"  T_DM:              %v\n"+
 			"  T_QR2:             %v\n"+
-			"  QphDS@SF:          %.2f\n"+
+			"  QphDS@SF:          %.2f%s\n"+
 			"  3yr TCO:           $%.2f\n"+
 			"  $/QphDS@SF:        %.4f\n",
-		status, r.SF, r.Streams, MinStreams(r.SF), TotalQueries(r.Streams),
+		status, r.SF, r.Streams, MinStreams(r.SF), TotalQueriesFor(r.Streams, perStream),
 		r.Timings.Load.Round(time.Millisecond), r.Timings.QR1.Round(time.Millisecond),
 		r.Timings.DM.Round(time.Millisecond), r.Timings.QR2.Round(time.Millisecond),
-		r.QphDS, r.TCO, r.PerQphDS)
+		r.QphDS, qphdsNote, r.TCO, r.PerQphDS)
 }

@@ -26,6 +26,30 @@ func TestMinimumStreams(t *testing.T) {
 	}
 }
 
+// TestMinStreamsBoundaries table-tests every Figure 12 tier boundary,
+// including fractional scale factors just below and above each tier and
+// values beyond the largest official tier.
+func TestMinStreamsBoundaries(t *testing.T) {
+	cases := []struct {
+		sf   float64
+		want int
+	}{
+		{0.0005, 1}, {1, 1}, {99, 1}, {99.999, 1},
+		{100, 3}, {100.5, 3}, {200, 3}, {299.999, 3},
+		{300, 5}, {300.001, 5}, {999.999, 5},
+		{1000, 7}, {1000.5, 7}, {2999.9, 7},
+		{3000, 9}, {9999.999, 9},
+		{10000, 11}, {10000.5, 11}, {29999, 11},
+		{30000, 13}, {99999.9, 13},
+		{100000, 15}, {100000.5, 15}, {200000, 15}, {1e9, 15},
+	}
+	for _, c := range cases {
+		if got := MinStreams(c.sf); got != c.want {
+			t.Errorf("MinStreams(%v) = %d, want %d", c.sf, got, c.want)
+		}
+	}
+}
+
 // TestQueryCountWorkedExample pins the §5.3 prose: "a 1000 scale factor
 // benchmark test with minimum number of required query streams executes
 // 1386 (198 * 7 streams) queries".
@@ -152,6 +176,46 @@ func TestReport(t *testing.T) {
 	}
 	if !strings.Contains(dev.String(), "DEVELOPMENT") {
 		t.Error("dev report should be marked not publishable")
+	}
+}
+
+// TestSubsetReport: a run over a template subset computes its metric
+// over the queries actually run and can never be publishable — even on
+// an otherwise official configuration.
+func TestSubsetReport(t *testing.T) {
+	tm := Timings{Load: time.Hour, QR1: 2 * time.Hour, DM: 30 * time.Minute, QR2: 2 * time.Hour}
+	r := NewReportForQueries(1000, 7, 12, tm, PriceModel{HardwareUSD: 1e6})
+	if !r.Subset {
+		t.Error("12-template run should be flagged as a subset")
+	}
+	if r.Official {
+		t.Error("subset run must not be publishable, even at SF1000/7 streams")
+	}
+	if r.QphDS <= 0 {
+		t.Error("subset QphDS should still be computed (development diagnostics)")
+	}
+	// The metric must scale with the queries actually run: 12 of 99
+	// templates, identical timings.
+	full := NewReport(1000, 7, tm, PriceModel{HardwareUSD: 1e6})
+	if ratio := r.QphDS / full.QphDS; math.Abs(ratio-12.0/99.0) > 1e-12 {
+		t.Errorf("subset QphDS ratio = %v, want 12/99", ratio)
+	}
+	out := r.String()
+	for _, want := range []string{"DEVELOPMENT", "development only", "12 of 99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("subset report missing %q:\n%s", want, out)
+		}
+	}
+	// 2 runs * 12 templates * 7 streams.
+	if !strings.Contains(out, "168") {
+		t.Errorf("subset report should count 168 executed queries:\n%s", out)
+	}
+	if got := TotalQueriesFor(7, 12); got != 168 {
+		t.Errorf("TotalQueriesFor(7, 12) = %d, want 168", got)
+	}
+	// The generalized formula agrees with the §5.3 formula on full runs.
+	if QphDSForQueries(1000, 7, QueriesPerStream, tm) != QphDS(1000, 7, tm) {
+		t.Error("QphDSForQueries(99) disagrees with QphDS")
 	}
 }
 

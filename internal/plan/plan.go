@@ -8,7 +8,21 @@
 // benchmark sweeps its crossover.
 package plan
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
+
+// Parallelism resolves a configured parallelism knob to a worker count
+// for morsel-driven execution: values <= 0 mean "use every core"
+// (runtime.NumCPU), 1 forces serial execution, higher values are taken
+// as-is. The executor, the driver and both CLIs share this rule.
+func Parallelism(configured int) int {
+	if configured <= 0 {
+		return runtime.NumCPU()
+	}
+	return configured
+}
 
 // Mode constrains the strategy choice; Auto lets the cost heuristic
 // decide. The ablation benchmark forces each mode in turn.
