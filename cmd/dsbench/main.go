@@ -38,11 +38,15 @@ func main() {
 	parallel := flag.Bool("parallel", false, "generate tables concurrently during the load test")
 	parallelism := flag.Int("parallelism", 0, "morsel workers per query (0 = all cores, 1 = serial)")
 	runAudit := flag.Bool("audit", false, "audit the database after the benchmark (TPC audit checks)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 30s")
+	onError := flag.String("on-error", driver.OnErrorAbort,
+		"failed-query policy: abort the run or skip to the stream's next query")
 	flag.Parse()
 
 	cfg := driver.Config{
 		SF: *sf, Streams: *streams, Seed: *seed,
 		DataDir: *dataDir, ParallelLoad: *parallel, Parallelism: *parallelism,
+		QueryTimeout: *timeout, OnError: *onError,
 		Price: metric.PriceModel{HardwareUSD: *hw, SoftwareUSD: *sw, MaintenanceUSD: *maint},
 	}
 	switch *mode {
@@ -73,6 +77,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(res.Report.String())
+
+	if res.Report.QueryErrors > 0 {
+		fmt.Printf("\nFailed queries:\n")
+		for _, qt := range res.Queries {
+			if qt.Err == "" {
+				continue
+			}
+			kind := "error"
+			if qt.TimedOut {
+				kind = "timeout"
+			}
+			fmt.Printf("  run %d stream %d query %-3d %-7s after %8v: %s\n",
+				qt.Run, qt.Stream, qt.QueryID, kind, qt.Duration, qt.Err)
+		}
+	}
 
 	fmt.Printf("\nData maintenance operations:\n")
 	for _, op := range res.DMStats.Ops {

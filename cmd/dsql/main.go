@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ func main() {
 	mode := flag.String("mode", "auto", "plan mode: auto|hash|star")
 	explain := flag.Bool("explain", false, "print the optimizer decision after execution")
 	parallelism := flag.Int("parallelism", 0, "morsel workers (0 = all cores, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 30s")
 	flag.Parse()
 
 	text := *query
@@ -49,8 +51,14 @@ func main() {
 	eng.SetParallelism(*parallelism)
 	fmt.Fprintf(os.Stderr, "loaded SF %v in %v\n", *sf, time.Since(loadStart).Round(time.Millisecond))
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, tr, err := eng.QueryTraced(text)
+	res, tr, err := eng.QueryTracedContext(ctx, text)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
 		os.Exit(1)

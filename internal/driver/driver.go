@@ -11,6 +11,8 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -57,9 +59,29 @@ type Config struct {
 	// hook: development-scale tables never reach the production 64K-row
 	// morsels, so tests shrink it to exercise the parallel paths).
 	MorselRows int
+	// QueryTimeout is the per-query deadline inside each stream; 0
+	// means no deadline. A query exceeding it is cancelled (morsel
+	// workers drain between morsels) and recorded as a timeout.
+	QueryTimeout time.Duration
+	// OnError selects the stream policy for a failed or timed-out
+	// query: OnErrorAbort (the default) cancels the run, OnErrorSkip
+	// records the failure in the report and continues with the stream's
+	// next query — a runaway template then costs one query, not the
+	// multi-hour run.
+	OnError string
+	// QueryHook, when set, is installed on the engine and runs at the
+	// start of every query inside the engine's per-query recover scope.
+	// It is the fault-injection point for robustness tests.
+	QueryHook func(query string)
 	// Price is the 3-year TCO model for the price-performance metric.
 	Price metric.PriceModel
 }
+
+// OnError policies.
+const (
+	OnErrorAbort = "abort"
+	OnErrorSkip  = "skip"
+)
 
 // QueryTiming records one query execution within a run.
 type QueryTiming struct {
@@ -68,6 +90,12 @@ type QueryTiming struct {
 	QueryID  int
 	Duration time.Duration
 	Rows     int
+	// Err is the query's failure message ("" on success). Under
+	// OnErrorSkip failed queries stay in the record with Err set, so
+	// the report can count them without sinking the run.
+	Err string
+	// TimedOut marks an Err caused by the per-query deadline.
+	TimedOut bool
 }
 
 // Result is the full outcome of a benchmark test.
@@ -82,6 +110,13 @@ type Result struct {
 
 // Run executes the complete benchmark test (Figure 11).
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the complete benchmark test under ctx: cancelling
+// ctx aborts the current phase (streams observe it between queries and
+// inside each running query).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.SF <= 0 {
 		return nil, fmt.Errorf("driver: non-positive scale factor")
 	}
@@ -90,6 +125,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Streams < 0 {
 		return nil, fmt.Errorf("driver: negative stream count")
+	}
+	switch cfg.OnError {
+	case "", OnErrorAbort, OnErrorSkip:
+	default:
+		return nil, fmt.Errorf("driver: unknown OnError policy %q (want %q or %q)",
+			cfg.OnError, OnErrorAbort, OnErrorSkip)
 	}
 	tpl, err := selectTemplates(cfg.QueryIDs)
 	if err != nil {
@@ -117,18 +158,19 @@ func Run(cfg Config) (*Result, error) {
 	eng.SetMode(cfg.Mode)
 	eng.SetParallelism(cfg.Parallelism)
 	eng.SetMorselSize(cfg.MorselRows)
+	eng.SetQueryHook(cfg.QueryHook)
 	warmAuxiliaryStructures(eng)
 	timings.Load = time.Since(loadStart)
 	res.Engine = eng
 
 	// ---- Query Run 1. ----
 	qr1Start := time.Now()
-	t1, err := runQueryRun(eng, tpl, cfg, 1)
+	t1, err := runQueryRun(ctx, eng, tpl, cfg, 1)
+	timings.QR1 = time.Since(qr1Start)
+	res.Queries = append(res.Queries, t1...)
 	if err != nil {
 		return nil, err
 	}
-	timings.QR1 = time.Since(qr1Start)
-	res.Queries = append(res.Queries, t1...)
 
 	// ---- Data Maintenance run. ----
 	dmStart := time.Now()
@@ -145,17 +187,27 @@ func Run(cfg Config) (*Result, error) {
 
 	// ---- Query Run 2 (fresh substitutions, §5.2). ----
 	qr2Start := time.Now()
-	t2, err := runQueryRun(eng, tpl, cfg, 2)
+	t2, err := runQueryRun(ctx, eng, tpl, cfg, 2)
+	timings.QR2 = time.Since(qr2Start)
+	res.Queries = append(res.Queries, t2...)
 	if err != nil {
 		return nil, err
 	}
-	timings.QR2 = time.Since(qr2Start)
-	res.Queries = append(res.Queries, t2...)
 
 	// The metric is computed over the templates actually run: a subset
 	// run gets an honest development-only QphDS, never a number that
 	// pretends all 99 templates executed.
 	res.Report = metric.NewReportForQueries(cfg.SF, cfg.Streams, len(tpl), timings, cfg.Price)
+	errs, timeouts := 0, 0
+	for _, qt := range res.Queries {
+		if qt.Err != "" {
+			errs++
+			if qt.TimedOut {
+				timeouts++
+			}
+		}
+	}
+	res.Report = res.Report.WithErrorCounts(errs, timeouts)
 	return res, nil
 }
 
@@ -203,12 +255,22 @@ func warmAuxiliaryStructures(eng *exec.Engine) {
 
 // runQueryRun executes one query run: S concurrent streams, each
 // running all templates in its own permuted order with its own
-// substitutions.
-func runQueryRun(eng *exec.Engine, tpl []qgen.Template, cfg Config, run int) ([]QueryTiming, error) {
+// substitutions. Each query runs under the configured per-query
+// deadline. A failed query is handled per cfg.OnError: skip records it
+// in its stream's timings and moves on; abort cancels the sibling
+// streams (they drain at their next cancellation point) and fails the
+// run with the first non-cancellation error.
+func runQueryRun(ctx context.Context, eng *exec.Engine, tpl []qgen.Template, cfg Config, run int) ([]QueryTiming, error) {
 	type streamResult struct {
 		timings []QueryTiming
 		err     error
 	}
+	// Abort policy: one stream's failure cancels its siblings through
+	// this shared context, so the run ends promptly instead of waiting
+	// out S-1 unaffected streams.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	skip := cfg.OnError == OnErrorSkip
 	results := make([]streamResult, cfg.Streams)
 	var wg sync.WaitGroup
 	for s := 0; s < cfg.Streams; s++ {
@@ -220,36 +282,79 @@ func runQueryRun(eng *exec.Engine, tpl []qgen.Template, cfg Config, run int) ([]
 			effStream := stream + (run-1)*1000
 			order := qgen.SessionPermutation(cfg.Seed, effStream, tpl)
 			var out []QueryTiming
+			defer func() { results[stream].timings = out }()
 			for _, idx := range order {
+				if runCtx.Err() != nil {
+					results[stream].err = fmt.Errorf("stream %d: %w", stream, runCtx.Err())
+					return
+				}
 				t := tpl[idx]
 				text, err := qgen.Instantiate(t, qgen.StreamSeed(cfg.Seed, effStream, t.ID))
 				if err != nil {
-					results[stream] = streamResult{err: fmt.Errorf("stream %d query %d: %w", stream, t.ID, err)}
+					// A template that fails to instantiate is a harness bug,
+					// not a query failure: always fatal to the run.
+					results[stream].err = fmt.Errorf("stream %d query %d: %w", stream, t.ID, err)
+					cancelRun()
 					return
 				}
-				start := time.Now()
-				r, err := eng.Query(text)
-				if err != nil {
-					results[stream] = streamResult{err: fmt.Errorf("stream %d query %d: %w", stream, t.ID, err)}
+				qt, err := runOneQuery(runCtx, eng, text, cfg.QueryTimeout)
+				qt.Run, qt.Stream, qt.QueryID = run, stream, t.ID
+				out = append(out, qt)
+				if err != nil && !skip {
+					results[stream].err = fmt.Errorf("stream %d query %d: %w", stream, t.ID, err)
+					cancelRun()
 					return
 				}
-				out = append(out, QueryTiming{
-					Run: run, Stream: stream, QueryID: t.ID,
-					Duration: time.Since(start), Rows: len(r.Rows),
-				})
 			}
-			results[stream] = streamResult{timings: out}
 		}(s)
 	}
 	wg.Wait()
 	var all []QueryTiming
+	var firstErr error
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
 		all = append(all, r.timings...)
+		if r.err != nil && (firstErr == nil || errRank(r.err) < errRank(firstErr)) {
+			firstErr = r.err
+		}
 	}
-	return all, nil
+	return all, firstErr
+}
+
+// errRank orders run failures by how likely they are the originating
+// one: a real query error beats a per-query deadline expiry, which
+// beats the "context canceled" every aborted sibling stream reports
+// after cancelRun fires. Without the ranking the run's error would be
+// whichever stream index is lowest — usually a secondary cancellation.
+func errRank(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return 2
+	case errors.Is(err, context.DeadlineExceeded):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// runOneQuery executes one query under the per-query deadline and
+// reports its timing. On failure the timing carries the error; the
+// returned error is non-nil so the caller can apply the OnError policy.
+func runOneQuery(ctx context.Context, eng *exec.Engine, text string, timeout time.Duration) (QueryTiming, error) {
+	qctx, cancel := ctx, func() {}
+	if timeout > 0 {
+		qctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	start := time.Now()
+	r, err := eng.QueryContext(qctx, text)
+	qt := QueryTiming{Duration: time.Since(start)}
+	if err != nil {
+		qt.Err = err.Error()
+		qt.TimedOut = errors.Is(err, context.DeadlineExceeded)
+		return qt, err
+	}
+	qt.Rows = len(r.Rows)
+	return qt, nil
 }
 
 // SlowestQueries returns the n slowest query executions — §5.3's point

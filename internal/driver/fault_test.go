@@ -1,0 +1,136 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowHook holds every query past the given deadline, making timeout
+// expiry deterministic instead of a race against tiny queries.
+func slowHook(d time.Duration) func(string) {
+	return func(string) { time.Sleep(d) }
+}
+
+// TestQueryTimeoutSkipPolicy: with OnErrorSkip, a run where every query
+// exceeds its deadline still completes, records every query as a
+// timeout, and reports the counts with the result marked unpublishable.
+func TestQueryTimeoutSkipPolicy(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.QueryTimeout = time.Millisecond
+	cfg.QueryHook = slowHook(10 * time.Millisecond)
+	cfg.OnError = OnErrorSkip
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("skip-policy run failed: %v", err)
+	}
+	total := 2 * cfg.Streams * len(cfg.QueryIDs)
+	if len(res.Queries) != total {
+		t.Fatalf("recorded %d query timings, want %d", len(res.Queries), total)
+	}
+	for _, qt := range res.Queries {
+		if qt.Err == "" || !qt.TimedOut {
+			t.Fatalf("query %d run %d stream %d not recorded as timeout: %+v",
+				qt.QueryID, qt.Run, qt.Stream, qt)
+		}
+	}
+	if res.Report.QueryErrors != total || res.Report.QueryTimeouts != total {
+		t.Errorf("report counts %d/%d, want %d/%d",
+			res.Report.QueryErrors, res.Report.QueryTimeouts, total, total)
+	}
+	if res.Report.Official {
+		t.Error("run with failed queries marked official")
+	}
+	if s := res.Report.String(); !strings.Contains(s, "Query Errors") {
+		t.Errorf("report rendering missing error line:\n%s", s)
+	}
+}
+
+// TestQueryTimeoutAbortPolicy: the default policy fails the run with
+// the deadline error instead of burying it.
+func TestQueryTimeoutAbortPolicy(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.QueryTimeout = time.Millisecond
+	cfg.QueryHook = slowHook(10 * time.Millisecond)
+	_, err := Run(cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestInjectedPanicSkipPolicy is the acceptance scenario: one injected
+// storage/exec panic becomes one per-query error in the report while
+// every other query in every stream completes.
+func TestInjectedPanicSkipPolicy(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.OnError = OnErrorSkip
+	var fired atomic.Bool
+	cfg.QueryHook = func(string) {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected storage fault")
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("skip-policy run failed: %v", err)
+	}
+	total := 2 * cfg.Streams * len(cfg.QueryIDs)
+	if len(res.Queries) != total {
+		t.Fatalf("recorded %d query timings, want %d", len(res.Queries), total)
+	}
+	var failed []QueryTiming
+	for _, qt := range res.Queries {
+		if qt.Err != "" {
+			failed = append(failed, qt)
+		}
+	}
+	if len(failed) != 1 {
+		t.Fatalf("%d failed queries, want exactly 1: %+v", len(failed), failed)
+	}
+	if !strings.Contains(failed[0].Err, "injected storage fault") || failed[0].TimedOut {
+		t.Errorf("failure misrecorded: %+v", failed[0])
+	}
+	if res.Report.QueryErrors != 1 || res.Report.QueryTimeouts != 0 {
+		t.Errorf("report counts %d errors / %d timeouts, want 1/0",
+			res.Report.QueryErrors, res.Report.QueryTimeouts)
+	}
+}
+
+// TestInjectedPanicAbortPolicy: under abort, the injected failure
+// surfaces as the run error (not a secondary cancellation) and names
+// the fault.
+func TestInjectedPanicAbortPolicy(t *testing.T) {
+	cfg := tinyCfg()
+	var fired atomic.Bool
+	cfg.QueryHook = func(string) {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected storage fault")
+		}
+	}
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "injected storage fault") {
+		t.Fatalf("err = %v, want the injected fault", err)
+	}
+}
+
+// TestRunContextCancelled: a cancelled run context aborts the
+// benchmark.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, tinyCfg()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOnErrorValidation rejects unknown policies up front.
+func TestOnErrorValidation(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.OnError = "retry"
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "OnError") {
+		t.Fatalf("err = %v, want OnError validation failure", err)
+	}
+}

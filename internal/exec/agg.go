@@ -268,6 +268,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		groups := map[string]*group{}
 		var order []*group // preserve first-seen order for determinism
 		for _, row := range rows {
+			b.qc.tick()
 			key := ""
 			gvals := make([]storage.Value, len(groupExprs))
 			for i := range groupExprs {
@@ -315,7 +316,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		n := len(rows)
 		gv = make([][]storage.Value, n)
 		av = make([][]storage.Value, n)
-		counts := forEachMorsel(workers, n, morsel, func(_, _, lo, hi int) {
+		counts := forEachMorsel(b.qc, workers, n, morsel, func(_, _, lo, hi int) {
 			for r := lo; r < hi; r++ {
 				row := rows[r]
 				g := make([]storage.Value, len(groupExprs))
@@ -340,7 +341,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		n := len(rows)
 		keys := make([]string, n)
 		parts := make([]int, n)
-		counts := forEachMorsel(workers, n, morsel, func(_, _, lo, hi int) {
+		counts := forEachMorsel(b.qc, workers, n, morsel, func(_, _, lo, hi int) {
 			for r := lo; r < hi; r++ {
 				key := ""
 				for i := range groupExprs {
@@ -360,6 +361,9 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 			groups := map[string]*group{}
 			var order []*group
 			for r := 0; r < n; r++ {
+				if r%(8*tickInterval) == 0 {
+					b.qc.checkNow()
+				}
 				if parts[r] != p {
 					continue
 				}
@@ -481,6 +485,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		accs := map[string]*aggAcc{}
 		keys := make([]string, len(aggRows))
 		for ri, row := range aggRows {
+			b.qc.tick()
 			key := ""
 			for _, p := range ws.parts {
 				key += p.eval(row).GroupKey()
@@ -559,6 +564,6 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		}
 		sortKeys = append(sortKeys, be)
 	}
-	res := e.finish(aggRows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols, tr)
+	res := e.finish(b.qc, aggRows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols, tr)
 	return res, outTypes, nil
 }

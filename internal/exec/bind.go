@@ -28,6 +28,7 @@ func (t *tabInst) width() int { return t.tab.NumCols() }
 // to their slot instead of base columns.
 type binder struct {
 	eng    *Engine
+	qc     *qctx // the owning query's cancellation/phase state
 	ctes   map[string]*storage.Table
 	tables []tabInst
 	total  int
@@ -39,8 +40,8 @@ type binder struct {
 	used map[int]bool
 }
 
-func newBinder(eng *Engine, ctes map[string]*storage.Table) *binder {
-	return &binder{eng: eng, ctes: ctes, used: map[int]bool{}}
+func newBinder(eng *Engine, qc *qctx, ctes map[string]*storage.Table) *binder {
+	return &binder{eng: eng, qc: qc, ctes: ctes, used: map[int]bool{}}
 }
 
 // usedCols returns the column indexes of table ti that any bound
@@ -334,7 +335,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 		}
 		in := &inExpr{x: x, set: map[string]bool{}, not: v.Not}
 		if v.Sub != nil {
-			res, _, _, err := b.eng.runStatement(v.Sub, b.ctes)
+			res, _, _, err := b.eng.runStatement(b.qc, v.Sub, b.ctes)
 			if err != nil {
 				return nil, fmt.Errorf("IN subquery: %w", err)
 			}
@@ -428,7 +429,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 	case *sql.Window:
 		return nil, fmt.Errorf("window function not allowed in this context")
 	case *sql.SubQuery:
-		res, types, _, err := b.eng.runStatement(v.Select, b.ctes)
+		res, types, _, err := b.eng.runStatement(b.qc, v.Select, b.ctes)
 		if err != nil {
 			return nil, fmt.Errorf("scalar subquery: %w", err)
 		}

@@ -37,6 +37,12 @@ type Engine struct {
 	// stats-vs-heuristics ablation).
 	useHeuristicsOnly bool
 
+	// queryHook, when set, runs at the start of every Query/QueryContext
+	// call inside the per-query recover scope — the fault-injection
+	// point for robustness tests (a hook panic becomes that query's
+	// error, never a process crash).
+	queryHook func(query string)
+
 	// Explain hooks: the most recent strategy decision and execution
 	// trace, for tests and EXPLAIN-style reporting. Guarded by mu.
 	lastDecision plan.Decision
@@ -90,6 +96,13 @@ func (e *Engine) SetMorselSize(n int) {
 // heuristics — the stats-vs-heuristics ablation. Not safe to call
 // concurrently with queries.
 func (e *Engine) SetUseStatistics(on bool) { e.useHeuristicsOnly = !on }
+
+// SetQueryHook installs a hook invoked at the start of every query
+// inside the per-query recover scope. It exists for fault injection:
+// robustness tests make it panic or block to prove one query's failure
+// stays confined to that query. Not safe to call concurrently with
+// queries; nil removes the hook.
+func (e *Engine) SetQueryHook(h func(query string)) { e.queryHook = h }
 
 // DB exposes the underlying database (used by data maintenance).
 func (e *Engine) DB() *storage.DB { return e.db }

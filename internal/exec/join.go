@@ -76,6 +76,7 @@ func (b *binder) forEachFiltered(ti int, filters []filterInfo, fn func(r int, ro
 	n := inst.tab.NumRows()
 	row := make([]storage.Value, b.total)
 	for r := 0; r < n; r++ {
+		b.qc.tick()
 		for _, c := range cols {
 			row[inst.offset+c] = inst.tab.Get(r, c)
 		}
@@ -213,6 +214,7 @@ func (e *Engine) hashJoinRows(b *binder, filters []filterInfo, edges []joinEdge,
 	if len(residual) > 0 {
 		w := 0
 		for _, row := range current {
+			b.qc.tick()
 			ok := true
 			for _, p := range residual {
 				if !truthy(p.eval(row)) {
@@ -290,6 +292,7 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 		var out [][]storage.Value
 		for _, l := range current {
 			for _, r := range ids {
+				b.qc.tick()
 				m := make([]storage.Value, b.total)
 				copy(m, l)
 				b.fillSpan(ti, r, m)
@@ -368,13 +371,14 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 	if workers <= 1 || n <= morsel {
 		var out [][]storage.Value
 		for _, l := range current {
+			b.qc.tick()
 			out = probeOne(l, out)
 		}
 		return out
 	}
 	numMorsels := (n + morsel - 1) / morsel
 	outs := make([][][]storage.Value, numMorsels)
-	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
 		var out [][]storage.Value
 		for _, l := range current[lo:hi] {
 			out = probeOne(l, out)

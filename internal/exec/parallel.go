@@ -54,7 +54,12 @@ func (e *Engine) morselSize() int {
 // Returns the number of morsels each worker processed. A panic inside
 // fn is re-raised on the calling goroutine so Query's recover converts
 // it to an error as usual.
-func forEachMorsel(workers, n, morselRows int, fn func(worker, morsel, lo, hi int)) []int {
+//
+// Cancellation: workers poll the query context between morsels. When it
+// fires they stop pulling work and return — the pool always drains
+// cleanly, leaking no goroutines — and the coordinator re-raises the
+// cancellation after the drain so the query unwinds to QueryContext.
+func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel, lo, hi int)) []int {
 	numMorsels := (n + morselRows - 1) / morselRows
 	if workers > numMorsels {
 		workers = numMorsels
@@ -65,14 +70,15 @@ func forEachMorsel(workers, n, morselRows int, fn func(worker, morsel, lo, hi in
 	counts := make([]int, workers)
 	if workers == 1 {
 		for m := 0; m < numMorsels; m++ {
+			qc.checkNow()
 			lo := m * morselRows
 			hi := lo + morselRows
 			if hi > n {
 				hi = n
 			}
 			fn(0, m, lo, hi)
+			counts[0]++
 		}
-		counts[0] = numMorsels
 		return counts
 	}
 	var next atomic.Int64
@@ -92,7 +98,7 @@ func forEachMorsel(workers, n, morselRows int, fn func(worker, morsel, lo, hi in
 					panicMu.Unlock()
 				}
 			}()
-			for {
+			for !qc.done() {
 				m := int(next.Add(1)) - 1
 				if m >= numMorsels {
 					return
@@ -111,6 +117,7 @@ func forEachMorsel(workers, n, morselRows int, fn func(worker, morsel, lo, hi in
 	if panicVal != nil {
 		panic(panicVal)
 	}
+	qc.checkNow()
 	return counts
 }
 
@@ -188,7 +195,7 @@ func (e *Engine) scanFiltered(b *binder, ti int, filters []filterInfo, tr *Trace
 	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel
 	outs := make([][][]storage.Value, numMorsels)
-	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
 		row := make([]storage.Value, b.total)
 		var keep [][]storage.Value
 		for r := lo; r < hi; r++ {
@@ -248,7 +255,7 @@ func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, build [
 	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel
 	entries := make([][]buildEntry, numMorsels)
-	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
 		row := make([]storage.Value, b.total)
 		var keep []buildEntry
 		for r := lo; r < hi; r++ {
@@ -275,7 +282,10 @@ func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, build [
 	ht := &hashTable{parts: make([]map[string][]int32, workers)}
 	parallelFor(workers, func(p int) {
 		part := map[string][]int32{}
-		for _, chunk := range entries {
+		for ci, chunk := range entries {
+			if ci%64 == 0 {
+				b.qc.checkNow()
+			}
 			for _, en := range chunk {
 				if partOf(en.key, workers) == p {
 					part[en.key] = append(part[en.key], en.r)
@@ -310,13 +320,14 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 	if workers <= 1 || n <= morsel {
 		var out [][]storage.Value
 		for _, l := range current {
+			b.qc.tick()
 			out = probeOne(l, out)
 		}
 		return out
 	}
 	numMorsels := (n + morsel - 1) / morsel
 	outs := make([][][]storage.Value, numMorsels)
-	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
 		var out [][]storage.Value
 		for _, l := range current[lo:hi] {
 			out = probeOne(l, out)
@@ -334,6 +345,7 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe, build []*colExpr, filters []filterInfo, tr *Trace) [][]storage.Value {
 	htCur := make(map[string][]int, len(current))
 	for li, l := range current {
+		b.qc.tick()
 		if key, ok := keyOf(l, probe); ok {
 			htCur[key] = append(htCur[key], li)
 		}
@@ -366,7 +378,7 @@ func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe,
 	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel
 	outs := make([][][]storage.Value, numMorsels)
-	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
 		row := make([]storage.Value, b.total)
 		var out [][]storage.Value
 		for r := lo; r < hi; r++ {

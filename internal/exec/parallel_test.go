@@ -200,7 +200,7 @@ func contains(s, sub string) bool {
 func TestForEachMorselCoversAllRows(t *testing.T) {
 	const n, morsel = 1037, 64
 	covered := make([]bool, n) // morsels are disjoint: no locking needed
-	counts := forEachMorsel(4, n, morsel, func(_, _, lo, hi int) {
+	counts := forEachMorsel(newQctx(nil), 4, n, morsel, func(_, _, lo, hi int) {
 		for r := lo; r < hi; r++ {
 			if covered[r] {
 				t.Errorf("row %d visited twice", r)
@@ -231,7 +231,7 @@ func TestForEachMorselPanicPropagates(t *testing.T) {
 			t.Fatal("worker panic did not propagate to the caller")
 		}
 	}()
-	forEachMorsel(4, 1000, 10, func(_, m, _, _ int) {
+	forEachMorsel(newQctx(nil), 4, 1000, 10, func(_, m, _, _ int) {
 		if m == 50 {
 			panic("boom")
 		}

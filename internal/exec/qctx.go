@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"context"
+)
+
+// qctx carries the per-query execution state that is not part of the
+// binder's name-resolution job: the cancellation context and the
+// operator phase currently running (for error attribution when an
+// internal invariant violation is recovered at the Query boundary).
+//
+// Cancellation is cooperative. Serial operator loops call tick() once
+// per row (an int increment; the context is polled every tickInterval
+// rows), morsel workers call done() between morsels and drain cleanly,
+// and partition workers call checkNow() periodically. When the context
+// is done, the coordinating goroutine raises a cancelPanic, which the
+// QueryContext/RunContext recover converts into the context's error —
+// the same mechanism that turns internal panics into per-query errors,
+// so cancellation needs no error plumbing through the operator tree.
+type qctx struct {
+	ctx   context.Context
+	phase string // current operator; coordinator goroutine only
+	ticks int    // serial poll counter; coordinator goroutine only
+}
+
+// tickInterval is the serial-path polling granularity: a context check
+// every 1024 rows bounds cancellation latency without measurable
+// per-row cost.
+const tickInterval = 1024
+
+// cancelPanic is the sentinel raised when the query's context is done.
+// It carries the context error (context.Canceled or
+// context.DeadlineExceeded) to the boundary recover.
+type cancelPanic struct{ err error }
+
+func newQctx(ctx context.Context) *qctx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &qctx{ctx: ctx, phase: "parse"}
+}
+
+// setPhase records the operator about to run. Coordinator goroutine
+// only; workers never call it.
+func (q *qctx) setPhase(p string) {
+	if q != nil {
+		q.phase = p
+	}
+}
+
+// phaseName returns the phase for error messages.
+func (q *qctx) phaseName() string {
+	if q == nil || q.phase == "" {
+		return "exec"
+	}
+	return q.phase
+}
+
+// done reports whether the query's context is cancelled or expired.
+// Safe from any goroutine.
+func (q *qctx) done() bool {
+	if q == nil || q.ctx == nil {
+		return false
+	}
+	select {
+	case <-q.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// checkNow raises cancelPanic when the context is done. Safe from any
+// goroutine (morsel and partition workers run under the pool's recover,
+// which re-raises on the coordinator).
+func (q *qctx) checkNow() {
+	if q.done() {
+		panic(cancelPanic{q.ctx.Err()})
+	}
+}
+
+// tick is the serial-loop cancellation point: every tickInterval calls
+// it polls the context. Coordinator goroutine only — the counter is not
+// synchronized.
+func (q *qctx) tick() {
+	if q == nil {
+		return
+	}
+	q.ticks++
+	if q.ticks%tickInterval == 0 {
+		q.checkNow()
+	}
+}

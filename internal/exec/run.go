@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,7 +14,17 @@ import (
 // converted to errors: one malformed query must not take down the
 // benchmark's concurrent streams.
 func (e *Engine) Query(q string) (*Result, error) {
-	res, _, err := e.QueryTraced(q)
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext executes one SELECT statement under a cancellation
+// context. A cancelled or expired context aborts the query between
+// operator steps (serial loops poll every tickInterval rows; morsel
+// workers check between morsels and drain cleanly) and the error wraps
+// ctx.Err(), so errors.Is(err, context.DeadlineExceeded) reports a
+// per-query timeout.
+func (e *Engine) QueryContext(ctx context.Context, q string) (*Result, error) {
+	res, _, err := e.QueryTracedContext(ctx, q)
 	return res, err
 }
 
@@ -21,18 +32,28 @@ func (e *Engine) Query(q string) (*Result, error) {
 // trace of its outermost block alongside the result. Unlike LastTrace
 // the returned trace belongs to this call, so concurrent streams get
 // their own traces.
-func (e *Engine) QueryTraced(q string) (res *Result, tr Trace, err error) {
+func (e *Engine) QueryTraced(q string) (*Result, Trace, error) {
+	return e.QueryTracedContext(context.Background(), q)
+}
+
+// QueryTracedContext is QueryTraced under a cancellation context.
+func (e *Engine) QueryTracedContext(ctx context.Context, q string) (res *Result, tr Trace, err error) {
+	qc := newQctx(ctx)
 	defer func() {
 		if r := recover(); r != nil {
 			res, tr = nil, Trace{}
-			err = queryError(q, fmt.Errorf("internal error: %v", r))
+			err = queryError(q, recoveredError(qc, r))
 		}
 	}()
+	if hook := e.queryHook; hook != nil {
+		hook(q)
+	}
+	qc.checkNow()
 	stmt, err := sql.Parse(q)
 	if err != nil {
 		return nil, Trace{}, queryError(q, err)
 	}
-	res, _, tr, err = e.runStatement(stmt, nil)
+	res, _, tr, err = e.runStatement(qc, stmt, nil)
 	if err != nil {
 		return nil, Trace{}, queryError(q, err)
 	}
@@ -42,24 +63,51 @@ func (e *Engine) QueryTraced(q string) (res *Result, tr Trace, err error) {
 
 // Run executes an already parsed statement.
 func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
-	res, _, tr, err := e.runStatement(stmt, nil)
+	return e.RunContext(context.Background(), stmt)
+}
+
+// RunContext executes an already parsed statement under a cancellation
+// context, with the same panic-to-error hardening as QueryContext.
+func (e *Engine) RunContext(ctx context.Context, stmt *sql.SelectStmt) (res *Result, err error) {
+	qc := newQctx(ctx)
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("exec: %w", recoveredError(qc, r))
+		}
+	}()
+	qc.checkNow()
+	res, _, tr, err := e.runStatement(qc, stmt, nil)
 	if err == nil {
 		e.setTrace(tr)
 	}
 	return res, err
 }
 
+// recoveredError converts a recovered panic into the query's error: the
+// cancellation sentinel becomes the context error (preserving
+// errors.Is against context.Canceled / context.DeadlineExceeded), and
+// anything else — a storage or exec invariant violation — becomes an
+// internal error tagged with the operator phase that raised it.
+func recoveredError(qc *qctx, r any) error {
+	if cp, ok := r.(cancelPanic); ok {
+		return cp.err
+	}
+	return fmt.Errorf("internal error in %s: %v", qc.phaseName(), r)
+}
+
 // runStatement materializes WITH clauses, dispatches union chains, and
 // runs the head select. It returns the result, per-column types (for
 // CTE materialization), and the trace of the head block (CTE and
 // subquery traces stay local to their execution).
-func (e *Engine) runStatement(stmt *sql.SelectStmt, outer map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
+func (e *Engine) runStatement(qc *qctx, stmt *sql.SelectStmt, outer map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
 	ctes := map[string]*storage.Table{}
 	for k, v := range outer {
 		ctes[k] = v
 	}
 	for _, cte := range stmt.With {
-		res, types, _, err := e.runStatement(cte.Select, ctes)
+		qc.checkNow()
+		res, types, _, err := e.runStatement(qc, cte.Select, ctes)
 		if err != nil {
 			return nil, nil, Trace{}, fmt.Errorf("WITH %s: %w", cte.Name, err)
 		}
@@ -70,9 +118,9 @@ func (e *Engine) runStatement(stmt *sql.SelectStmt, outer map[string]*storage.Ta
 		ctes[cte.Name] = tab
 	}
 	if stmt.UnionAll != nil {
-		return e.runUnion(stmt, ctes)
+		return e.runUnion(qc, stmt, ctes)
 	}
-	return e.runSelect(stmt, ctes)
+	return e.runSelect(qc, stmt, ctes)
 }
 
 // materialize turns a query result into an anonymous storage table so
@@ -104,7 +152,7 @@ func materialize(name string, res *Result, types []schema.Type) (*storage.Table,
 // apply to the concatenated result and may only reference output columns
 // by name or ordinal. The returned trace is the first block's (the
 // head's FROM clause).
-func (e *Engine) runUnion(head *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
+func (e *Engine) runUnion(qc *qctx, head *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
 	var out *Result
 	var types []schema.Type
 	var headTrace Trace
@@ -112,13 +160,14 @@ func (e *Engine) runUnion(head *sql.SelectStmt, ctes map[string]*storage.Table) 
 	limit := head.Limit
 	offset := head.Offset
 	for cur := head; cur != nil; cur = cur.UnionAll {
+		qc.checkNow()
 		block := *cur
 		block.OrderBy = nil
 		block.Limit = -1
 		block.Offset = 0
 		block.UnionAll = nil
 		block.With = nil
-		res, ts, tr, err := e.runSelect(&block, ctes)
+		res, ts, tr, err := e.runSelect(qc, &block, ctes)
 		if err != nil {
 			return nil, nil, Trace{}, err
 		}
@@ -204,8 +253,9 @@ type joinEdge struct {
 }
 
 // runSelect executes one plain SELECT block.
-func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
-	b := newBinder(e, ctes)
+func (e *Engine) runSelect(qc *qctx, stmt *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
+	qc.setPhase("bind")
+	b := newBinder(e, qc, ctes)
 	for _, ref := range stmt.From {
 		if err := b.addTable(ref); err != nil {
 			return nil, nil, Trace{}, err
@@ -296,6 +346,7 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table)
 	}
 
 	// Produce joined base rows.
+	qc.setPhase("join")
 	rows, tr, err := e.joinRows(b, filters, edges, residual, leftJoins)
 	if err != nil {
 		return nil, nil, Trace{}, err
@@ -314,9 +365,11 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt, ctes map[string]*storage.Table)
 	}
 
 	if aggregated {
+		qc.setPhase("aggregate")
 		res, types, err := e.aggregate(stmt, b, rows, orderBy, &tr)
 		return res, types, tr, err
 	}
+	qc.setPhase("project")
 	res, types, err := e.projectSimple(stmt, b, rows, orderBy, &tr)
 	return res, types, tr, err
 }
@@ -372,7 +425,7 @@ func (e *Engine) projectSimple(stmt *sql.SelectStmt, b *binder, rows [][]storage
 		}
 		sortKeys = append(sortKeys, be)
 	}
-	res := e.finish(rows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols, tr)
+	res := e.finish(b.qc, rows, projs, sortKeys, orderBy, stmt.Distinct, stmt.Limit, stmt.Offset, outCols, tr)
 	return res, outTypes, nil
 }
 
@@ -380,7 +433,7 @@ func (e *Engine) projectSimple(stmt *sql.SelectStmt, b *binder, rows [][]storage
 // and LIMIT, and assembles the result. Projection/sort-key evaluation
 // runs in morsels (expressions are pure); DISTINCT dedup then walks the
 // concatenated rows in order, so first-wins matches the serial pass.
-func (e *Engine) finish(rows [][]storage.Value, projs, sortKeys []bexpr, orderBy []sql.OrderItem, distinct bool, limit, offset int, outCols []string, tr *Trace) *Result {
+func (e *Engine) finish(qc *qctx, rows [][]storage.Value, projs, sortKeys []bexpr, orderBy []sql.OrderItem, distinct bool, limit, offset int, outCols []string, tr *Trace) *Result {
 	type outRow struct {
 		proj []storage.Value
 		keys []storage.Value
@@ -402,7 +455,7 @@ func (e *Engine) finish(rows [][]storage.Value, projs, sortKeys []bexpr, orderBy
 	morsel := e.morselSize()
 	if workers > 1 && n > morsel {
 		evaled := make([]outRow, n)
-		counts := forEachMorsel(workers, n, morsel, func(_, _, lo, hi int) {
+		counts := forEachMorsel(qc, workers, n, morsel, func(_, _, lo, hi int) {
 			for r := lo; r < hi; r++ {
 				evaled[r] = evalRow(rows[r])
 			}
@@ -412,6 +465,7 @@ func (e *Engine) finish(rows [][]storage.Value, projs, sortKeys []bexpr, orderBy
 	} else {
 		outs = make([]outRow, 0, n)
 		for _, row := range rows {
+			qc.tick()
 			outs = append(outs, evalRow(row))
 		}
 	}

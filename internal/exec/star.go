@@ -218,13 +218,14 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		var out [][]storage.Value
 		row := make([]storage.Value, b.total)
 		for _, r := range ids {
+			b.qc.tick()
 			out = fetch(int(r), row, out)
 		}
 		return out, true
 	}
 	numMorsels := (n + morsel - 1) / morsel
 	outs := make([][][]storage.Value, numMorsels)
-	counts := forEachMorsel(workers, n, morsel, func(_, m, lo, hi int) {
+	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
 		row := make([]storage.Value, b.total)
 		var out [][]storage.Value
 		for _, r := range ids[lo:hi] {

@@ -154,6 +154,24 @@ type Report struct {
 	// factors, with too few streams, or over a template subset; such
 	// results are not publishable.
 	Official bool
+	// QueryErrors counts query executions that failed (including
+	// timeouts); QueryTimeouts counts the subset that hit the per-query
+	// deadline. A run with failed queries is never publishable — the
+	// §5.2 execution rules require every stream to complete all
+	// templates.
+	QueryErrors   int
+	QueryTimeouts int
+}
+
+// WithErrorCounts returns a copy of the report carrying per-query
+// failure counts. Any failed query invalidates the result for
+// publication.
+func (r Report) WithErrorCounts(errs, timeouts int) Report {
+	r.QueryErrors, r.QueryTimeouts = errs, timeouts
+	if errs > 0 {
+		r.Official = false
+	}
+	return r
 }
 
 // NewReport assembles a full-run report, computing the metrics and
@@ -191,6 +209,11 @@ func (r Report) String() string {
 		qphdsNote = fmt.Sprintf(" (subset: %d of %d templates, development only)",
 			perStream, QueriesPerStream)
 	}
+	errLine := ""
+	if r.QueryErrors > 0 {
+		errLine = fmt.Sprintf("  Query Errors:      %d (%d timed out) — result invalid\n",
+			r.QueryErrors, r.QueryTimeouts)
+	}
 	return fmt.Sprintf(
 		"TPC-DS Result [%s]\n"+
 			"  Scale Factor:      %v\n"+
@@ -200,11 +223,12 @@ func (r Report) String() string {
 			"  T_QR1:             %v\n"+
 			"  T_DM:              %v\n"+
 			"  T_QR2:             %v\n"+
+			"%s"+
 			"  QphDS@SF:          %.2f%s\n"+
 			"  3yr TCO:           $%.2f\n"+
 			"  $/QphDS@SF:        %.4f\n",
 		status, r.SF, r.Streams, MinStreams(r.SF), TotalQueriesFor(r.Streams, perStream),
 		r.Timings.Load.Round(time.Millisecond), r.Timings.QR1.Round(time.Millisecond),
 		r.Timings.DM.Round(time.Millisecond), r.Timings.QR2.Round(time.Millisecond),
-		r.QphDS, qphdsNote, r.TCO, r.PerQphDS)
+		errLine, r.QphDS, qphdsNote, r.TCO, r.PerQphDS)
 }

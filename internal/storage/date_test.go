@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDateIntegerMath pins the float-hour arithmetic bug: the day count
+// used to be computed as t.Sub(epoch).Hours()/24 truncated to int64,
+// which is off by one whenever the float quotient lands just below an
+// integer. The table covers century boundaries, leap days, and the
+// 73049-day date_dim range endpoints.
+func TestDateIntegerMath(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		days    int64
+	}{
+		{1900, 1, 1, 0}, // range start
+		{1900, 1, 2, 1},
+		{1900, 2, 28, 58}, // 1900 is NOT a leap year (century rule)
+		{1900, 3, 1, 59},
+		{1900, 12, 31, 364},
+		{1901, 1, 1, 365},
+		{1999, 12, 31, 36523}, // century boundary
+		{2000, 1, 1, 36524},
+		{2000, 2, 28, 36582}, // 2000 IS a leap year (400 rule)
+		{2000, 2, 29, 36583},
+		{2000, 3, 1, 36584},
+		{2004, 2, 29, 38044},      // ordinary leap day
+		{2099, 12, 31, 73048},     // last date_dim day
+		{2100, 1, 1, DateDimRows}, // one past the range: 73049
+	}
+	for _, c := range cases {
+		if got := DaysFromYMD(c.y, c.m, c.d); got != c.days {
+			t.Errorf("DaysFromYMD(%d,%d,%d) = %d, want %d", c.y, c.m, c.d, got, c.days)
+		}
+		y, m, d := YMDFromDays(c.days)
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("YMDFromDays(%d) = %d-%d-%d, want %d-%d-%d",
+				c.days, y, m, d, c.y, c.m, c.d)
+		}
+	}
+}
+
+// TestDateSweepAgainstTime checks every day of the 73049-day range
+// against the time package: exact agreement on calendar components and
+// weekday, and strict monotonicity of the day count.
+func TestDateSweepAgainstTime(t *testing.T) {
+	ref := time.Date(1900, 1, 1, 0, 0, 0, 0, time.UTC)
+	for days := int64(0); days <= DateDimRows; days++ {
+		y, m, d := YMDFromDays(days)
+		if y != ref.Year() || m != int(ref.Month()) || d != ref.Day() {
+			t.Fatalf("day %d: got %d-%d-%d, time says %s", days, y, m, d, ref.Format("2006-01-02"))
+		}
+		if back := DaysFromYMD(y, m, d); back != days {
+			t.Fatalf("DaysFromYMD(YMDFromDays(%d)) = %d", days, back)
+		}
+		if wd := Weekday(days); wd != int(ref.Weekday()) {
+			t.Fatalf("day %d: weekday %d, time says %d", days, wd, int(ref.Weekday()))
+		}
+		ref = ref.AddDate(0, 0, 1)
+	}
+}

@@ -12,7 +12,10 @@ import (
 
 // Flat-file format: one row per line, fields separated by '|', with a
 // trailing '|' before the newline (dsdgen's format). NULL is the empty
-// field. Dates are ISO yyyy-mm-dd.
+// field. Dates are ISO yyyy-mm-dd. String payloads containing the
+// delimiter, a backslash, or a line break are backslash-escaped
+// (\|, \\, \n, \r) so any string round-trips — except the empty
+// string, which the format cannot distinguish from NULL.
 
 // WriteFlat writes the whole table in flat-file format.
 func (t *Table) WriteFlat(w io.Writer) error {
@@ -28,7 +31,14 @@ func (t *Table) WriteFlat(w io.Writer) error {
 
 func writeFlatRow(bw *bufio.Writer, t *Table, r int) error {
 	for c := 0; c < t.NumCols(); c++ {
-		if _, err := bw.WriteString(t.Get(r, c).String()); err != nil {
+		v := t.Get(r, c)
+		s := v.String()
+		if v.K == KindString {
+			// Only strings can carry framing bytes; numeric and date
+			// renderings never contain '|', '\', or line breaks.
+			s = escapeFlat(s)
+		}
+		if _, err := bw.WriteString(s); err != nil {
 			return err
 		}
 		if err := bw.WriteByte('|'); err != nil {
@@ -36,6 +46,74 @@ func writeFlatRow(bw *bufio.Writer, t *Table, r int) error {
 		}
 	}
 	return bw.WriteByte('\n')
+}
+
+// escapeFlat protects a string payload from the flat-file framing: the
+// field delimiter, the escape character itself, and line breaks (the
+// reader is line-based, so an unescaped newline would split the row).
+func escapeFlat(s string) string {
+	if !strings.ContainsAny(s, "|\\\n\r") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '|':
+			b.WriteString(`\|`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// splitFlat splits one line into fields, resolving the escapes
+// escapeFlat emits. An unescaped '|' terminates a field; the trailing
+// delimiter closes the last field rather than opening an empty one
+// (lines without the trailing '|' are also accepted). A dangling
+// backslash or an unknown escape yields the literal character, so
+// arbitrary input never fails to split.
+func splitFlat(line string) []string {
+	var fields []string
+	var b strings.Builder
+	endedOnDelim := false
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; c {
+		case '|':
+			fields = append(fields, b.String())
+			b.Reset()
+			endedOnDelim = true
+			continue
+		case '\\':
+			if i+1 < len(line) {
+				i++
+				switch line[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case 'r':
+					b.WriteByte('\r')
+				default:
+					b.WriteByte(line[i])
+				}
+			} else {
+				b.WriteByte('\\')
+			}
+		default:
+			b.WriteByte(c)
+		}
+		endedOnDelim = false
+	}
+	if !endedOnDelim && (b.Len() > 0 || len(fields) > 0) {
+		fields = append(fields, b.String())
+	}
+	return fields
 }
 
 // ParseField converts one flat-file field to a Value of the given
@@ -80,8 +158,7 @@ func (t *Table) ReadFlat(r io.Reader) (int, error) {
 		if line == "" {
 			continue
 		}
-		line = strings.TrimSuffix(line, "|")
-		fields := strings.Split(line, "|")
+		fields := splitFlat(line)
 		if len(fields) != t.NumCols() {
 			return rows, fmt.Errorf("storage: %s row %d has %d fields, want %d",
 				t.Def.Name, rows+1, len(fields), t.NumCols())

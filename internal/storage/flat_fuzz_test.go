@@ -1,0 +1,33 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFlat feeds arbitrary bytes into the flat-file reader over a
+// mixed-type table. Malformed input must surface as an error (or load
+// cleanly), never as a panic; whatever loads must also survive being
+// written back out.
+func FuzzReadFlat(f *testing.F) {
+	f.Add("1|5|3.25|hello world|1999-02-21|\n2|||||\n")
+	f.Add("1|2|\n")
+	f.Add(`1||0.5|esc\|aped|` + "|\n")
+	f.Add("x|1|1.0|a|2000-01-01|\n")
+	f.Add("1|1|1.0|a\\|2000-01-01|\n")
+	f.Add("||||\n\n|")
+	f.Fuzz(func(t *testing.T, data string) {
+		tb := NewTable(testDef())
+		n, err := tb.ReadFlat(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n != tb.NumRows() {
+			t.Fatalf("ReadFlat reported %d rows, table has %d", n, tb.NumRows())
+		}
+		var sb strings.Builder
+		if err := tb.WriteFlat(&sb); err != nil {
+			t.Fatalf("WriteFlat after clean load: %v", err)
+		}
+	})
+}

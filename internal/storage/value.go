@@ -105,7 +105,15 @@ func (v Value) String() string {
 	case KindInt:
 		return strconv.FormatInt(v.I, 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.F, 'f', 2, 64)
+		// Two decimals is the flat-file convention for decimal columns,
+		// but only when it round-trips: a value carrying more precision
+		// (intermediate averages, tax rates) falls back to the shortest
+		// exact representation instead of silently losing digits.
+		s := strconv.FormatFloat(v.F, 'f', 2, 64)
+		if p, err := strconv.ParseFloat(s, 64); err == nil && p == v.F {
+			return s
+		}
+		return strconv.FormatFloat(v.F, 'f', -1, 64)
 	case KindString:
 		return v.S
 	case KindDate:
