@@ -100,9 +100,12 @@ func main() {
 
 	fmt.Printf("\nSlowest queries:\n")
 	for _, qt := range res.SlowestQueries(*topN) {
-		t, _ := queries.ByID(qt.QueryID)
+		name, class := "(unknown)", "-"
+		if t, err := queries.ByID(qt.QueryID); err == nil {
+			name, class = t.Name, qgen.ClassOf(t).String()
+		}
 		fmt.Printf("  run %d stream %d query %-3d (%-30s class %-9s) %8v  %6d rows\n",
-			qt.Run, qt.Stream, qt.QueryID, t.Name, qgen.ClassOf(t), qt.Duration, qt.Rows)
+			qt.Run, qt.Stream, qt.QueryID, name, class, qt.Duration, qt.Rows)
 	}
 
 	if *runAudit {

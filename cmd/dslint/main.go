@@ -1,0 +1,69 @@
+// Command dslint is the repo's static-analysis gate. It runs two
+// layers and exits nonzero if either finds anything:
+//
+//   - source analyzers (internal/lint): determinism of the generator
+//     packages, cancellation hygiene in the executor, error and panic
+//     discipline, and stray process-stream I/O — all pure stdlib
+//     go/ast + go/types, no external tooling;
+//   - the schema-aware template checker (internal/lint/templatecheck):
+//     every one of the 99 query templates must substitute, parse, and
+//     resolve cleanly against the snowstorm schema catalog.
+//
+// Usage:
+//
+//	dslint [-source=false] [-templates=false] [packages]
+//
+// The package argument is accepted for familiarity ("./...") but the
+// tool always analyzes the whole module containing the working
+// directory. False positives are suppressed in source with
+// "//lint:ignore <rule> <reason>"; suppressed counts are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpcds/internal/lint"
+	"tpcds/internal/lint/templatecheck"
+	"tpcds/internal/queries"
+)
+
+func main() {
+	source := flag.Bool("source", true, "run the source analyzers")
+	templates := flag.Bool("templates", true, "run the schema-aware template checker")
+	flag.Parse()
+
+	findings := 0
+	if *source {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
+			os.Exit(2)
+		}
+		pkgs, err := loader.LoadModule()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
+			os.Exit(2)
+		}
+		res := lint.Check(pkgs)
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+		findings += len(res.Diagnostics)
+		fmt.Fprintf(os.Stderr, "dslint: source: %d packages, %d findings, %d suppressed by //lint:ignore\n",
+			len(pkgs), len(res.Diagnostics), res.Suppressed)
+	}
+	if *templates {
+		diags := templatecheck.CheckAll(queries.All())
+		for _, d := range diags {
+			fmt.Printf("internal/queries/%s\n", d)
+		}
+		findings += len(diags)
+		fmt.Fprintf(os.Stderr, "dslint: templates: %d checked, %d findings\n",
+			queries.Count, len(diags))
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}

@@ -27,7 +27,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			log.Printf("cleanup %s: %v", dir, err)
+		}
+	}()
 
 	// 1. Extract: generate the data set as flat files (dsdgen).
 	start := time.Now()

@@ -166,7 +166,7 @@ func DayOfYearToMonth(day int) int {
 			return m + 1
 		}
 	}
-	panic("unreachable")
+	panic("dist: unreachable")
 }
 
 // DaysInMonth returns the day count of the 1-based month in a non-leap

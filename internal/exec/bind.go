@@ -343,6 +343,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 				return nil, fmt.Errorf("IN subquery must return one column, got %d", len(res.Columns))
 			}
 			for _, row := range res.Rows {
+				b.qc.tick()
 				if row[0].IsNull() {
 					in.hasNull = true
 					continue

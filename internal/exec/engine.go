@@ -225,6 +225,7 @@ func (r *Result) String() string {
 		widths[i] = len(c)
 	}
 	cells := make([][]string, len(r.Rows))
+	//lint:ignore cancelcheck rendering runs after the query finished; no qctx is in scope
 	for ri, row := range r.Rows {
 		cells[ri] = make([]string, len(row))
 		for ci, v := range row {

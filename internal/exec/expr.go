@@ -449,3 +449,18 @@ var scalarFuncs = map[string]schema.Type{
 	"UPPER": schema.Varchar, "LOWER": schema.Varchar,
 	"TO_DATE": schema.Date,
 }
+
+// ScalarFuncType reports whether the engine supports the named scalar
+// function and its result type; sameAsArg means the result takes the
+// first argument's type. The static template checker keys off this so
+// it can never accept a function the engine would reject at bind time.
+func ScalarFuncType(name string) (t schema.Type, sameAsArg, ok bool) {
+	rt, ok := scalarFuncs[name]
+	if !ok {
+		return 0, false, false
+	}
+	if rt == 0 {
+		return 0, true, true
+	}
+	return rt, false, true
+}

@@ -115,6 +115,7 @@ func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel,
 	}
 	wg.Wait()
 	if panicVal != nil {
+		//lint:ignore panics re-raising the worker's panic on the coordinator preserves the boundary recover contract
 		panic(panicVal)
 	}
 	qc.checkNow()
@@ -149,6 +150,7 @@ func parallelFor(workers int, fn func(p int)) {
 	}
 	wg.Wait()
 	if panicVal != nil {
+		//lint:ignore panics re-raising the worker's panic on the coordinator preserves the boundary recover contract
 		panic(panicVal)
 	}
 }

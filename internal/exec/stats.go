@@ -21,8 +21,9 @@ type colStats struct {
 }
 
 // columnStats computes (and caches) statistics for an integer-typed
-// column; valid is false for string/decimal columns.
-func (e *Engine) columnStats(t *storage.Table, col int) colStats {
+// column; valid is false for string/decimal columns. The qctx keeps the
+// full-column gathering scan cancellable on large tables.
+func (e *Engine) columnStats(qc *qctx, t *storage.Table, col int) colStats {
 	switch t.Def.Columns[col].Type {
 	case schema.Identifier, schema.Integer, schema.Date:
 	default:
@@ -41,6 +42,7 @@ func (e *Engine) columnStats(t *storage.Table, col int) colStats {
 	st := colStats{valid: true, rows: t.NumRows()}
 	first := true
 	for i, v := range vals {
+		qc.tick()
 		if nulls[i] {
 			continue
 		}
@@ -159,7 +161,7 @@ func analyzeFilter(b *binder, c sql.Expr, ti int) (selHint, bool) {
 // when statistics don't apply.
 func (e *Engine) hintSelectivity(b *binder, h selHint) (float64, bool) {
 	inst := &b.tables[h.table]
-	st := e.columnStats(inst.tab, h.colIdx)
+	st := e.columnStats(b.qc, inst.tab, h.colIdx)
 	if !st.valid || st.nonNull == 0 {
 		return 0, false
 	}

@@ -1,0 +1,117 @@
+package templatecheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"tpcds/internal/lint/templatecheck"
+	"tpcds/internal/qgen"
+	"tpcds/internal/queries"
+)
+
+// TestAllTemplatesClean is the workload half of the dslint gate as a
+// plain test: every shipped template substitutes, parses, and resolves
+// against the schema catalog without findings.
+func TestAllTemplatesClean(t *testing.T) {
+	for _, d := range templatecheck.CheckAll(queries.All()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// render joins diagnostics into one newline-separated string.
+func render(diags []templatecheck.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestSyntheticCorruptions checks the exact diagnostic (message and
+// template position) for each corruption class the checker exists to
+// catch. The SQL strings start with a newline like the real templates,
+// so findings land on line 2.
+func TestSyntheticCorruptions(t *testing.T) {
+	cases := []struct {
+		name string
+		tmpl qgen.Template
+		want []string
+	}{
+		{
+			name: "unknown column",
+			tmpl: qgen.Template{ID: 901, SQL: "\nSELECT ss_bogus FROM store_sales\n"},
+			want: []string{`q901.sql:2:8: unknown column "ss_bogus"`},
+		},
+		{
+			name: "unknown table",
+			tmpl: qgen.Template{ID: 902, SQL: "\nSELECT 1 FROM no_such_table\n"},
+			want: []string{`q902.sql:2:15: unknown table "no_such_table": not in the schema catalog or WITH clause`},
+		},
+		{
+			name: "unbound substitution parameter",
+			tmpl: qgen.Template{ID: 903, SQL: "\nSELECT ss_quantity FROM store_sales WHERE ss_quantity > [BOGUS]\n"},
+			want: []string{`q903.sql:2:57: undefined substitution parameter [BOGUS]: no such token kind`},
+		},
+		{
+			name: "join without declared relationship",
+			tmpl: qgen.Template{ID: 904, SQL: "\nSELECT ss_item_sk FROM store_sales, customer_address WHERE ss_store_sk = ca_address_sk\n"},
+			want: []string{`q904.sql:2:60: join store_sales.ss_store_sk = customer_address.ca_address_sk follows no declared foreign key, fact link, or conformed dimension`},
+		},
+		{
+			name: "string compared with numeric",
+			tmpl: qgen.Template{ID: 905, SQL: "\nSELECT ss_quantity FROM store_sales WHERE ss_quantity = 'abc'\n"},
+			want: []string{`q905.sql:2:43: comparison "=" compares integer with char`},
+		},
+		{
+			name: "aggregate over string column",
+			tmpl: qgen.Template{ID: 906, SQL: "\nSELECT SUM(c_first_name) FROM customer\n"},
+			want: []string{`q906.sql:2:12: SUM over char column; aggregate requires a numeric argument`},
+		},
+		{
+			name: "union arity mismatch",
+			tmpl: qgen.Template{ID: 907, SQL: "\nSELECT ss_item_sk, ss_quantity FROM store_sales UNION ALL SELECT sr_item_sk FROM store_returns\n"},
+			want: []string{`q907.sql:2:82: UNION ALL block has 1 columns, first block has 2`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := render(templatecheck.CheckTemplate(tc.tmpl))
+			want := strings.Join(tc.want, "\n") + "\n"
+			if got != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCorruptedRealTemplate corrupts a copy of a shipped template and
+// asserts the checker localizes the damage: a clean template plus one
+// typo'd column must yield exactly the unknown-column findings for the
+// typo (one per occurrence).
+func TestCorruptedRealTemplate(t *testing.T) {
+	var victim qgen.Template
+	for _, tpl := range queries.All() {
+		if strings.Contains(tpl.SQL, "ss_sold_date_sk") {
+			victim = tpl
+			break
+		}
+	}
+	if victim.ID == 0 {
+		t.Fatal("no template references ss_sold_date_sk")
+	}
+	if diags := templatecheck.CheckTemplate(victim); len(diags) != 0 {
+		t.Fatalf("template %d not clean before corruption: %v", victim.ID, diags)
+	}
+	corrupted := victim
+	corrupted.SQL = strings.Replace(victim.SQL, "ss_sold_date_sk", "ss_bogus_sk", 1)
+	diags := templatecheck.CheckTemplate(corrupted)
+	if len(diags) == 0 {
+		t.Fatalf("checker missed the corrupted column in template %d", victim.ID)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "ss_bogus_sk") {
+			t.Errorf("unexpected cascade finding: %s", d)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package cancelcheck is a known-bad fixture for the cancelcheck rule:
+// it is type-checked under the virtual import path "tpcds/internal/exec"
+// and never references the qctx helpers, so both loop shapes are
+// findings.
+package cancelcheck
+
+// table mimics a storage table for the NumRows-bounded loop shape.
+type table struct{ n int }
+
+func (t *table) NumRows() int { return t.n }
+
+// SumRows ranges over a rows-named slice without ever polling.
+func SumRows(rows []int64) int64 {
+	var total int64
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}
+
+// ScanAll runs a NumRows-bounded counter loop without ever polling.
+func ScanAll(t *table) int {
+	hits := 0
+	for i := 0; i < t.NumRows(); i++ {
+		hits++
+	}
+	return hits
+}

@@ -1,0 +1,41 @@
+// Package determinism is a known-bad fixture for the determinism rule:
+// it is type-checked under the virtual import path
+// "tpcds/internal/datagen" so the generator-package conditions fire.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// WallClock reads the clock twice (two findings) on top of the
+// math/rand import finding above.
+func WallClock() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(3)
+}
+
+// MapOrder sums in map-iteration order (one finding) ...
+func MapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// CollectAndSort uses the sanctioned collect-then-sort idiom (clean).
+func CollectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

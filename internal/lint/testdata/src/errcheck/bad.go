@@ -1,0 +1,38 @@
+// Package main is a known-bad fixture for the errcheck rule. It is a
+// main package so the strayio and panics rules (which exempt main) stay
+// out of the golden output and every finding below is errcheck's.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func main() {
+	// Finding: expression statement discarding the error.
+	work()
+
+	// Finding: deferred Close discards the error.
+	f, err := os.Open("nope")
+	if err == nil {
+		defer f.Close()
+	}
+
+	// Finding: go statement discards the error.
+	go work()
+
+	// Finding: blank-assigned error.
+	_, _ = pair()
+
+	// Sanctioned: in-memory writers and fmt printing to process streams.
+	var sb strings.Builder
+	sb.WriteString("ok")
+	fmt.Println(sb.String())
+	fmt.Fprintf(os.Stderr, "ok\n")
+}

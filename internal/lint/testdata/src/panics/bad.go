@@ -1,0 +1,46 @@
+// Package panicfix is a known-bad fixture for the panics rule: library
+// panics must carry the "panicfix: " package prefix or raise the
+// cancellation sentinel.
+package panicfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// cancelPanic mimics the exec sentinel; any named type with this name
+// is sanctioned (the real one lives in internal/exec).
+type cancelPanic struct{ err error }
+
+// Sanctioned shapes: prefixed literal, prefixed concatenation,
+// prefixed Sprintf, and the sentinel.
+func ok(detail string) {
+	panic("panicfix: invariant broken")
+}
+
+func okConcat(detail string) {
+	panic("panicfix: bad input " + detail)
+}
+
+func okSprintf(id int) {
+	panic(fmt.Sprintf("panicfix: bad id %d", id))
+}
+
+func okSentinel() {
+	panic(cancelPanic{err: errors.New("canceled")})
+}
+
+// Finding: wrong prefix.
+func badPrefix() {
+	panic("oops, something broke")
+}
+
+// Finding: panicking with an error value.
+func badErr(err error) {
+	panic(err)
+}
+
+// Finding: Sprintf without the prefix.
+func badSprintf(id int) {
+	panic(fmt.Sprintf("bad id %d", id))
+}

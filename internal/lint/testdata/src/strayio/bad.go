@@ -1,0 +1,22 @@
+// Package strayfix is a known-bad fixture for the strayio rule:
+// library code writing to the process streams.
+package strayfix
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report writes to global stdout three ways: fmt.Print* (one finding
+// per call), a direct os.Stdout reference, and the builtin println.
+func Report(n int) error {
+	fmt.Println("rows:", n)
+	fmt.Printf("rows: %d\n", n)
+	var w io.Writer = os.Stdout
+	if _, err := fmt.Fprintf(w, "rows: %d\n", n); err != nil {
+		return err
+	}
+	println("debug")
+	return nil
+}

@@ -93,6 +93,39 @@ type Template struct {
 
 var tokenRe = regexp.MustCompile(`\[([A-Z][A-Z0-9_]*)(\.[0-9]+)?\]`)
 
+// Token is one substitution placeholder occurrence in a template's SQL.
+type Token struct {
+	Full  string // full token text, e.g. "[YEAR.2]"
+	Kind  string // registered kind, e.g. "YEAR"
+	Start int    // byte offset of '[' in the template SQL
+	End   int    // byte offset just past ']'
+}
+
+// Tokens returns every placeholder occurrence in the SQL text in order.
+// The static template checker uses this to validate that each kind is
+// registered and to substitute representative values position by
+// position.
+func Tokens(sqlText string) []Token {
+	var out []Token
+	for _, m := range tokenRe.FindAllStringSubmatchIndex(sqlText, -1) {
+		out = append(out, Token{
+			Full:  sqlText[m[0]:m[1]],
+			Kind:  sqlText[m[2]:m[3]],
+			Start: m[0],
+			End:   m[1],
+		})
+	}
+	return out
+}
+
+// Representative returns a fixed, deterministic substitution value for
+// the token kind, drawn from the same generator as Instantiate so the
+// two can never drift apart. It errors on unregistered kinds, which is
+// how the template checker discovers undefined parameters.
+func Representative(kind string) (string, error) {
+	return drawToken(kind, rng.NewStream(rng.ColumnSeed(0, "lint", "representative")))
+}
+
 // Instantiate substitutes all tokens of the template using the given
 // stream. The same full token (kind + suffix) always receives one value
 // per call; distinct suffixes draw independently.
@@ -307,6 +340,7 @@ func SessionPermutation(benchSeed uint64, stream int, tpls []Template) []int {
 			posOf[tpls[idx].Sequence] = append(posOf[tpls[idx].Sequence], pos)
 		}
 	}
+	//lint:ignore determinism each sequence's rewrite touches only its own positions, so visit order cannot change the result
 	for _, positions := range posOf {
 		// Members at these positions, sorted by template ID.
 		members := make([]int, len(positions))

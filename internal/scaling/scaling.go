@@ -185,9 +185,16 @@ func IsLinear(table string) bool {
 // the model's self-consistency within a factor of ~2 (the paper's widths
 // are themselves approximate).
 func RawDataBytes(sf float64, avgRowBytes map[string]float64) float64 {
+	// Sum in sorted name order: float addition is not associative, so
+	// map-order summation would drift by ULPs between runs.
+	names := make([]string, 0, len(avgRowBytes))
+	for n := range avgRowBytes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var total float64
-	for name, w := range avgRowBytes {
-		total += float64(Rows(name, sf)) * w
+	for _, n := range names {
+		total += float64(Rows(n, sf)) * avgRowBytes[n]
 	}
 	return total
 }

@@ -51,6 +51,8 @@ type TableRef struct {
 	Alias    string
 	LeftJoin bool
 	On       Expr
+	// Pos is the byte offset of the table name in the query text.
+	Pos int
 }
 
 // Binding returns the name this table is referenced by in expressions.
@@ -75,9 +77,13 @@ type Expr interface {
 }
 
 // ColRef references column Name, optionally qualified by a table binding.
+// Pos is the byte offset of the reference in the query text (the
+// qualifier when present), for diagnostics; zero-value ColRefs built
+// programmatically carry Pos 0.
 type ColRef struct {
 	Table string
 	Name  string
+	Pos   int
 }
 
 // Lit is a literal: Number (text preserved), String, or Null.

@@ -68,7 +68,19 @@ func (p *parser) expect(kind TokenKind, text string) (Token, error) {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+	return &ParseError{Offset: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseError is a parse failure with the byte offset of the offending
+// token, so callers (the template checker, the CLI) can point at the
+// exact position in the query text.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at offset %d: %s", e.Offset, e.Msg)
 }
 
 // parseSelectWithUnions parses SELECT blocks chained by UNION ALL, plus
@@ -272,7 +284,7 @@ func (p *parser) parseFrom(s *SelectStmt) error {
 		if err != nil {
 			return TableRef{}, err
 		}
-		ref := TableRef{Table: t.Text}
+		ref := TableRef{Table: t.Text, Pos: t.Pos}
 		if p.accept(TokKeyword, "AS") {
 			a, err := p.expect(TokIdent, "")
 			if err != nil {
@@ -697,9 +709,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &ColRef{Table: name, Name: col.Text}, nil
+			return &ColRef{Table: name, Name: col.Text, Pos: t.Pos}, nil
 		}
-		return &ColRef{Name: name}, nil
+		return &ColRef{Name: name, Pos: t.Pos}, nil
 	default:
 		return nil, p.errorf("unexpected %s in expression", t)
 	}

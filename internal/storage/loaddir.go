@@ -22,12 +22,13 @@ func LoadDir(dir string, defs []*schema.Table) (*DB, error) {
 			return nil, fmt.Errorf("storage: load %s: %w", def.Name, err)
 		}
 		t := NewTable(def)
-		if _, err := t.ReadFlat(f); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("storage: load %s: %w", def.Name, err)
+		_, rerr := t.ReadFlat(f)
+		cerr := f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("storage: load %s: %w", def.Name, rerr)
 		}
-		if err := f.Close(); err != nil {
-			return nil, err
+		if cerr != nil {
+			return nil, fmt.Errorf("storage: load %s: %w", def.Name, cerr)
 		}
 		db.Put(t)
 	}
@@ -47,12 +48,13 @@ func (db *DB) DumpDir(dir string) error {
 		if err != nil {
 			return fmt.Errorf("storage: dump %s: %w", name, err)
 		}
-		if err := t.WriteFlat(f); err != nil {
-			f.Close()
-			return fmt.Errorf("storage: dump %s: %w", name, err)
+		werr := t.WriteFlat(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("storage: dump %s: %w", name, werr)
 		}
-		if err := f.Close(); err != nil {
-			return err
+		if cerr != nil {
+			return fmt.Errorf("storage: dump %s: %w", name, cerr)
 		}
 	}
 	return nil
