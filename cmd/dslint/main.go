@@ -1,9 +1,10 @@
 // Command dslint is the repo's static-analysis gate. It runs two
 // layers and exits nonzero if either finds anything:
 //
-//   - source analyzers (internal/lint): determinism of the generator
-//     packages, cancellation hygiene in the executor, error and panic
-//     discipline, and stray process-stream I/O — all pure stdlib
+//   - source analyzers (internal/lint): the statement-level rules
+//     (determinism, cancelcheck, errcheck, panics, strayio) plus the
+//     flow-sensitive tier built on the CFG + dataflow framework
+//     (lockcheck, goleak, ctxflow, taintdet) — all pure stdlib
 //     go/ast + go/types, no external tooling;
 //   - the schema-aware template checker (internal/lint/templatecheck):
 //     every one of the 99 query templates must substitute, parse, and
@@ -11,7 +12,13 @@
 //
 // Usage:
 //
-//	dslint [-source=false] [-templates=false] [packages]
+//	dslint [-source=false] [-templates=false] [-rules lockcheck,goleak] [-json] [packages]
+//
+// -rules restricts the source layer to a comma-separated subset of
+// analyzers (see -rules=help for the list); unknown names are a usage
+// error. -json replaces the human-readable listing with one JSON array
+// of findings on stdout — source findings first (sorted by position),
+// then template findings in template order — for CI artifact upload.
 //
 // The package argument is accepted for familiarity ("./...") but the
 // tool always analyzes the whole module containing the working
@@ -20,9 +27,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
+	"strings"
 
 	"tpcds/internal/lint"
 	"tpcds/internal/lint/templatecheck"
@@ -32,38 +42,75 @@ import (
 func main() {
 	source := flag.Bool("source", true, "run the source analyzers")
 	templates := flag.Bool("templates", true, "run the schema-aware template checker")
+	rulesFlag := flag.String("rules", "", "comma-separated subset of source analyzers to run (default: all; 'help' lists them)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
-	findings := 0
+	if *rulesFlag == "help" {
+		fmt.Fprintf(os.Stderr, "dslint: source rules: %s\n", strings.Join(lint.Rules(), ", "))
+		os.Exit(0)
+	}
+	var rules []string
+	if *rulesFlag != "" {
+		for _, r := range strings.Split(*rulesFlag, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			if !lint.KnownRule(r) {
+				fmt.Fprintf(os.Stderr, "dslint: unknown rule %q (known: %s)\n", r, strings.Join(lint.Rules(), ", "))
+				os.Exit(2)
+			}
+			rules = append(rules, r)
+		}
+	}
+
+	// all accumulates every finding as a lint.Diagnostic so -json emits
+	// one uniform array: source findings first (already sorted by
+	// position), then template findings as rule "template" in template
+	// order. Both orders are deterministic, so the artifact is diffable
+	// across CI runs.
+	var all []lint.Diagnostic
 	if *source {
-		loader, err := lint.NewLoader(".")
+		_, pkgs, err := lint.Module(".")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
 			os.Exit(2)
 		}
-		pkgs, err := loader.LoadModule()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
-			os.Exit(2)
-		}
-		res := lint.Check(pkgs)
-		for _, d := range res.Diagnostics {
-			fmt.Println(d)
-		}
-		findings += len(res.Diagnostics)
+		res := lint.CheckRules(pkgs, rules)
+		all = append(all, res.Diagnostics...)
 		fmt.Fprintf(os.Stderr, "dslint: source: %d packages, %d findings, %d suppressed by //lint:ignore\n",
 			len(pkgs), len(res.Diagnostics), res.Suppressed)
 	}
 	if *templates {
 		diags := templatecheck.CheckAll(queries.All())
 		for _, d := range diags {
-			fmt.Printf("internal/queries/%s\n", d)
+			all = append(all, lint.Diagnostic{
+				Pos:     token.Position{Filename: "internal/queries/" + d.File, Line: d.Line, Column: d.Col},
+				Rule:    "template",
+				Message: d.Message,
+			})
 		}
-		findings += len(diags)
 		fmt.Fprintf(os.Stderr, "dslint: templates: %d checked, %d findings\n",
 			queries.Count, len(diags))
 	}
-	if findings > 0 {
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []lint.Diagnostic{} // emit [] rather than null
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if len(all) > 0 {
 		os.Exit(1)
 	}
 }

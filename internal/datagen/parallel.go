@@ -19,6 +19,10 @@ import (
 func (g *Generator) GenerateAllParallel() *storage.DB {
 	db := storage.NewDB()
 
+	// Ownership: runPhase joins every per-table goroutine it spawns via
+	// wg.Wait before touching db, so each phase's writes (one goroutine
+	// per results slot) happen-before the registration loop and nothing
+	// escapes the phase.
 	runPhase := func(names []string, gen func(name string) *storage.Table) {
 		results := make([]*storage.Table, len(names))
 		var wg sync.WaitGroup

@@ -110,6 +110,7 @@ type Result struct {
 
 // Run executes the complete benchmark test (Figure 11).
 func Run(cfg Config) (*Result, error) {
+	//lint:ignore ctxflow Run is the documented context-free convenience wrapper over RunContext
 	return RunContext(context.Background(), cfg)
 }
 
@@ -271,6 +272,12 @@ func runQueryRun(ctx context.Context, eng *exec.Engine, tpl []qgen.Template, cfg
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 	skip := cfg.OnError == OnErrorSkip
+	// Ownership: runQueryRun owns all S stream goroutines — Add before
+	// each spawn, Done as each stream's first defer, and the wg.Wait
+	// below joins them before results is read, so slot writes (each
+	// stream writes only results[stream]) happen-before the merge and
+	// no stream outlives the run. Streams exit on their own or through
+	// runCtx cancellation; there is no third path.
 	results := make([]streamResult, cfg.Streams)
 	var wg sync.WaitGroup
 	for s := 0; s < cfg.Streams; s++ {

@@ -28,6 +28,13 @@ type Engine struct {
 	parallelism int
 	morselRows  int
 
+	// mu guards the four lazily built caches below (hashIdx, bmIdx,
+	// statsCache) plus lastDecision/lastTrace. Concurrent benchmark
+	// streams race to build the same index; mu makes the first build
+	// win and the rest reuse it. Every acquisition is mu.Lock() paired
+	// with an immediate defer mu.Unlock() in the same function, so no
+	// lock is ever held across a channel operation or query execution —
+	// the invariant lockcheck proves.
 	mu         sync.Mutex
 	hashIdx    map[string]*index.HashIndex   // "table.column" -> index
 	bmIdx      map[string]*index.BitmapIndex // "table.column" -> index

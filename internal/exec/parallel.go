@@ -81,6 +81,14 @@ func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel,
 		}
 		return counts
 	}
+	// Ownership: this coordinator goroutine owns every worker it spawns
+	// below — wg.Add happens before each spawn, each worker's first
+	// defer is wg.Done, and the unconditional wg.Wait joins them all
+	// before forEachMorsel returns, so no goroutine outlives the call.
+	// panicMu guards only panicVal (first worker panic wins); it is
+	// held for two statements and never across fn or a channel op.
+	// counts needs no lock: counts[worker] is written by exactly one
+	// worker, and wg.Wait orders those writes before the read below.
 	var next atomic.Int64
 	var panicMu sync.Mutex
 	var panicVal any
@@ -129,6 +137,9 @@ func parallelFor(workers int, fn func(p int)) {
 		fn(0)
 		return
 	}
+	// Same ownership discipline as forEachMorsel: the caller joins every
+	// spawned goroutine via wg.Wait before returning, and panicMu guards
+	// only the two-statement first-panic election.
 	var panicMu sync.Mutex
 	var panicVal any
 	var wg sync.WaitGroup

@@ -35,6 +35,9 @@ type cancelPanic struct{ err error }
 
 func newQctx(ctx context.Context) *qctx {
 	if ctx == nil {
+		// nil means the caller came through a context-free wrapper; an
+		// always-live root is the correct "no deadline" semantics there.
+		//lint:ignore ctxflow nil-ctx fallback for the documented context-free wrappers; never overrides a caller-supplied ctx
 		ctx = context.Background()
 	}
 	return &qctx{ctx: ctx, phase: "parse"}

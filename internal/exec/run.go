@@ -14,6 +14,10 @@ import (
 // converted to errors: one malformed query must not take down the
 // benchmark's concurrent streams.
 func (e *Engine) Query(q string) (*Result, error) {
+	// The context-free form is deliberate database/sql-style API surface:
+	// a root context here means "no deadline", exactly what the caller
+	// asked for by not passing one.
+	//lint:ignore ctxflow Query is the documented context-free convenience wrapper over QueryContext
 	return e.QueryContext(context.Background(), q)
 }
 
@@ -33,6 +37,7 @@ func (e *Engine) QueryContext(ctx context.Context, q string) (*Result, error) {
 // the returned trace belongs to this call, so concurrent streams get
 // their own traces.
 func (e *Engine) QueryTraced(q string) (*Result, Trace, error) {
+	//lint:ignore ctxflow QueryTraced is the documented context-free convenience wrapper over QueryTracedContext
 	return e.QueryTracedContext(context.Background(), q)
 }
 
@@ -63,6 +68,7 @@ func (e *Engine) QueryTracedContext(ctx context.Context, q string) (res *Result,
 
 // Run executes an already parsed statement.
 func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
+	//lint:ignore ctxflow Run is the documented context-free convenience wrapper over RunContext
 	return e.RunContext(context.Background(), stmt)
 }
 

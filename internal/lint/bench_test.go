@@ -1,0 +1,33 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintModule quantifies the shared-module cache: "fresh" pays
+// the full from-source type-check of the module plus its stdlib imports
+// on every iteration, "shared" hits the per-process cache after the
+// first load. The gap is the time every extra consumer (CLI run, test,
+// fixture load) saves by going through Module instead of NewLoader.
+func BenchmarkLintModule(b *testing.B) {
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l, err := NewLoader(".")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := l.LoadModule(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		if _, _, err := Module("."); err != nil {
+			b.Fatal(err) // prime the cache outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Module("."); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

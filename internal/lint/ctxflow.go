@@ -1,0 +1,247 @@
+package lint
+
+// ctxflow enforces context discipline along the call chain, the
+// property PR 2's cancellation machinery depends on: a per-query
+// deadline only bounds latency if every layer between RunContext and
+// the row loops hands the same context (or a derivation of it)
+// downward. Two rules:
+//
+//  1. Minting ban: context.Background() and context.TODO() are banned
+//     outside main packages (tests are not analyzed). Library code
+//     that mints a root context silently detaches everything below it
+//     from the caller's cancellation — the documented context-free
+//     convenience wrappers carry //lint:ignore with their
+//     justification.
+//  2. Threading: a function that receives a context.Context (or the
+//     executor's *qctx) must thread it into every callee that accepts
+//     one. The analyzer computes the set of context-derived values —
+//     the parameter itself plus everything assigned from it, including
+//     context.WithCancel/WithTimeout/WithDeadline/WithValue results —
+//     and flags a call whose context argument is nil or unrelated to
+//     the function's own context while one is sitting in scope.
+//     Arguments reached through any parameter (b.qc, r.ctx) count as
+//     threaded: carrying a context inside a parameter struct is
+//     threading, not minting.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func analyzeCtxFlow(p *Package) []Diagnostic {
+	var out []Diagnostic
+	out = append(out, p.ctxMintingBan()...)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, p.ctxThreading(fd)...)
+		}
+	}
+	return out
+}
+
+// ctxMintingBan flags context.Background()/context.TODO() in library
+// packages.
+func (p *Package) ctxMintingBan() []Diagnostic {
+	if p.Name == "main" {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+				return true
+			}
+			if obj.Name() == "Background" || obj.Name() == "TODO" {
+				out = append(out, p.diag(call, "ctxflow",
+					"context.%s() mints a root context in library code, detaching callees from the caller's cancellation; thread a ctx parameter instead", obj.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isCtxType reports whether t is context.Context or the executor's
+// qctx (possibly behind a pointer).
+func isCtxType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+		return true
+	}
+	return obj.Name() == "qctx"
+}
+
+// ctxThreading checks one declared function with a context-like
+// parameter: every call to a context-accepting callee must receive a
+// value derived from this function's context (or reached through one
+// of its parameters).
+func (p *Package) ctxThreading(fd *ast.FuncDecl) []Diagnostic {
+	params := map[types.Object]bool{} // all params + receiver
+	ctxParams := map[types.Object]bool{}
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := p.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				params[obj] = true
+				if isCtxType(obj.Type()) {
+					ctxParams[obj] = true
+				}
+			}
+		}
+	}
+	addField(fd.Recv)
+	addField(fd.Type.Params)
+	if len(ctxParams) == 0 {
+		return nil
+	}
+
+	// Fixpoint: derived = ctx params ∪ anything assigned from derived
+	// (covers ctx2 := ctx, qc := newQctx(ctx), c, cancel :=
+	// context.WithTimeout(ctx, d) — the cancel func riding along is
+	// harmless). Closures are included: captured contexts stay derived.
+	derived := map[types.Object]bool{}
+	for o := range ctxParams {
+		derived[o] = true
+	}
+	mentionsDerived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && derived[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			taintLHS := func(lhs ast.Expr) {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil && !derived[obj] {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				if mentionsDerived(as.Rhs[0]) {
+					for _, lhs := range as.Lhs {
+						taintLHS(lhs)
+					}
+				}
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i < len(as.Lhs) && mentionsDerived(rhs) {
+					taintLHS(as.Lhs[i])
+				}
+			}
+			return true
+		})
+	}
+
+	// mentionsParamRoot: the argument is reached through some parameter
+	// (b.qc, cfg.Ctx) — threading via a carrier, accepted.
+	mentionsParam := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && params[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[call.Fun]
+		if !ok || tv.IsType() || tv.Type == nil {
+			return true
+		}
+		sig, ok := tv.Type.(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if !isCtxType(sig.Params().At(i).Type()) {
+				continue
+			}
+			arg := unparen(call.Args[i])
+			// Background/TODO arguments are already the minting ban's
+			// finding; don't double-report.
+			if isBackgroundOrTODO(p, arg) {
+				continue
+			}
+			if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" {
+				out = append(out, p.diag(call.Args[i], "ctxflow",
+					"passes nil as the context argument of %s while a context is in scope; thread it", displayExpr(call.Fun)))
+				continue
+			}
+			if !mentionsDerived(arg) && !mentionsParam(arg) {
+				out = append(out, p.diag(call.Args[i], "ctxflow",
+					"call to %s does not thread this function's context: argument %s is unrelated to its ctx parameter", displayExpr(call.Fun), displayExpr(arg)))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isBackgroundOrTODO reports whether e is a direct
+// context.Background()/TODO() call.
+func isBackgroundOrTODO(p *Package, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" &&
+		(obj.Name() == "Background" || obj.Name() == "TODO")
+}

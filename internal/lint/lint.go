@@ -17,6 +17,24 @@
 //   - strayio: fmt.Print*/os.Stdout/os.Stderr are reserved for main
 //     packages — library code writes to an injected io.Writer.
 //
+// On top of the statement-level rules sits a flow-sensitive tier built
+// on an intraprocedural CFG (cfg.go) and a generic forward worklist
+// solver (dataflow.go):
+//
+//   - lockcheck: every sync.Mutex/RWMutex Lock is Unlocked on every
+//     path to return (defer-aware), no double-Lock on a path, and no
+//     channel operation while a lock is held;
+//   - goleak: every `go` statement has a provable join — WaitGroup
+//     Add/Done/Wait pairing with Wait on all paths from the spawn to
+//     return, or a cancellation-driven exit;
+//   - ctxflow: context.Background()/TODO() are banned in library
+//     packages, and a function holding a ctx must thread it into every
+//     callee that accepts one;
+//   - taintdet: a forward taint analysis catching wall-clock/rand/env
+//     values that reach storage emission or exported results through
+//     intermediate assignments — the flows the syntactic determinism
+//     rule cannot see.
+//
 // False positives are suppressed, never silently: a
 // "//lint:ignore <rule> <reason>" comment on the flagged line or the
 // line above suppresses one rule there, is counted in the result, and
@@ -28,6 +46,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -46,6 +65,18 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
+// MarshalJSON flattens the position so the -json output of cmd/dslint
+// is a stable, machine-readable record per finding.
+func (d Diagnostic) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message})
+}
+
 // Result is the outcome of checking a set of packages.
 type Result struct {
 	Diagnostics []Diagnostic
@@ -55,7 +86,8 @@ type Result struct {
 // Clean reports whether no findings survived.
 func (r *Result) Clean() bool { return len(r.Diagnostics) == 0 }
 
-// analyzers lists the source rules in reporting order.
+// analyzers lists the source rules: the five statement-level analyzers
+// followed by the four flow-sensitive ones.
 var analyzers = []struct {
 	name string
 	fn   func(*Package) []Diagnostic
@@ -65,18 +97,59 @@ var analyzers = []struct {
 	{"errcheck", analyzeErrCheck},
 	{"panics", analyzePanics},
 	{"strayio", analyzeStrayIO},
+	{"lockcheck", analyzeLockCheck},
+	{"goleak", analyzeGoLeak},
+	{"ctxflow", analyzeCtxFlow},
+	{"taintdet", analyzeTaintDet},
+}
+
+// Rules lists the registered analyzer names in registration order.
+func Rules() []string {
+	out := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		out[i] = a.name
+	}
+	return out
+}
+
+// KnownRule reports whether name is a registered analyzer.
+func KnownRule(name string) bool {
+	for _, a := range analyzers {
+		if a.name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Check runs every analyzer over every package, applies //lint:ignore
 // directives, and returns the surviving findings sorted by position.
-func Check(pkgs []*Package) *Result {
+func Check(pkgs []*Package) *Result { return CheckRules(pkgs, nil) }
+
+// CheckRules is Check restricted to a subset of analyzers; nil or empty
+// runs all of them. Stale-directive findings are only produced for
+// rules that actually ran (a directive for a skipped rule cannot prove
+// itself useful).
+func CheckRules(pkgs []*Package, rules []string) *Result {
+	run := map[string]bool{}
+	if len(rules) == 0 {
+		for _, a := range analyzers {
+			run[a.name] = true
+		}
+	} else {
+		for _, r := range rules {
+			run[r] = true
+		}
+	}
 	res := &Result{}
 	for _, p := range pkgs {
 		dirs, dirDiags := collectDirectives(p)
 		res.Diagnostics = append(res.Diagnostics, dirDiags...)
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			raw = append(raw, a.fn(p)...)
+			if run[a.name] {
+				raw = append(raw, a.fn(p)...)
+			}
 		}
 		for _, d := range raw {
 			if suppress(dirs, d) {
@@ -87,7 +160,10 @@ func Check(pkgs []*Package) *Result {
 		}
 		for _, ds := range dirs {
 			for _, dir := range ds {
-				if !dir.used {
+				// A directive for a rule that did not run cannot prove
+				// itself useful — skip the staleness check for it; a
+				// directive naming an unknown rule is always stale.
+				if !dir.used && (run[dir.rule] || !KnownRule(dir.rule)) {
 					res.Diagnostics = append(res.Diagnostics, Diagnostic{
 						Pos:  dir.pos,
 						Rule: "directive",

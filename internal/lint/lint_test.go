@@ -25,6 +25,13 @@ var fixtures = []struct {
 	{"panics", "tpcds/internal/panicfix"},
 	{"strayio", "tpcds/internal/strayfix"},
 	{"directive", "tpcds/internal/dirfix"},
+	{"lockcheck", "tpcds/internal/lockfix"},
+	{"goleak", "tpcds/internal/goleakfix"},
+	{"ctxflow", "tpcds/internal/ctxfix"},
+	// taintdet poses as a generator package on purpose: the golden
+	// shows the syntactic determinism findings and the flow-sensitive
+	// taint findings layering over the same file.
+	{"taintdet", "tpcds/internal/datagen"},
 }
 
 // TestFixtureGoldens runs the analyzers over each known-bad fixture and
@@ -32,7 +39,7 @@ var fixtures = []struct {
 // testdata/<name>.golden. Regenerate with: go test ./internal/lint -run
 // Golden -update
 func TestFixtureGoldens(t *testing.T) {
-	loader, err := NewLoader(".")
+	loader, _, err := Module(".")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +83,7 @@ func TestFixtureGoldens(t *testing.T) {
 // dead: every fixture except the directive one must produce at least
 // one finding of its own rule.
 func TestFixturesAreDetected(t *testing.T) {
-	loader, err := NewLoader(".")
+	loader, _, err := Module(".")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +116,7 @@ func TestLiveTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("module-wide type check is slow; the dslint CI job covers it")
 	}
-	loader, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := loader.LoadModule()
+	_, pkgs, err := Module(".")
 	if err != nil {
 		t.Fatal(err)
 	}

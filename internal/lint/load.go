@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package under analysis. Path is the
@@ -92,6 +93,46 @@ func modulePath(gomod string) (string, error) {
 		}
 	}
 	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// The shared-module cache: type-checking the whole module from source
+// (including the standard-library packages it imports) costs seconds,
+// and every consumer — the analyzer layer, the fixture tests, the CLI —
+// wants the same result. Module loads once per module root per process
+// and hands the same Loader and package list to everyone; the Loader's
+// own per-package cache then also serves LoadDir fixture loads, which
+// reuse the already-checked stdlib and module imports.
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = map[string]*Loader{}
+	sharedPkgs    = map[string][]*Package{}
+)
+
+// Module returns the shared type-checked module containing dir: the
+// Loader (for further LoadDir calls against the same cache) and every
+// package of the module sorted by import path. Concurrent and repeated
+// calls share one load. BenchmarkLintModule quantifies the saving.
+func Module(dir string) (*Loader, []*Package, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if l, ok := sharedLoaders[root]; ok {
+		return l, sharedPkgs[root], nil
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		return nil, nil, err
+	}
+	sharedLoaders[root] = l
+	sharedPkgs[root] = pkgs
+	return l, pkgs, nil
 }
 
 // LoadModule loads every package of the module (skipping testdata and

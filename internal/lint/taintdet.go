@@ -1,0 +1,345 @@
+package lint
+
+// taintdet is the dataflow upgrade of the determinism rule. The
+// syntactic rule (analyzers.go) bans calling time.Now in a generator
+// package; it cannot see `t := time.Now(); ...; row = append(row,
+// storage.Int(t.Unix()))` when the call and the emission are separated
+// by assignments. taintdet closes that hole with a forward taint
+// analysis over the function CFG:
+//
+//   - sources: wall-clock reads (time.Now/Since/Until), the global
+//     math/rand and math/rand/v2, crypto/rand, and process-environment
+//     reads (os.Getenv/Environ/Getpid/Getppid/Hostname) — anything
+//     whose value differs between two runs of the same seed;
+//   - propagation: assignment, compound assignment, range binding and
+//     field stores move taint between locals (strong updates on plain
+//     reassignment, so laundering through a variable is tracked but an
+//     overwrite genuinely clears);
+//   - sinks: any call into internal/storage with a tainted argument
+//     (flat-file emission and table building both live there) and any
+//     tainted value returned by an exported function (generator
+//     results escape to the harness and become benchmark data).
+//
+// Scope: the deterministic generator packages plus internal/exec
+// (query results) and internal/storage itself (the emission layer) —
+// in storage there is no syntactic ban, so taintdet is the only thing
+// standing between a wall-clock read and the flat files.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taintScopePkgs are the packages whose emitted values must be
+// bit-deterministic. The deterministic generator set is shared with the
+// syntactic rule.
+var taintScopeExtra = map[string]bool{
+	"tpcds/internal/exec":    true,
+	"tpcds/internal/storage": true,
+}
+
+// storagePkgPath is the emission layer every generator writes through.
+const storagePkgPath = "tpcds/internal/storage"
+
+// taintFacts maps tainted local objects to the source description that
+// tainted them ("time.Now") and the source position.
+type taintFacts map[types.Object]taintOrigin
+
+type taintOrigin struct {
+	src string
+	pos token.Pos
+}
+
+func newTaintFacts() taintFacts { return taintFacts{} }
+
+func joinTaintFacts(dst, src taintFacts) bool {
+	changed := false
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func cloneTaintFacts(s taintFacts) taintFacts {
+	c := make(taintFacts, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func analyzeTaintDet(p *Package) []Diagnostic {
+	if !deterministicPkgs[p.Path] && !taintScopeExtra[p.Path] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, fs := range funcScopes(f) {
+			out = append(out, p.taintFunc(fs)...)
+		}
+	}
+	return out
+}
+
+func (p *Package) taintFunc(fs funcScope) []Diagnostic {
+	// Cheap pre-pass: a function that never calls a source cannot taint
+	// anything (closures inherit no taint — see the scope note below).
+	hasSource := false
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := p.taintSource(call); ok {
+				hasSource = true
+			}
+		}
+		return !hasSource
+	})
+	if !hasSource {
+		return nil
+	}
+
+	exported := fs.decl != nil && fs.decl.Name.IsExported()
+	funcName := fs.name
+
+	var diags []Diagnostic
+	reported := map[token.Pos]bool{}
+	report := func(n ast.Node, format string, args ...any) {
+		if reported[n.Pos()] {
+			return
+		}
+		reported[n.Pos()] = true
+		diags = append(diags, p.diag(n, "taintdet", format, args...))
+	}
+
+	g := buildCFG(fs.body, p.terminatesStmt)
+	transfer := func(blk *Block, in taintFacts) taintFacts {
+		st := cloneTaintFacts(in)
+		for _, node := range blk.Nodes {
+			p.taintTransferNode(node, st, exported, funcName, report)
+		}
+		return st
+	}
+	solveForward(g, newTaintFacts(), newTaintFacts, cloneTaintFacts, joinTaintFacts, transfer)
+	return diags
+}
+
+// taintTransferNode interprets one CFG node: sinks first (the node's
+// reads see the pre-state), then assignments update the state.
+func (p *Package) taintTransferNode(node ast.Node, st taintFacts, exported bool, funcName string, report func(n ast.Node, format string, args ...any)) {
+	// Sinks anywhere inside the node.
+	inspectShallow(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != storagePkgPath {
+			return true
+		}
+		for _, arg := range call.Args {
+			if origin, tainted := p.exprTaint(arg, st); tainted {
+				report(arg, "value derived from %s reaches storage emission via %s; generator output must be bit-deterministic",
+					origin.src, displayExpr(call.Fun))
+			}
+		}
+		return true
+	})
+
+	switch v := node.(type) {
+	case *ast.ReturnStmt:
+		if exported {
+			for _, res := range v.Results {
+				if origin, tainted := p.exprTaint(res, st); tainted {
+					report(res, "exported %s returns a value derived from %s; benchmark data must be bit-deterministic",
+						funcName, origin.src)
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		p.taintAssign(v, st)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					} else if len(vs.Values) == 1 {
+						rhs = vs.Values[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					if origin, tainted := p.exprTaint(rhs, st); tainted {
+						if obj := p.Info.Defs[name]; obj != nil {
+							st[obj] = origin
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if origin, tainted := p.exprTaint(v.X, st); tainted {
+			for _, e := range []ast.Expr{v.Key, v.Value} {
+				if e == nil {
+					continue
+				}
+				if id, ok := unparen(e).(*ast.Ident); ok {
+					if obj := p.Info.Defs[id]; obj != nil {
+						st[obj] = origin
+					} else if obj := p.Info.Uses[id]; obj != nil {
+						st[obj] = origin
+					}
+				}
+			}
+		}
+	}
+}
+
+// taintAssign propagates taint through one assignment, with strong
+// updates: reassigning a clean value to a plain identifier clears it.
+func (p *Package) taintAssign(as *ast.AssignStmt, st taintFacts) {
+	assignOne := func(lhs ast.Expr, origin taintOrigin, tainted bool) {
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				return
+			}
+			obj := p.Info.Defs[l]
+			if obj == nil {
+				obj = p.Info.Uses[l]
+			}
+			if obj == nil {
+				return
+			}
+			if tainted {
+				st[obj] = origin
+			} else if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+				delete(st, obj) // strong update
+			}
+		default:
+			// x.f = v, x[i] = v: taint the root variable (weak update —
+			// part of the aggregate is nondeterministic).
+			if !tainted {
+				return
+			}
+			root := rootIdent(lhs)
+			if root == nil {
+				return
+			}
+			if obj := p.Info.Uses[root]; obj != nil {
+				st[obj] = origin
+			}
+		}
+	}
+	// Compound assignment (+=, etc.): LHS taint persists, RHS may add.
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		for i, lhs := range as.Lhs {
+			if i < len(as.Rhs) {
+				if origin, tainted := p.exprTaint(as.Rhs[i], st); tainted {
+					assignOne(lhs, origin, true)
+				}
+			}
+		}
+		return
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		origin, tainted := p.exprTaint(as.Rhs[0], st)
+		for _, lhs := range as.Lhs {
+			assignOne(lhs, origin, tainted)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		origin, tainted := p.exprTaint(as.Rhs[i], st)
+		assignOne(lhs, origin, tainted)
+	}
+}
+
+// exprTaint reports whether e's value derives from a taint source under
+// the current state: it mentions a tainted object or contains a source
+// call.
+func (p *Package) exprTaint(e ast.Expr, st taintFacts) (taintOrigin, bool) {
+	var origin taintOrigin
+	found := false
+	inspectShallow(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if src, ok := p.taintSource(v); ok {
+				origin = taintOrigin{src: src, pos: v.Pos()}
+				found = true
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[v]; obj != nil {
+				if o, ok := st[obj]; ok {
+					origin = o
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return origin, found
+}
+
+// taintSource recognizes calls whose results differ between two runs of
+// the same seed.
+func (p *Package) taintSource(call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	name := obj.Name()
+	switch obj.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[name] {
+			return "time." + name, true
+		}
+	case "math/rand", "math/rand/v2":
+		return obj.Pkg().Path() + "." + name, true
+	case "crypto/rand":
+		return "crypto/rand." + name, true
+	case "os":
+		switch name {
+		case "Getenv", "Environ", "Getpid", "Getppid", "Hostname", "Getuid":
+			return "os." + name, true
+		}
+	}
+	return "", false
+}
+
+// rootIdent returns the base identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

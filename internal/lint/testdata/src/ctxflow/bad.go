@@ -1,0 +1,54 @@
+// Package ctxfix is a known-bad fixture for the ctxflow analyzer:
+// root-context minting in library code and functions that hold a
+// context but fail to thread it into context-accepting callees. The
+// clean functions at the bottom must produce no findings.
+package ctxfix
+
+import "context"
+
+func callee(ctx context.Context, q string) error { return nil }
+
+// MintsBackground detaches its callees from any caller cancellation.
+func MintsBackground(q string) error {
+	return callee(context.Background(), q)
+}
+
+// MintsTODO is the same finding via context.TODO.
+func MintsTODO(q string) error {
+	return callee(context.TODO(), q)
+}
+
+// detached is a package-level root: passing it instead of the parameter
+// breaks the cancellation chain even though the argument "is a context".
+var detached context.Context
+
+// PassesNil holds a context but hands the callee nil.
+func PassesNil(ctx context.Context, q string) error {
+	return callee(nil, q)
+}
+
+// PassesUnrelated holds a context but threads the package-level one.
+func PassesUnrelated(ctx context.Context, q string) error {
+	return callee(detached, q)
+}
+
+// CleanThreading passes the parameter straight through: no findings.
+func CleanThreading(ctx context.Context, q string) error {
+	return callee(ctx, q)
+}
+
+// CleanDerived threads a derived context: WithCancel results stay in
+// the derived set. No findings.
+func CleanDerived(ctx context.Context, q string) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return callee(c, q)
+}
+
+type carrier struct{ ctx context.Context }
+
+// CleanCarrier threads the context through a parameter struct — that is
+// threading, not minting. No findings.
+func CleanCarrier(ctx context.Context, c *carrier, q string) error {
+	return callee(c.ctx, q)
+}

@@ -1,0 +1,91 @@
+// Package goleakfix is a known-bad fixture for the goleak analyzer:
+// spawns without a provable join. The clean functions at the bottom —
+// WaitGroup-paired and cancellation-driven goroutines — must produce no
+// findings.
+package goleakfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Orphan spawns a goroutine nothing ever joins.
+func Orphan(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+// MissingAdd signals Done on a WaitGroup the spawner never Adds to:
+// Wait can pass before the goroutine even starts.
+func MissingAdd(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// EarlyReturnSkipsWait has a path from the spawn to return that misses
+// wg.Wait — exactly the leak the rule exists to catch.
+func EarlyReturnSkipsWait(work func(), bail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	if bail {
+		return
+	}
+	wg.Wait()
+}
+
+func helper() {}
+
+// OpaqueNamed spawns a named function without passing a WaitGroup; the
+// intraprocedural analysis cannot see a join.
+func OpaqueNamed() {
+	go helper()
+}
+
+// CleanWaitGroup is the canonical paired spawn: no findings.
+func CleanWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// CleanDeferredWait joins via a deferred Wait that runs on every exit:
+// no findings.
+func CleanDeferredWait(work func(), n int) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+}
+
+// CleanCancellation is owned by the context's cancellation scope: the
+// goroutine provably exits when ctx is done. No findings.
+func CleanCancellation(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}

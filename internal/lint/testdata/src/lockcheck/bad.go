@@ -1,0 +1,89 @@
+// Package lockfix is a known-bad fixture for the lockcheck analyzer:
+// lock leaks on early returns, conditional acquisition, double locking,
+// bare unlocks, and channel operations under a lock. The clean
+// functions at the bottom must produce no findings.
+package lockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// EarlyReturn leaks c.mu on the error path: the return squeezes between
+// Lock and Unlock.
+func (c *counter) EarlyReturn(fail bool) int {
+	c.mu.Lock()
+	if fail {
+		return -1
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// ConditionalLeak acquires in one branch only and then returns without
+// releasing on that path.
+func (c *counter) ConditionalLeak(lock bool) {
+	if lock {
+		c.mu.Lock()
+	}
+	c.n++
+}
+
+// DoubleLock self-deadlocks: the second Lock blocks forever on the
+// first.
+func (c *counter) DoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// BareUnlock releases a mutex no path has acquired.
+func (c *counter) BareUnlock() {
+	c.mu.Unlock()
+}
+
+// SendWhileLocked performs a channel send with c.mu held: if the
+// receiver needs the lock, both goroutines wedge.
+func (c *counter) SendWhileLocked(ch chan int) {
+	c.mu.Lock()
+	ch <- c.n
+	c.mu.Unlock()
+}
+
+// ReadLockLeak leaks the read lock on the early path; RLock/RUnlock
+// pair independently of Lock/Unlock.
+func (c *counter) ReadLockLeak(skip bool) int {
+	c.rw.RLock()
+	if skip {
+		return 0
+	}
+	n := c.n
+	c.rw.RUnlock()
+	return n
+}
+
+// CleanDefer is the canonical correct shape: no findings.
+func (c *counter) CleanDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// CleanBranches releases on every path without defer: no findings.
+func (c *counter) CleanBranches(fast bool) int {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
