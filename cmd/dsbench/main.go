@@ -7,6 +7,8 @@
 //	dsbench -sf 0.01 -streams 2 -seed 1
 //	dsbench -sf 0.01 -mode star        # force the star transformation
 //	dsbench -sf 0.01 -queries 1,20,52  # development subset
+//	dsbench -sf 0.01 -trace out.json   # Chrome/Perfetto timeline of the run
+//	dsbench -sf 0.01 -metrics -pprof ./prof
 package main
 
 import (
@@ -19,12 +21,17 @@ import (
 	"tpcds/internal/audit"
 	"tpcds/internal/driver"
 	"tpcds/internal/metric"
+	"tpcds/internal/obs"
 	"tpcds/internal/plan"
 	"tpcds/internal/qgen"
 	"tpcds/internal/queries"
 )
 
-func main() {
+// main defers to run so the pprof stop and other defers execute before
+// the process exit code is decided.
+func main() { os.Exit(run()) }
+
+func run() int {
 	sf := flag.Float64("sf", 0.01, "scale factor")
 	streams := flag.Int("streams", 0, "query streams (0 = Figure 12 minimum)")
 	seed := flag.Uint64("seed", 1, "benchmark seed")
@@ -41,13 +48,36 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 30s")
 	onError := flag.String("on-error", driver.OnErrorAbort,
 		"failed-query policy: abort the run or skip to the stream's next query")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the run to this file")
+	eventsOut := flag.String("events", "", "write the span log as JSONL to this file")
+	metrics := flag.Bool("metrics", false, "collect engine/driver metrics and append the dump to the report")
+	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
+	maxConcurrent := flag.Int("max-concurrent", 0, "cap queries in flight across all streams (0 = no cap)")
 	flag.Parse()
 
 	cfg := driver.Config{
 		SF: *sf, Streams: *streams, Seed: *seed,
 		DataDir: *dataDir, ParallelLoad: *parallel, Parallelism: *parallelism,
-		QueryTimeout: *timeout, OnError: *onError,
+		QueryTimeout: *timeout, OnError: *onError, MaxConcurrent: *maxConcurrent,
 		Price: metric.PriceModel{HardwareUSD: *hw, SoftwareUSD: *sw, MaintenanceUSD: *maint},
+	}
+	if *traceOut != "" || *eventsOut != "" {
+		cfg.Tracer = obs.NewTracer()
+	}
+	if *metrics {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *pprofDir != "" {
+		stop, err := obs.StartProfiles(*pprofDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+			}
+		}()
 	}
 	switch *mode {
 	case "auto":
@@ -58,25 +88,50 @@ func main() {
 		cfg.Mode = plan.ForceStar
 	default:
 		fmt.Fprintf(os.Stderr, "dsbench: unknown mode %q\n", *mode)
-		os.Exit(2)
+		return 2
 	}
 	if *querySubset != "" {
 		for _, part := range strings.Split(*querySubset, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dsbench: bad query id %q\n", part)
-				os.Exit(2)
+				return 2
 			}
 			cfg.QueryIDs = append(cfg.QueryIDs, id)
 		}
 	}
 
 	res, err := driver.Run(cfg)
+	// Flush the timeline even when the run fails: a trace of a failed
+	// run is exactly what the flag is for.
+	if cfg.Tracer != nil {
+		if *traceOut != "" {
+			if werr := obs.WriteFile(*traceOut, cfg.Tracer, obs.WriteChromeTrace); werr != nil {
+				fmt.Fprintf(os.Stderr, "dsbench: %v\n", werr)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", cfg.Tracer.Len(), *traceOut)
+		}
+		if *eventsOut != "" {
+			if werr := obs.WriteFile(*eventsOut, cfg.Tracer, obs.WriteJSONL); werr != nil {
+				fmt.Fprintf(os.Stderr, "dsbench: %v\n", werr)
+				return 1
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(res.Report.String())
+
+	if cfg.Metrics != nil {
+		fmt.Printf("\nMetrics:\n")
+		if err := cfg.Metrics.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+			return 1
+		}
+	}
 
 	if res.Report.QueryErrors > 0 {
 		fmt.Printf("\nFailed queries:\n")
@@ -114,7 +169,8 @@ func main() {
 		rep := audit.Run(res.Engine.DB(), audit.Options{})
 		fmt.Printf("\n%s", rep.String())
 		if !rep.Passed() {
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

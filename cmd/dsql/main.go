@@ -5,6 +5,7 @@
 //
 //	dsql -sf 0.001 -e "SELECT i_category, COUNT(*) c FROM item GROUP BY i_category ORDER BY c DESC"
 //	echo "SELECT ..." | dsql -sf 0.001
+//	dsql -sf 0.001 -e "..." -trace out.json -metrics
 package main
 
 import (
@@ -17,10 +18,15 @@ import (
 
 	"tpcds/internal/datagen"
 	"tpcds/internal/exec"
+	"tpcds/internal/obs"
 	"tpcds/internal/plan"
 )
 
-func main() {
+// main defers to run so the pprof stop and trace flush execute before
+// the process exit code is decided.
+func main() { os.Exit(run()) }
+
+func run() int {
 	sf := flag.Float64("sf", 0.001, "scale factor")
 	seed := flag.Uint64("seed", 1, "generation seed")
 	query := flag.String("e", "", "query text (default: read stdin)")
@@ -28,6 +34,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print the optimizer decision after execution")
 	parallelism := flag.Int("parallelism", 0, "morsel workers (0 = all cores, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 30s")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the query to this file")
+	metrics := flag.Bool("metrics", false, "print the engine metrics dump after the query")
+	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
 
 	text := *query
@@ -35,13 +44,40 @@ func main() {
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		text = string(data)
 	}
 
+	if *pprofDir != "" {
+		stop, err := obs.StartProfiles(*pprofDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
+			}
+		}()
+	}
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		root = tracer.Root("dsql", "driver")
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+
 	loadStart := time.Now()
-	eng := exec.New(datagen.New(*sf, *seed).GenerateAll())
+	loadSp := root.Child("load")
+	gen := datagen.New(*sf, *seed)
+	gen.SetObservability(loadSp, reg)
+	eng := exec.New(gen.GenerateAll())
+	loadSp.End()
 	switch *mode {
 	case "hash":
 		eng.SetMode(plan.ForceHashJoin)
@@ -49,6 +85,7 @@ func main() {
 		eng.SetMode(plan.ForceStar)
 	}
 	eng.SetParallelism(*parallelism)
+	eng.SetMetrics(reg)
 	fmt.Fprintf(os.Stderr, "loaded SF %v in %v\n", *sf, time.Since(loadStart).Round(time.Millisecond))
 
 	ctx := context.Background()
@@ -57,15 +94,33 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	qsp := root.Child("query")
+	ctx = obs.ContextWithSpan(ctx, qsp)
 	start := time.Now()
 	res, tr, err := eng.QueryTracedContext(ctx, text)
+	qsp.End()
+	root.End()
+	if tracer != nil {
+		if werr := obs.WriteFile(*traceOut, tracer, obs.WriteChromeTrace); werr != nil {
+			fmt.Fprintf(os.Stderr, "dsql: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Len(), *traceOut)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(res.String())
 	fmt.Fprintf(os.Stderr, "%d rows in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
 	if *explain {
 		fmt.Fprint(os.Stderr, tr.String())
 	}
+	if reg != nil {
+		if err := reg.WriteText(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }

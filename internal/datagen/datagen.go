@@ -21,6 +21,7 @@ package datagen
 import (
 	"fmt"
 
+	"tpcds/internal/obs"
 	"tpcds/internal/rng"
 	"tpcds/internal/scaling"
 	"tpcds/internal/schema"
@@ -42,6 +43,10 @@ type Generator struct {
 	Seed uint64
 
 	defs map[string]*schema.Table
+	// Observability (SetObservability): nil means generation runs on
+	// the zero-cost disabled path.
+	span *obs.Span
+	reg  *obs.Registry
 }
 
 // New returns a generator for the given scale factor and seed.
@@ -70,26 +75,34 @@ func (g *Generator) rows(table string) int64 {
 func (g *Generator) GenerateAll() *storage.DB {
 	db := storage.NewDB()
 	// Dimensions in dependency-free order.
+	dims := g.phase("dimensions")
 	for _, name := range []string{
 		"date_dim", "time_dim", "income_band", "customer_demographics",
 		"household_demographics", "reason", "ship_mode", "warehouse",
 		"customer_address", "item", "customer", "store", "call_center",
 		"catalog_page", "web_site", "web_page", "promotion",
 	} {
-		db.Put(g.GenerateDimension(name))
+		db.Put(g.instrument(dims, name, func() *storage.Table {
+			return g.GenerateDimension(name)
+		}))
 	}
+	dims.End()
 	// Sales facts.
-	ss := g.generateSales(db, "store_sales")
-	cs := g.generateSales(db, "catalog_sales")
-	ws := g.generateSales(db, "web_sales")
+	facts := g.phase("facts")
+	ss := g.instrument(facts, "store_sales", func() *storage.Table { return g.generateSales(db, "store_sales") })
+	cs := g.instrument(facts, "catalog_sales", func() *storage.Table { return g.generateSales(db, "catalog_sales") })
+	ws := g.instrument(facts, "web_sales", func() *storage.Table { return g.generateSales(db, "web_sales") })
 	db.Put(ss)
 	db.Put(cs)
 	db.Put(ws)
+	facts.End()
 	// Returns reference their channel's sales fact.
-	db.Put(g.generateReturns(db, "store_returns", ss))
-	db.Put(g.generateReturns(db, "catalog_returns", cs))
-	db.Put(g.generateReturns(db, "web_returns", ws))
-	db.Put(g.generateInventory(db))
+	rets := g.phase("returns+inventory")
+	db.Put(g.instrument(rets, "store_returns", func() *storage.Table { return g.generateReturns(db, "store_returns", ss) }))
+	db.Put(g.instrument(rets, "catalog_returns", func() *storage.Table { return g.generateReturns(db, "catalog_returns", cs) }))
+	db.Put(g.instrument(rets, "web_returns", func() *storage.Table { return g.generateReturns(db, "web_returns", ws) }))
+	db.Put(g.instrument(rets, "inventory", func() *storage.Table { return g.generateInventory(db) }))
+	rets.End()
 	return db
 }
 

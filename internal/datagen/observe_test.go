@@ -1,0 +1,68 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"tpcds/internal/obs"
+)
+
+// TestInstrumentedGenerationIdentical: attaching a tracer and registry
+// must not perturb a single generated value — observation reads the
+// clock but never the random streams.
+func TestInstrumentedGenerationIdentical(t *testing.T) {
+	bare := New(0.0005, 7).GenerateAll()
+
+	g := New(0.0005, 7)
+	tracer := obs.NewTracer()
+	root := tracer.Root("datagen", "datagen")
+	reg := obs.NewRegistry()
+	g.SetObservability(root, reg)
+	traced := g.GenerateAll()
+	root.End()
+
+	names := bare.Names()
+	if !reflect.DeepEqual(names, traced.Names()) {
+		t.Fatalf("table sets differ: %v vs %v", names, traced.Names())
+	}
+	for _, name := range names {
+		a, b := bare.Table(name), traced.Table(name)
+		if a.NumRows() != b.NumRows() {
+			t.Fatalf("%s: %d rows bare vs %d instrumented", name, a.NumRows(), b.NumRows())
+		}
+		for r := 0; r < a.NumRows(); r++ {
+			for c := range a.Def.Columns {
+				if a.Get(r, c) != b.Get(r, c) {
+					t.Fatalf("%s[%d][%d]: %v vs %v", name, r, c, a.Get(r, c), b.Get(r, c))
+				}
+			}
+		}
+	}
+
+	// One span per table under three phase spans, rows counted.
+	spans := map[string]int{}
+	for _, s := range tracer.Snapshot() {
+		spans[s.Name]++
+	}
+	for _, phase := range []string{"dimensions", "facts", "returns+inventory"} {
+		if spans[phase] != 1 {
+			t.Errorf("phase span %q recorded %d times, want 1", phase, spans[phase])
+		}
+	}
+	for _, name := range names {
+		if spans[name] != 1 {
+			t.Errorf("table span %q recorded %d times, want 1", name, spans[name])
+		}
+	}
+	var total int64
+	for _, name := range names {
+		total += int64(bare.Table(name).NumRows())
+	}
+	if got := reg.Counter("datagen_rows").Value(); got != total {
+		t.Errorf("datagen_rows = %d, want %d", got, total)
+	}
+	if reg.Histogram("datagen_table_ns").Count() != int64(len(names)) {
+		t.Errorf("datagen_table_ns count = %d, want %d",
+			reg.Histogram("datagen_table_ns").Count(), len(names))
+	}
+}

@@ -22,15 +22,19 @@ func (g *Generator) GenerateAllParallel() *storage.DB {
 	// Ownership: runPhase joins every per-table goroutine it spawns via
 	// wg.Wait before touching db, so each phase's writes (one goroutine
 	// per results slot) happen-before the registration loop and nothing
-	// escapes the phase.
-	runPhase := func(names []string, gen func(name string) *storage.Table) {
+	// escapes the phase. Per-table spans hang off the phase span from
+	// concurrent goroutines — span creation is goroutine-safe and the
+	// phase span outlives the wg.Wait join.
+	runPhase := func(phase string, names []string, gen func(name string) *storage.Table) {
+		psp := g.phase(phase)
+		defer psp.End()
 		results := make([]*storage.Table, len(names))
 		var wg sync.WaitGroup
 		for i, name := range names {
 			wg.Add(1)
 			go func(i int, name string) {
 				defer wg.Done()
-				results[i] = gen(name)
+				results[i] = g.instrument(psp, name, func() *storage.Table { return gen(name) })
 			}(i, name)
 		}
 		wg.Wait()
@@ -39,14 +43,14 @@ func (g *Generator) GenerateAllParallel() *storage.DB {
 		}
 	}
 
-	runPhase([]string{
+	runPhase("dimensions", []string{
 		"date_dim", "time_dim", "income_band", "customer_demographics",
 		"household_demographics", "reason", "ship_mode", "warehouse",
 		"customer_address", "item", "customer", "store", "call_center",
 		"catalog_page", "web_site", "web_page", "promotion",
 	}, g.GenerateDimension)
 
-	runPhase([]string{"store_sales", "catalog_sales", "web_sales"},
+	runPhase("facts", []string{"store_sales", "catalog_sales", "web_sales"},
 		func(name string) *storage.Table { return g.generateSales(db, name) })
 
 	salesOf := map[string]string{
@@ -54,7 +58,7 @@ func (g *Generator) GenerateAllParallel() *storage.DB {
 		"catalog_returns": "catalog_sales",
 		"web_returns":     "web_sales",
 	}
-	runPhase([]string{"store_returns", "catalog_returns", "web_returns", "inventory"},
+	runPhase("returns+inventory", []string{"store_returns", "catalog_returns", "web_returns", "inventory"},
 		func(name string) *storage.Table {
 			if name == "inventory" {
 				return g.generateInventory(db)

@@ -22,6 +22,7 @@ import (
 	"tpcds/internal/exec"
 	"tpcds/internal/maintenance"
 	"tpcds/internal/metric"
+	"tpcds/internal/obs"
 	"tpcds/internal/plan"
 	"tpcds/internal/qgen"
 	"tpcds/internal/queries"
@@ -75,6 +76,23 @@ type Config struct {
 	QueryHook func(query string)
 	// Price is the 3-year TCO model for the price-performance metric.
 	Price metric.PriceModel
+	// Tracer, when set, records the span tree of the whole benchmark:
+	// benchmark → load / query run N / maintenance, each query run →
+	// stream → query, and below the query the engine's operator and
+	// morsel spans. A nil Tracer keeps the hot path on the engine's
+	// zero-cost disabled fast path.
+	Tracer *obs.Tracer
+	// Metrics, when set, receives the engine's row/morsel counters and
+	// the driver's per-template execution-latency histograms; the
+	// distributions surface as Report.Latencies.
+	Metrics *obs.Registry
+	// MaxConcurrent caps the queries in flight across all streams of a
+	// query run; 0 means no cap (every stream's query is admitted
+	// immediately). With a cap, the time a query spends waiting for
+	// admission is recorded as QueryTiming.Wait, separate from Exec —
+	// queue pressure becomes visible instead of inflating per-query
+	// execution times.
+	MaxConcurrent int
 }
 
 // OnError policies.
@@ -85,10 +103,17 @@ const (
 
 // QueryTiming records one query execution within a run.
 type QueryTiming struct {
-	Run      int // 1 or 2
-	Stream   int
-	QueryID  int
+	Run     int // 1 or 2
+	Stream  int
+	QueryID int
+	// Duration is the query's wall-clock time as the stream saw it:
+	// Wait + Exec. Wait is the time spent queued at the admission gate
+	// (zero without Config.MaxConcurrent); Exec is the time inside the
+	// engine. The per-query deadline applies to Exec only — a query
+	// must not time out for being queued.
 	Duration time.Duration
+	Wait     time.Duration
+	Exec     time.Duration
 	Rows     int
 	// Err is the query's failure message ("" on success). Under
 	// OnErrorSkip failed queries stay in the record with Err set, so
@@ -133,6 +158,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("driver: unknown OnError policy %q (want %q or %q)",
 			cfg.OnError, OnErrorAbort, OnErrorSkip)
 	}
+	if cfg.MaxConcurrent < 0 {
+		return nil, fmt.Errorf("driver: negative MaxConcurrent")
+	}
 	tpl, err := selectTemplates(cfg.QueryIDs)
 	if err != nil {
 		return nil, err
@@ -140,8 +168,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	res := &Result{Config: cfg}
 	var timings metric.Timings
+	root := cfg.Tracer.Root("benchmark", "driver")
+	defer root.End()
 
 	// ---- Load test: generate or load, then build auxiliary structures. ----
+	loadSp := root.Child("load")
 	loadStart := time.Now()
 	var db *storage.DB
 	switch {
@@ -151,29 +182,38 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("driver: load test: %w", err)
 		}
 	case cfg.ParallelLoad:
-		db = datagen.New(cfg.SF, cfg.Seed).GenerateAllParallel()
+		gen := datagen.New(cfg.SF, cfg.Seed)
+		gen.SetObservability(loadSp, cfg.Metrics)
+		db = gen.GenerateAllParallel()
 	default:
-		db = datagen.New(cfg.SF, cfg.Seed).GenerateAll()
+		gen := datagen.New(cfg.SF, cfg.Seed)
+		gen.SetObservability(loadSp, cfg.Metrics)
+		db = gen.GenerateAll()
 	}
 	eng := exec.New(db)
 	eng.SetMode(cfg.Mode)
 	eng.SetParallelism(cfg.Parallelism)
 	eng.SetMorselSize(cfg.MorselRows)
 	eng.SetQueryHook(cfg.QueryHook)
+	eng.SetMetrics(cfg.Metrics)
 	warmAuxiliaryStructures(eng)
 	timings.Load = time.Since(loadStart)
+	loadSp.End()
 	res.Engine = eng
 
 	// ---- Query Run 1. ----
+	qr1Sp := root.Child("query run 1")
 	qr1Start := time.Now()
-	t1, err := runQueryRun(ctx, eng, tpl, cfg, 1)
+	t1, err := runQueryRun(ctx, eng, tpl, cfg, 1, qr1Sp)
 	timings.QR1 = time.Since(qr1Start)
+	qr1Sp.End()
 	res.Queries = append(res.Queries, t1...)
 	if err != nil {
 		return nil, err
 	}
 
 	// ---- Data Maintenance run. ----
+	dmSp := root.Child("maintenance")
 	dmStart := time.Now()
 	rs, err := maintenance.GenerateRefresh(db, cfg.Seed, 1)
 	if err != nil {
@@ -184,12 +224,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("driver: data maintenance: %w", err)
 	}
 	timings.DM = time.Since(dmStart)
+	dmSp.End()
 	res.DMStats = stats
 
 	// ---- Query Run 2 (fresh substitutions, §5.2). ----
+	qr2Sp := root.Child("query run 2")
 	qr2Start := time.Now()
-	t2, err := runQueryRun(ctx, eng, tpl, cfg, 2)
+	t2, err := runQueryRun(ctx, eng, tpl, cfg, 2, qr2Sp)
 	timings.QR2 = time.Since(qr2Start)
+	qr2Sp.End()
 	res.Queries = append(res.Queries, t2...)
 	if err != nil {
 		return nil, err
@@ -207,8 +250,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				timeouts++
 			}
 		}
+		res.Report.QueueWait += qt.Wait
+		res.Report.ExecTime += qt.Exec
 	}
 	res.Report = res.Report.WithErrorCounts(errs, timeouts)
+	res.Report.Latencies = templateLatencies(cfg.Metrics, res.Queries)
 	return res, nil
 }
 
@@ -261,7 +307,7 @@ func warmAuxiliaryStructures(eng *exec.Engine) {
 // in its stream's timings and moves on; abort cancels the sibling
 // streams (they drain at their next cancellation point) and fails the
 // run with the first non-cancellation error.
-func runQueryRun(ctx context.Context, eng *exec.Engine, tpl []qgen.Template, cfg Config, run int) ([]QueryTiming, error) {
+func runQueryRun(ctx context.Context, eng *exec.Engine, tpl []qgen.Template, cfg Config, run int, runSp *obs.Span) ([]QueryTiming, error) {
 	type streamResult struct {
 		timings []QueryTiming
 		err     error
@@ -272,6 +318,13 @@ func runQueryRun(ctx context.Context, eng *exec.Engine, tpl []qgen.Template, cfg
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 	skip := cfg.OnError == OnErrorSkip
+	// Admission gate: a buffered channel whose capacity is the number
+	// of queries allowed in flight. Streams acquire a slot before each
+	// query and release it after; a nil gate admits immediately.
+	var gate chan struct{}
+	if cfg.MaxConcurrent > 0 {
+		gate = make(chan struct{}, cfg.MaxConcurrent)
+	}
 	// Ownership: runQueryRun owns all S stream goroutines — Add before
 	// each spawn, Done as each stream's first defer, and the wg.Wait
 	// below joins them before results is read, so slot writes (each
@@ -284,6 +337,11 @@ func runQueryRun(ctx context.Context, eng *exec.Engine, tpl []qgen.Template, cfg
 		wg.Add(1)
 		go func(stream int) {
 			defer wg.Done()
+			// Each stream gets its own trace lane: tid stream+1 keeps the
+			// streams on separate rows in the Chrome trace viewer while
+			// the driver phases stay on lane 0.
+			streamSp := runSp.ChildTID(fmt.Sprintf("stream %d", stream), stream+1)
+			defer streamSp.End()
 			// Run 2 uses a disjoint stream-id space so its substitutions
 			// differ from run 1 while remaining deterministic.
 			effStream := stream + (run-1)*1000
@@ -304,7 +362,7 @@ func runQueryRun(ctx context.Context, eng *exec.Engine, tpl []qgen.Template, cfg
 					cancelRun()
 					return
 				}
-				qt, err := runOneQuery(runCtx, eng, text, cfg.QueryTimeout)
+				qt, err := runOneQuery(runCtx, eng, cfg, streamSp, gate, t.ID, text)
 				qt.Run, qt.Stream, qt.QueryID = run, stream, t.ID
 				out = append(out, qt)
 				if err != nil && !skip {
@@ -346,21 +404,52 @@ func errRank(err error) int {
 // runOneQuery executes one query under the per-query deadline and
 // reports its timing. On failure the timing carries the error; the
 // returned error is non-nil so the caller can apply the OnError policy.
-func runOneQuery(ctx context.Context, eng *exec.Engine, text string, timeout time.Duration) (QueryTiming, error) {
+// The admission gate is acquired BEFORE the timeout context is created,
+// so a query never times out while queued — the deadline measures the
+// engine, not the driver's own backpressure.
+func runOneQuery(ctx context.Context, eng *exec.Engine, cfg Config, streamSp *obs.Span, gate chan struct{}, tplID int, text string) (QueryTiming, error) {
+	qsp := streamSp.Child(fmt.Sprintf("q%d", tplID))
+	defer qsp.End()
+	var qt QueryTiming
+	if gate != nil {
+		wsp := qsp.Child("queue")
+		waitStart := time.Now()
+		select {
+		case gate <- struct{}{}:
+			defer func() { <-gate }()
+		case <-ctx.Done():
+			qt.Wait = time.Since(waitStart)
+			qt.Duration = qt.Wait
+			qt.Err = ctx.Err().Error()
+			wsp.End()
+			return qt, ctx.Err()
+		}
+		qt.Wait = time.Since(waitStart)
+		wsp.End()
+	}
 	qctx, cancel := ctx, func() {}
-	if timeout > 0 {
-		qctx, cancel = context.WithTimeout(ctx, timeout)
+	if cfg.QueryTimeout > 0 {
+		qctx, cancel = context.WithTimeout(ctx, cfg.QueryTimeout)
 	}
 	defer cancel()
+	qctx = obs.ContextWithSpan(qctx, qsp)
 	start := time.Now()
 	r, err := eng.QueryContext(qctx, text)
-	qt := QueryTiming{Duration: time.Since(start)}
+	qt.Exec = time.Since(start)
+	qt.Duration = qt.Wait + qt.Exec
+	if cfg.Metrics != nil {
+		cfg.Metrics.Histogram(templateHistogram(tplID)).ObserveDuration(qt.Exec)
+		cfg.Metrics.Histogram("driver_query_wait_ns").ObserveDuration(qt.Wait)
+		cfg.Metrics.Counter("driver_queries").Add(1)
+	}
 	if err != nil {
 		qt.Err = err.Error()
 		qt.TimedOut = errors.Is(err, context.DeadlineExceeded)
+		qsp.SetAttr("err", qt.Err)
 		return qt, err
 	}
 	qt.Rows = len(r.Rows)
+	qsp.SetAttrInt("rows", int64(qt.Rows))
 	return qt, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"tpcds/internal/obs"
 	"tpcds/internal/sql"
 )
 
@@ -63,10 +64,17 @@ func TestQueryContextDeadlineMidQuery(t *testing.T) {
 func TestNoGoroutineLeakAfterTimeout(t *testing.T) {
 	db := randDB(11, 5000, 24)
 	e := parallelEngine(New(db))
+	// Instrumentation on: cancellation unwinds through live operator
+	// and morsel spans, which must not change the drain behaviour.
+	e.SetMetrics(obs.NewRegistry())
+	tracer := obs.NewTracer()
+	troot := tracer.Root("leaktest", "test")
+	defer troot.End()
 	q := `SELECT d_s, COUNT(*) c, SUM(f_m) m, AVG(f_m) a FROM f, d WHERE f_k = d_k GROUP BY d_s ORDER BY m DESC`
 	before := runtime.NumGoroutine()
 	for i := 0; i < 25; i++ {
-		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%5)*100*time.Microsecond)
+		ctx, cancel := context.WithTimeout(obs.ContextWithSpan(context.Background(), troot),
+			time.Duration(i%5)*100*time.Microsecond)
 		_, err := e.QueryContext(ctx, q)
 		cancel()
 		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {

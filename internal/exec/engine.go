@@ -44,6 +44,11 @@ type Engine struct {
 	// stats-vs-heuristics ablation).
 	useHeuristicsOnly bool
 
+	// em holds resolved metric handles when a registry is installed via
+	// SetMetrics; nil disables executor metrics at the cost of one nil
+	// check per recording site.
+	em *execMetrics
+
 	// queryHook, when set, runs at the start of every Query/QueryContext
 	// call inside the per-query recover scope — the fault-injection
 	// point for robustness tests (a hook panic becomes that query's

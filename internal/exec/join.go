@@ -74,6 +74,7 @@ func (b *binder) forEachFiltered(ti int, filters []filterInfo, fn func(r int, ro
 	preds := tablePreds(ti, filters)
 	cols := b.usedCols(ti)
 	n := inst.tab.NumRows()
+	b.qc.countScan(n)
 	row := make([]storage.Value, b.total)
 	for r := 0; r < n; r++ {
 		b.qc.tick()
@@ -264,11 +265,14 @@ func keyOf(row []storage.Value, cols []*colExpr) (string, bool) {
 // columns, storing base-table row ids.
 func (b *binder) buildHash(ti int, filters []filterInfo, build []*colExpr) map[string][]int32 {
 	ht := map[string][]int32{}
+	built := 0
 	b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
 		if key, ok := keyOf(row, build); ok {
 			ht[key] = append(ht[key], int32(r))
+			built++
 		}
 	})
+	b.qc.countBuild(built)
 	return ht
 }
 
@@ -285,6 +289,8 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 	probe, build := joinKeys(edges, joined, ti)
 	if len(probe) == 0 {
 		// No connecting edge: cartesian product (rare; small sides only).
+		sp := b.qc.startOp("cartesian", b.tables[ti].binding)
+		defer b.qc.endOp(sp)
 		var ids []int32
 		b.forEachFiltered(ti, filters, func(r int, _ []storage.Value) {
 			ids = append(ids, int32(r))
@@ -317,6 +323,9 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 // over current (each probe row is independent; per-morsel buffers keep
 // the serial output order).
 func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin, filters []filterInfo, tr *Trace) [][]storage.Value {
+	sp := b.qc.startOp("left", b.tables[lj.table].binding)
+	sp.SetAttrInt("rows_in", int64(len(current)))
+	defer b.qc.endOp(sp)
 	var probe, build []*colExpr
 	for _, ed := range lj.edges {
 		probe = append(probe, ed.aCol)

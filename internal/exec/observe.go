@@ -1,0 +1,58 @@
+package exec
+
+import "tpcds/internal/obs"
+
+// execMetrics holds the engine's resolved metric handles. Handles are
+// resolved once in SetMetrics so the query hot path never touches the
+// registry's lookup lock; all handles are nil-safe, so a nil
+// execMetrics pointer (no registry installed) and nil handles cost one
+// branch each.
+type execMetrics struct {
+	// rowsScanned counts base-table rows examined by scans (serial and
+	// morsel-parallel alike).
+	rowsScanned *obs.Counter
+	// buildRows counts rows inserted into hash-join build sides.
+	buildRows *obs.Counter
+	// morsels counts morsels dispatched to workers.
+	morsels *obs.Counter
+}
+
+// SetMetrics installs a metrics registry on the engine; the executor
+// then counts rows scanned, hash-build rows and morsels executed into
+// it. nil removes the instrumentation. Not safe to call concurrently
+// with queries.
+func (e *Engine) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		e.em = nil
+		return
+	}
+	e.em = &execMetrics{
+		rowsScanned: reg.Counter("exec_rows_scanned"),
+		buildRows:   reg.Counter("exec_hash_build_rows"),
+		morsels:     reg.Counter("exec_morsels"),
+	}
+}
+
+// countScan records base-table rows examined. Safe from any goroutine.
+func (q *qctx) countScan(n int) {
+	if q == nil || q.em == nil {
+		return
+	}
+	q.em.rowsScanned.Add(int64(n))
+}
+
+// countBuild records hash-build rows. Safe from any goroutine.
+func (q *qctx) countBuild(n int) {
+	if q == nil || q.em == nil {
+		return
+	}
+	q.em.buildRows.Add(int64(n))
+}
+
+// countMorsel records one dispatched morsel. Safe from any goroutine.
+func (q *qctx) countMorsel() {
+	if q == nil || q.em == nil {
+		return
+	}
+	q.em.morsels.Add(1)
+}

@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"tpcds/internal/obs"
+)
+
+// TestDisabledObservabilityAllocatesNothing pins the "disabled means
+// free" contract on the query hot path: with no tracer in the context
+// and no registry on the engine, the span and metric helpers the
+// executor calls per operator and per morsel must not allocate.
+func TestDisabledObservabilityAllocatesNothing(t *testing.T) {
+	e := New(miniDB())
+	qc := e.newQctx(context.Background())
+	if qc.qspan != nil || qc.em != nil {
+		t.Fatal("plain context should produce a disabled qctx")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := qc.startOp("scan", "store_sales")
+		qc.endOp(sp)
+		qc.countScan(4096)
+		qc.countBuild(512)
+		qc.countMorsel()
+		op := qc.opSpan()
+		m := op.ChildTID("morsel", 1)
+		m.SetAttrInt("rows", 4096)
+		m.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestQuerySpansCoverOperators runs one instrumented join+aggregate
+// query and checks the executor emitted the expected operator span
+// shapes under the query span, morsel spans included, and that the
+// engine counters saw the work.
+func TestQuerySpansCoverOperators(t *testing.T) {
+	db := randDB(3, 2000, 16)
+	e := parallelEngine(New(db))
+	reg := obs.NewRegistry()
+	e.SetMetrics(reg)
+	tracer := obs.NewTracer()
+	root := tracer.Root("q", "driver")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	res, err := e.QueryContext(ctx,
+		`SELECT d_s, COUNT(*) c, SUM(f_m) m FROM f, d WHERE f_k = d_k GROUP BY d_s ORDER BY m DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("query returned no rows; test database too small")
+	}
+	root.End()
+
+	names := map[string]int{}
+	byID := map[uint64]obs.SpanRecord{}
+	snap := tracer.Snapshot()
+	for _, s := range snap {
+		byID[s.ID] = s
+		key := s.Name
+		if i := strings.IndexByte(key, ' '); i >= 0 {
+			key = key[:i]
+		}
+		names[key]++
+	}
+	for _, want := range []string{"bind", "join", "scan", "aggregate", "morsel"} {
+		if names[want] == 0 {
+			t.Errorf("no %q span recorded (got %v)", want, names)
+		}
+	}
+	// Structural invariants: every non-root span has a recorded parent
+	// and nests inside its interval.
+	for _, s := range snap {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %q has unrecorded parent %d", s.Name, s.Parent)
+		}
+		if s.StartNs < p.StartNs || s.StartNs+s.DurNs > p.StartNs+p.DurNs {
+			t.Errorf("span %q escapes parent %q", s.Name, p.Name)
+		}
+	}
+	if got := reg.Counter("exec_rows_scanned").Value(); got < 2000 {
+		t.Errorf("exec_rows_scanned = %d, want >= the fact cardinality", got)
+	}
+	if got := reg.Counter("exec_morsels").Value(); got == 0 {
+		t.Errorf("exec_morsels = 0, want > 0 with 32-row morsels over 2000 rows")
+	}
+	if got := reg.Counter("exec_hash_build_rows").Value(); got == 0 {
+		t.Errorf("exec_hash_build_rows = 0, want > 0 for a hash join")
+	}
+}

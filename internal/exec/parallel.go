@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tpcds/internal/obs"
 	"tpcds/internal/plan"
 	"tpcds/internal/storage"
 )
@@ -68,6 +69,10 @@ func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel,
 		workers = 1
 	}
 	counts := make([]int, workers)
+	// The operator span is captured once by the coordinator; workers
+	// parent their per-morsel spans under it (span creation is
+	// goroutine-safe, and the capture happens-before every spawn).
+	opsp := qc.opSpan()
 	if workers == 1 {
 		for m := 0; m < numMorsels; m++ {
 			qc.checkNow()
@@ -76,7 +81,7 @@ func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel,
 			if hi > n {
 				hi = n
 			}
-			fn(0, m, lo, hi)
+			runMorsel(qc, opsp, 0, m, lo, hi, fn)
 			counts[0]++
 		}
 		return counts
@@ -116,7 +121,7 @@ func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel,
 				if hi > n {
 					hi = n
 				}
-				fn(worker, m, lo, hi)
+				runMorsel(qc, opsp, worker, m, lo, hi, fn)
 				counts[worker]++
 			}
 		}(w)
@@ -128,6 +133,27 @@ func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel,
 	}
 	qc.checkNow()
 	return counts
+}
+
+// runMorsel executes one morsel under its observability span and
+// counter. Safe from worker goroutines. A panic inside fn leaves the
+// morsel span unfinished, which the tracer simply never exports. With
+// tracing and metrics disabled this adds two nil checks per morsel.
+func runMorsel(qc *qctx, opsp *obs.Span, worker, m, lo, hi int, fn func(worker, morsel, lo, hi int)) {
+	qc.countMorsel()
+	if opsp == nil {
+		fn(worker, m, lo, hi)
+		return
+	}
+	// Lane scheme: morsel lanes nest under the query's lane (stream
+	// tid S becomes worker lanes S*100+1..S*100+workers), so a Chrome
+	// trace shows each stream's workers as adjacent tracks.
+	msp := opsp.ChildTID("morsel", opsp.TID()*100+worker+1)
+	msp.SetAttrInt("worker", int64(worker))
+	msp.SetAttrInt("morsel", int64(m))
+	msp.SetAttrInt("rows", int64(hi-lo))
+	fn(worker, m, lo, hi)
+	msp.End()
 }
 
 // parallelFor runs fn(p) for every p in [0,workers) on its own
@@ -199,11 +225,15 @@ func partOf(key string, parts int) int {
 func (e *Engine) scanFiltered(b *binder, ti int, filters []filterInfo, tr *Trace) [][]storage.Value {
 	inst := &b.tables[ti]
 	n := inst.tab.NumRows()
+	sp := b.qc.startOp("scan", inst.binding)
+	sp.SetAttrInt("rows_in", int64(n))
+	defer b.qc.endOp(sp)
 	workers := e.workers()
 	morsel := e.morselSize()
 	if workers <= 1 || n <= morsel {
 		return b.filteredRows(ti, filters)
 	}
+	b.qc.countScan(n)
 	preds := tablePreds(ti, filters)
 	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel
@@ -259,11 +289,15 @@ type buildEntry struct {
 func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, build []*colExpr, tr *Trace) *hashTable {
 	inst := &b.tables[ti]
 	n := inst.tab.NumRows()
+	sp := b.qc.startOp("build", inst.binding)
+	sp.SetAttrInt("rows_in", int64(n))
+	defer b.qc.endOp(sp)
 	workers := e.workers()
 	morsel := e.morselSize()
 	if workers <= 1 || n <= morsel {
 		return &hashTable{parts: []map[string][]int32{b.buildHash(ti, filters, build)}}
 	}
+	b.qc.countScan(n)
 	preds := tablePreds(ti, filters)
 	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel
@@ -292,6 +326,11 @@ func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, build [
 		entries[m] = keep
 	})
 	tr.addWork(counts)
+	built := 0
+	for _, chunk := range entries {
+		built += len(chunk)
+	}
+	b.qc.countBuild(built)
 	ht := &hashTable{parts: make([]map[string][]int32, workers)}
 	parallelFor(workers, func(p int) {
 		part := map[string][]int32{}
@@ -315,6 +354,9 @@ func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, build [
 // order).
 func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe []*colExpr, ht *hashTable, tr *Trace) [][]storage.Value {
 	n := len(current)
+	sp := b.qc.startOp("probe", b.tables[ti].binding)
+	sp.SetAttrInt("rows_in", int64(n))
+	defer b.qc.endOp(sp)
 	workers := e.workers()
 	morsel := e.morselSize()
 	probeOne := func(l []storage.Value, out [][]storage.Value) [][]storage.Value {
@@ -356,6 +398,10 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 // branch of the hash pipeline. The streamed scan is morsel-parallel;
 // output order equals the serial stream (table row order).
 func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe, build []*colExpr, filters []filterInfo, tr *Trace) [][]storage.Value {
+	sp := b.qc.startOp("stream", b.tables[ti].binding)
+	sp.SetAttrInt("rows_in", int64(b.tables[ti].tab.NumRows()))
+	defer b.qc.endOp(sp)
+	b.qc.countBuild(len(current))
 	htCur := make(map[string][]int, len(current))
 	for li, l := range current {
 		b.qc.tick()
@@ -387,6 +433,7 @@ func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe,
 		})
 		return out
 	}
+	b.qc.countScan(n)
 	preds := tablePreds(ti, filters)
 	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"testing/quick"
 
 	"tpcds/internal/datagen"
+	"tpcds/internal/obs"
 	"tpcds/internal/plan"
 	"tpcds/internal/qgen"
 	"tpcds/internal/queries"
@@ -25,18 +27,25 @@ func parallelEngine(e *Engine) *Engine {
 // TestParallelEqualsSequential is the serial-equivalence guarantee: all
 // 99 query templates, executed serially and with the morsel executor
 // over the same database, must produce bit-identical results — same
-// columns, same rows, same order, same float bits.
+// columns, same rows, same order, same float bits. The parallel engine
+// runs fully instrumented (live tracer span in the context, metrics
+// registry installed) to prove observation never alters results.
 func TestParallelEqualsSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("all-99 differential sweep skipped in -short; TestQuickParallelEqualsSerial still runs")
 	}
 	db := datagen.New(0.0005, 7).GenerateAll()
+	tracer := obs.NewTracer()
+	troot := tracer.Root("differential", "test")
+	defer troot.End()
+	ctx := obs.ContextWithSpan(context.Background(), troot)
 	for _, mode := range []plan.Mode{plan.Auto, plan.ForceStar} {
 		serial := New(db)
 		serial.SetMode(mode)
 		serial.SetParallelism(1)
 		par := parallelEngine(New(db))
 		par.SetMode(mode)
+		par.SetMetrics(obs.NewRegistry())
 		for _, tpl := range queries.All() {
 			text, err := qgen.Instantiate(tpl, qgen.StreamSeed(1, 0, tpl.ID))
 			if err != nil {
@@ -46,7 +55,7 @@ func TestParallelEqualsSequential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("mode %v query %d serial: %v", mode, tpl.ID, err)
 			}
-			got, err := par.Query(text)
+			got, err := par.QueryContext(ctx, text)
 			if err != nil {
 				t.Fatalf("mode %v query %d parallel: %v", mode, tpl.ID, err)
 			}
@@ -200,7 +209,7 @@ func contains(s, sub string) bool {
 func TestForEachMorselCoversAllRows(t *testing.T) {
 	const n, morsel = 1037, 64
 	covered := make([]bool, n) // morsels are disjoint: no locking needed
-	counts := forEachMorsel(newQctx(nil), 4, n, morsel, func(_, _, lo, hi int) {
+	counts := forEachMorsel((&Engine{}).newQctx(nil), 4, n, morsel, func(_, _, lo, hi int) {
 		for r := lo; r < hi; r++ {
 			if covered[r] {
 				t.Errorf("row %d visited twice", r)
@@ -231,7 +240,7 @@ func TestForEachMorselPanicPropagates(t *testing.T) {
 			t.Fatal("worker panic did not propagate to the caller")
 		}
 	}()
-	forEachMorsel(newQctx(nil), 4, 1000, 10, func(_, m, _, _ int) {
+	forEachMorsel((&Engine{}).newQctx(nil), 4, 1000, 10, func(_, m, _, _ int) {
 		if m == 50 {
 			panic("boom")
 		}

@@ -2,6 +2,8 @@ package exec
 
 import (
 	"context"
+
+	"tpcds/internal/obs"
 )
 
 // qctx carries the per-query execution state that is not part of the
@@ -21,6 +23,17 @@ type qctx struct {
 	ctx   context.Context
 	phase string // current operator; coordinator goroutine only
 	ticks int    // serial poll counter; coordinator goroutine only
+
+	// qspan is the query's observability span, taken from the context
+	// by the caller (driver or CLI); nil means tracing is disabled and
+	// the span helpers below are free no-ops. cur is the innermost open
+	// operator span — coordinator goroutine only; morsel workers read
+	// the operator span captured before they are spawned.
+	qspan *obs.Span
+	cur   *obs.Span
+	// em carries the engine's metric handles (nil when no registry is
+	// installed); workers update them through sharded atomics.
+	em *execMetrics
 }
 
 // tickInterval is the serial-path polling granularity: a context check
@@ -33,14 +46,14 @@ const tickInterval = 1024
 // context.DeadlineExceeded) to the boundary recover.
 type cancelPanic struct{ err error }
 
-func newQctx(ctx context.Context) *qctx {
+func (e *Engine) newQctx(ctx context.Context) *qctx {
 	if ctx == nil {
 		// nil means the caller came through a context-free wrapper; an
 		// always-live root is the correct "no deadline" semantics there.
 		//lint:ignore ctxflow nil-ctx fallback for the documented context-free wrappers; never overrides a caller-supplied ctx
 		ctx = context.Background()
 	}
-	return &qctx{ctx: ctx, phase: "parse"}
+	return &qctx{ctx: ctx, phase: "parse", qspan: obs.SpanFromContext(ctx), em: e.em}
 }
 
 // setPhase records the operator about to run. Coordinator goroutine
@@ -93,4 +106,59 @@ func (q *qctx) tick() {
 	if q.ticks%tickInterval == 0 {
 		q.checkNow()
 	}
+}
+
+// startOp opens an operator span ("scan store_sales", "build item")
+// nested under the innermost open operator — or the query span for
+// top-level phases — and makes it current so morsel workers parent
+// their per-morsel spans under the right operator. Coordinator
+// goroutine only. With tracing disabled this is a nil check and
+// nothing else: the name is assembled only on the enabled path, so the
+// hot path stays allocation-free.
+func (q *qctx) startOp(verb, detail string) *obs.Span {
+	if q == nil || q.qspan == nil {
+		return nil
+	}
+	parent := q.cur
+	if parent == nil {
+		parent = q.qspan
+	}
+	name := verb
+	if detail != "" {
+		name = verb + " " + detail
+	}
+	sp := parent.ChildCat(name, "exec")
+	q.cur = sp
+	return sp
+}
+
+// endOp completes an operator span and restores its parent as the
+// current operator. Tolerates the nil span startOp returns when
+// tracing is off. Coordinator goroutine only.
+func (q *qctx) endOp(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	sp.End()
+	if q != nil {
+		if p := sp.Parent(); p != q.qspan {
+			q.cur = p
+		} else {
+			q.cur = nil
+		}
+	}
+}
+
+// opSpan returns the span per-morsel worker spans should parent under:
+// the innermost open operator, or the query span itself. nil when
+// tracing is off. Coordinator goroutine only (callers capture the
+// result before spawning workers).
+func (q *qctx) opSpan() *obs.Span {
+	if q == nil {
+		return nil
+	}
+	if q.cur != nil {
+		return q.cur
+	}
+	return q.qspan
 }

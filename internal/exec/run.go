@@ -43,7 +43,7 @@ func (e *Engine) QueryTraced(q string) (*Result, Trace, error) {
 
 // QueryTracedContext is QueryTraced under a cancellation context.
 func (e *Engine) QueryTracedContext(ctx context.Context, q string) (res *Result, tr Trace, err error) {
-	qc := newQctx(ctx)
+	qc := e.newQctx(ctx)
 	defer func() {
 		if r := recover(); r != nil {
 			res, tr = nil, Trace{}
@@ -75,7 +75,7 @@ func (e *Engine) Run(stmt *sql.SelectStmt) (*Result, error) {
 // RunContext executes an already parsed statement under a cancellation
 // context, with the same panic-to-error hardening as QueryContext.
 func (e *Engine) RunContext(ctx context.Context, stmt *sql.SelectStmt) (res *Result, err error) {
-	qc := newQctx(ctx)
+	qc := e.newQctx(ctx)
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -261,6 +261,10 @@ type joinEdge struct {
 // runSelect executes one plain SELECT block.
 func (e *Engine) runSelect(qc *qctx, stmt *sql.SelectStmt, ctes map[string]*storage.Table) (*Result, []schema.Type, Trace, error) {
 	qc.setPhase("bind")
+	// Phase spans mirror setPhase. A phase abandoned by an error return
+	// simply never completes — the tracer exports only finished spans,
+	// so a failed query leaves a truncated (not corrupt) timeline.
+	bindSp := qc.startOp("bind", "")
 	b := newBinder(e, qc, ctes)
 	for _, ref := range stmt.From {
 		if err := b.addTable(ref); err != nil {
@@ -347,13 +351,17 @@ func (e *Engine) runSelect(qc *qctx, stmt *sql.SelectStmt, ctes map[string]*stor
 	// Constant predicates: if any is false the result is empty.
 	for _, p := range constPreds {
 		if !truthy(p.eval(nil)) {
+			qc.endOp(bindSp)
 			return e.projectEmpty(stmt, b, orderBy)
 		}
 	}
+	qc.endOp(bindSp)
 
 	// Produce joined base rows.
 	qc.setPhase("join")
+	joinSp := qc.startOp("join", "")
 	rows, tr, err := e.joinRows(b, filters, edges, residual, leftJoins)
+	qc.endOp(joinSp)
 	if err != nil {
 		return nil, nil, Trace{}, err
 	}
@@ -372,11 +380,15 @@ func (e *Engine) runSelect(qc *qctx, stmt *sql.SelectStmt, ctes map[string]*stor
 
 	if aggregated {
 		qc.setPhase("aggregate")
+		aggSp := qc.startOp("aggregate", "")
 		res, types, err := e.aggregate(stmt, b, rows, orderBy, &tr)
+		qc.endOp(aggSp)
 		return res, types, tr, err
 	}
 	qc.setPhase("project")
+	projSp := qc.startOp("project", "")
 	res, types, err := e.projectSimple(stmt, b, rows, orderBy, &tr)
+	qc.endOp(projSp)
 	return res, types, tr, err
 }
 
@@ -493,6 +505,8 @@ func (e *Engine) finish(qc *qctx, rows [][]storage.Value, projs, sortKeys []bexp
 		outs = outs[:w]
 	}
 	if len(sortKeys) > 0 {
+		sortSp := qc.startOp("sort", "")
+		sortSp.SetAttrInt("rows", int64(len(outs)))
 		sort.SliceStable(outs, func(a, b int) bool {
 			for i := range sortKeys {
 				c := storage.Compare(outs[a].keys[i], outs[b].keys[i])
@@ -506,6 +520,7 @@ func (e *Engine) finish(qc *qctx, rows [][]storage.Value, projs, sortKeys []bexp
 			}
 			return false
 		})
+		qc.endOp(sortSp)
 	}
 	if offset > 0 {
 		if offset >= len(outs) {

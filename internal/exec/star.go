@@ -122,6 +122,8 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		return nil, false
 	}
 	factInst := &b.tables[fact]
+	sp := b.qc.startOp("star", factInst.binding)
+	defer b.qc.endOp(sp)
 
 	// Index each dimension's qualifying rows by surrogate key (row ids
 	// only; spans are copied per matching fact row).

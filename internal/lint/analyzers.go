@@ -41,11 +41,15 @@ func analyzeDeterminism(p *Package) []Diagnostic {
 					"import of %s: generator packages draw only from seeded internal/rng streams", path))
 			}
 		}
+		// Wall-clock reads whose values flow only into internal/obs
+		// recording calls are sanctioned (see obssanction.go).
+		sanctionedObs := p.obsSanctionedRanges(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch v := n.(type) {
 			case *ast.SelectorExpr:
 				obj := p.Info.Uses[v.Sel]
-				if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && wallClockFuncs[obj.Name()] {
+				if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && wallClockFuncs[obj.Name()] &&
+					!containsPos(sanctionedObs, v.Pos()) {
 					out = append(out, p.diag(v, "determinism",
 						"time.%s reads the wall clock; generator output must be bit-deterministic", obj.Name()))
 				}

@@ -308,6 +308,21 @@ func (p *Package) taintSource(call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	name := obj.Name()
+	// Values read BACK from obs instruments are wall-clock-derived: a
+	// span duration or a counter snapshot flowing into generated data
+	// is as nondeterministic as time.Now itself. (Recording INTO obs is
+	// sanctioned — see obssanction.go; these are the read-out methods.)
+	if obj.Pkg().Path() == obsPkgPath {
+		switch name {
+		case "End", "Value", "Count", "Sum", "Max", "Quantile":
+			if s := p.Info.Selections[sel]; s != nil {
+				if n := namedOf(s.Recv()); n != nil {
+					return "obs." + n.Obj().Name() + "." + name, true
+				}
+			}
+			return "obs." + name, true
+		}
+	}
 	switch obj.Pkg().Path() {
 	case "time":
 		if wallClockFuncs[name] {

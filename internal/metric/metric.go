@@ -134,6 +134,17 @@ func (p PriceModel) TCO() float64 {
 	return p.HardwareUSD + p.SoftwareUSD + p.MaintenanceUSD
 }
 
+// TemplateLatency summarizes the execution-latency distribution of one
+// query template across every stream and both query runs, extracted
+// from the driver's per-template obs histograms.
+type TemplateLatency struct {
+	ID    int
+	Count int64
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+}
+
 // Report is a publication-style result summary.
 type Report struct {
 	SF       float64
@@ -161,6 +172,16 @@ type Report struct {
 	// templates.
 	QueryErrors   int
 	QueryTimeouts int
+	// QueueWait and ExecTime split the wall-clock Duration of every
+	// query into time spent waiting at the driver's admission gate and
+	// time spent executing in the engine, summed across streams and
+	// runs. QueueWait is zero (and unreported) without a concurrency
+	// cap.
+	QueueWait time.Duration
+	ExecTime  time.Duration
+	// Latencies is the per-template execution-latency distribution of
+	// an instrumented run (empty — and unreported — otherwise).
+	Latencies []TemplateLatency
 }
 
 // WithErrorCounts returns a copy of the report carrying per-query
@@ -214,7 +235,14 @@ func (r Report) String() string {
 		errLine = fmt.Sprintf("  Query Errors:      %d (%d timed out) — result invalid\n",
 			r.QueryErrors, r.QueryTimeouts)
 	}
-	return fmt.Sprintf(
+	// The queue/exec split only exists for instrumented runs; reports
+	// assembled without it keep the historical layout byte-for-byte.
+	splitLine := ""
+	if r.ExecTime > 0 {
+		splitLine = fmt.Sprintf("  T_Queue / T_Exec:  %v / %v\n",
+			r.QueueWait.Round(time.Millisecond), r.ExecTime.Round(time.Millisecond))
+	}
+	s := fmt.Sprintf(
 		"TPC-DS Result [%s]\n"+
 			"  Scale Factor:      %v\n"+
 			"  Query Streams:     %d (minimum %d)\n"+
@@ -223,12 +251,21 @@ func (r Report) String() string {
 			"  T_QR1:             %v\n"+
 			"  T_DM:              %v\n"+
 			"  T_QR2:             %v\n"+
-			"%s"+
+			"%s%s"+
 			"  QphDS@SF:          %.2f%s\n"+
 			"  3yr TCO:           $%.2f\n"+
 			"  $/QphDS@SF:        %.4f\n",
 		status, r.SF, r.Streams, MinStreams(r.SF), TotalQueriesFor(r.Streams, perStream),
 		r.Timings.Load.Round(time.Millisecond), r.Timings.QR1.Round(time.Millisecond),
 		r.Timings.DM.Round(time.Millisecond), r.Timings.QR2.Round(time.Millisecond),
-		errLine, r.QphDS, qphdsNote, r.TCO, r.PerQphDS)
+		splitLine, errLine, r.QphDS, qphdsNote, r.TCO, r.PerQphDS)
+	if len(r.Latencies) > 0 {
+		s += "  Per-Template Exec Latency:\n"
+		s += "    tmpl  count        p50        p95        max\n"
+		for _, l := range r.Latencies {
+			s += fmt.Sprintf("    q%-4d %5d %10v %10v %10v\n",
+				l.ID, l.Count, l.P50, l.P95, l.Max)
+		}
+	}
+	return s
 }

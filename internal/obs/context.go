@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+// spanKey is the private context key for span propagation.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s, so a caller's span (a driver
+// query) can parent spans opened deeper in the stack (exec operators)
+// without threading tracer handles through every signature. A nil span
+// returns ctx unchanged — disabled tracing adds no context layer.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

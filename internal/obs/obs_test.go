@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("run", "driver")
+	stream := root.ChildTID("stream 0", 1)
+	q := stream.Child("q42")
+	op := q.ChildCat("scan store_sales", "exec")
+	op.SetAttr("rows", 128)
+	time.Sleep(time.Millisecond)
+	op.End()
+	q.End()
+	stream.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("got %d spans, want 4", len(snap))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range snap {
+		byName[s.Name] = s
+	}
+	if byName["stream 0"].Parent != byName["run"].ID {
+		t.Errorf("stream parent = %d, want run %d", byName["stream 0"].Parent, byName["run"].ID)
+	}
+	if byName["q42"].TID != 1 {
+		t.Errorf("q42 tid = %d, want inherited 1", byName["q42"].TID)
+	}
+	if byName["scan store_sales"].Cat != "exec" {
+		t.Errorf("operator cat = %q, want exec", byName["scan store_sales"].Cat)
+	}
+	if got := byName["scan store_sales"].Attrs; len(got) != 1 || got[0].Key != "rows" {
+		t.Errorf("operator attrs = %v, want rows", got)
+	}
+	// Every child interval nests inside its parent's.
+	byID := map[uint64]SpanRecord{}
+	for _, s := range snap {
+		byID[s.ID] = s
+	}
+	for _, s := range snap {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %q has unknown parent %d", s.Name, s.Parent)
+		}
+		if s.StartNs < p.StartNs || s.StartNs+s.DurNs > p.StartNs+p.DurNs {
+			t.Errorf("span %q [%d,%d] escapes parent %q [%d,%d]",
+				s.Name, s.StartNs, s.StartNs+s.DurNs, p.Name, p.StartNs, p.StartNs+p.DurNs)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Root("x", "test")
+	if d := sp.End(); d < 0 {
+		t.Errorf("first End = %v, want >= 0", d)
+	}
+	if d := sp.End(); d != 0 {
+		t.Errorf("second End = %v, want 0", d)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("tracer recorded %d spans, want 1", tr.Len())
+	}
+}
+
+// TestDisabledIsNilSafe drives the whole API through nil receivers —
+// the disabled configuration every instrumented call site runs with by
+// default — and checks it neither panics nor allocates.
+func TestDisabledIsNilSafe(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Root("x", "y")
+		c := sp.Child("a")
+		c = c.ChildCat("b", "z")
+		c = c.ChildTID("c", 3)
+		c.SetAttr("k", 1)
+		_ = c.Parent()
+		_ = c.TID()
+		c.End()
+		sp.End()
+		reg.Counter("n").Add(1)
+		reg.Gauge("g").Set(2)
+		reg.Histogram("h_ns").Observe(3)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %v times per run, want 0", allocs)
+	}
+	if tr.Snapshot() != nil || tr.Len() != 0 {
+		t.Errorf("nil tracer reports spans")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("nil span should not wrap the context")
+	}
+	tr := NewTracer()
+	sp := tr.Root("q", "driver")
+	if got := SpanFromContext(ContextWithSpan(ctx, sp)); got != sp {
+		t.Fatalf("got %v, want the stored span", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := newHistogram(DurationBuckets)
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * int64(time.Millisecond))
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d, want 100", h.Count())
+	}
+	if got := h.Max(); got != int64(100*time.Millisecond) {
+		t.Errorf("max = %v, want 100ms", time.Duration(got))
+	}
+	// Bucket quantiles are upper bounds: p50 of 1..100ms falls in the
+	// bucket bounded by 65.536ms (2^16 µs).
+	p50 := time.Duration(h.Quantile(0.50))
+	if p50 < 50*time.Millisecond || p50 > 66*time.Millisecond {
+		t.Errorf("p50 = %v, want within [50ms, 66ms]", p50)
+	}
+	p100 := time.Duration(h.Quantile(1.0))
+	if p100 != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want exact max 100ms", p100)
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Errorf("unused histogram quantile should be 0")
+	}
+}
+
+func TestRegistryTextDump(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("exec_rows_scanned").Add(42)
+	reg.Gauge("streams").Set(4)
+	reg.Histogram("query_ns").ObserveDuration(3 * time.Millisecond)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"counter exec_rows_scanned", "42",
+		"gauge   streams", "hist    query_ns", "count=1", "max=3ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

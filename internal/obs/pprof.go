@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins a CPU profile and returns a stop function that
+// ends it and additionally writes a heap profile — cpu.pprof and
+// heap.pprof under dir (created if missing). The heap profile is taken
+// after a GC so it reflects live data, not garbage awaiting collection.
+func StartProfiles(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		err = fmt.Errorf("obs: cpu profile: %w", err)
+		if cerr := cpu.Close(); cerr != nil {
+			err = fmt.Errorf("%w (close: %v)", err, cerr)
+		}
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			err = fmt.Errorf("obs: heap profile: %w", err)
+			if cerr := heap.Close(); cerr != nil {
+				err = fmt.Errorf("%w (close: %v)", err, cerr)
+			}
+			return err
+		}
+		if err := heap.Close(); err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}
