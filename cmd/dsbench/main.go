@@ -53,11 +53,14 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "collect engine/driver metrics and append the dump to the report")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
 	maxConcurrent := flag.Int("max-concurrent", 0, "cap queries in flight across all streams (0 = no cap)")
+	batch := flag.Int("batch", 0, "vectorized batch rows per kernel call (0 = engine default 1024)")
+	rowExec := flag.Bool("rowexec", false, "force row-at-a-time execution (the differential oracle path)")
 	flag.Parse()
 
 	cfg := driver.Config{
 		SF: *sf, Streams: *streams, Seed: *seed,
 		DataDir: *dataDir, ParallelLoad: *parallel, Parallelism: *parallelism,
+		BatchRows: *batch, RowExec: *rowExec,
 		QueryTimeout: *timeout, OnError: *onError, MaxConcurrent: *maxConcurrent,
 		Price: metric.PriceModel{HardwareUSD: *hw, SoftwareUSD: *sw, MaintenanceUSD: *maint},
 	}

@@ -33,6 +33,8 @@ func run() int {
 	mode := flag.String("mode", "auto", "plan mode: auto|hash|star")
 	explain := flag.Bool("explain", false, "print the optimizer decision after execution")
 	parallelism := flag.Int("parallelism", 0, "morsel workers (0 = all cores, 1 = serial)")
+	batch := flag.Int("batch", 0, "vectorized batch rows per kernel call (0 = engine default 1024)")
+	rowExec := flag.Bool("rowexec", false, "force row-at-a-time execution (the differential oracle path)")
 	timeout := flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 30s")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the query to this file")
 	metrics := flag.Bool("metrics", false, "print the engine metrics dump after the query")
@@ -85,6 +87,8 @@ func run() int {
 		eng.SetMode(plan.ForceStar)
 	}
 	eng.SetParallelism(*parallelism)
+	eng.SetBatchSize(*batch)
+	eng.SetVectorized(!*rowExec)
 	eng.SetMetrics(reg)
 	fmt.Fprintf(os.Stderr, "loaded SF %v in %v\n", *sf, time.Since(loadStart).Round(time.Millisecond))
 

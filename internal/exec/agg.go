@@ -267,23 +267,31 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 	aggregateMaskSerial := func(mask uint) [][]storage.Value {
 		groups := map[string]*group{}
 		var order []*group // preserve first-seen order for determinism
+		// The group key is assembled in a reusable byte buffer and looked
+		// up without conversion (map[string(buf)] compiles to a no-alloc
+		// read); the key string and the group value slice are allocated
+		// only when a new group appears. The bytes match the GroupKey
+		// concatenation exactly, so grouping is unchanged.
+		var keybuf []byte
+		gtmp := make([]storage.Value, len(groupExprs))
 		for _, row := range rows {
 			b.qc.tick()
-			key := ""
-			gvals := make([]storage.Value, len(groupExprs))
+			keybuf = keybuf[:0]
 			for i := range groupExprs {
 				if mask&(1<<uint(i)) != 0 {
-					gvals[i] = groupExprs[i].eval(row)
-					key += gvals[i].GroupKey()
+					gtmp[i] = groupExprs[i].eval(row)
+					keybuf = gtmp[i].AppendGroupKey(keybuf)
 				} else {
-					gvals[i] = storage.Null
-					key += "\x00-"
+					gtmp[i] = storage.Null
+					keybuf = append(keybuf, 0, '-')
 				}
 			}
-			g := groups[key]
+			g := groups[string(keybuf)]
 			if g == nil {
+				gvals := make([]storage.Value, len(groupExprs))
+				copy(gvals, gtmp)
 				g = &group{vals: gvals, accs: make([]aggAcc, len(specs))}
-				groups[key] = g
+				groups[string(keybuf)] = g
 				order = append(order, g)
 			}
 			for i := range specs {
@@ -342,17 +350,18 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		keys := make([]string, n)
 		parts := make([]int, n)
 		counts := forEachMorsel(b.qc, workers, n, morsel, func(_, _, lo, hi int) {
+			var buf []byte
 			for r := lo; r < hi; r++ {
-				key := ""
+				buf = buf[:0]
 				for i := range groupExprs {
 					if mask&(1<<uint(i)) != 0 {
-						key += gv[r][i].GroupKey()
+						buf = gv[r][i].AppendGroupKey(buf)
 					} else {
-						key += "\x00-"
+						buf = append(buf, 0, '-')
 					}
 				}
-				keys[r] = key
-				parts[r] = partOf(key, workers)
+				keys[r] = string(buf)
+				parts[r] = partOfBytes(buf, workers)
 			}
 		})
 		tr.addWork(counts)

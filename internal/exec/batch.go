@@ -1,0 +1,864 @@
+// Vectorized batch execution. Instead of pulling one row at a time
+// through the bexpr interface tree, the scan/filter layer walks the
+// columnar storage vectors directly in batches of ~1K rows, carrying a
+// selection vector of surviving row ids between predicate kernels
+// (MonetDB/X100-style). Each kernel is a typed tight loop over one
+// column's physical vector; rows are materialized into full-width
+// []storage.Value form only after every predicate has voted, so
+// non-surviving rows never touch Table.Get or Value boxing at all.
+//
+// The batch layer slots UNDER the existing morsel partitioning: a
+// morsel worker runs its [lo,hi) range through the same batch scanner
+// the serial path uses, and per-morsel output buffers concatenate in
+// morsel order exactly as before. Kernel results replicate the row
+// engine's three-valued logic bit for bit (numeric comparisons go
+// through float64 like storage.Compare, IN keeps its UNKNOWN-on-NULL
+// member rule, AND/OR combine 1/0/-1 exactly like binExpr), so batch
+// results are bit-identical to the row engine — the differential tests
+// pin this across all 99 templates, serial and parallel.
+//
+// The row-at-a-time implementations remain behind
+// Engine.SetVectorized(false) as the differential oracle.
+package exec
+
+import (
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
+)
+
+// defaultBatchRows is the vectorized batch size: ~1K rows keeps a
+// batch's selection vector and per-column working set inside the L1/L2
+// caches while amortizing per-batch bookkeeping over enough rows.
+const defaultBatchRows = 1024
+
+// batchSize returns the configured vectorized batch row count.
+func (e *Engine) batchSize() int {
+	if e.batchRows > 0 {
+		return e.batchRows
+	}
+	return defaultBatchRows
+}
+
+// colReader caches one column's physical vectors plus the absolute row
+// layout offset it fills — the batched replacement for Table.Get.
+type colReader struct {
+	off   int
+	kind  storage.Kind
+	ints  []int64
+	flts  []float64
+	strs  []string
+	nulls []bool
+}
+
+// colReaders resolves the used columns of table ti to vector readers.
+func (b *binder) colReaders(ti int) []colReader {
+	inst := &b.tables[ti]
+	cols := b.usedCols(ti)
+	out := make([]colReader, 0, len(cols))
+	for _, c := range cols {
+		k, ints, flts, strs, nulls := inst.tab.Col(c).Raw()
+		out = append(out, colReader{off: inst.offset + c, kind: k, ints: ints, flts: flts, strs: strs, nulls: nulls})
+	}
+	return out
+}
+
+// value boxes row r of the column — identical to Column.Get.
+func (cr *colReader) value(r int32) storage.Value {
+	if cr.nulls[r] {
+		return storage.Null
+	}
+	switch cr.kind {
+	case storage.KindInt:
+		return storage.Value{K: storage.KindInt, I: cr.ints[r]}
+	case storage.KindFloat:
+		return storage.Value{K: storage.KindFloat, F: cr.flts[r]}
+	case storage.KindDate:
+		return storage.Value{K: storage.KindDate, I: cr.ints[r]}
+	default:
+		return storage.Value{K: storage.KindString, S: cr.strs[r]}
+	}
+}
+
+// fillRow materializes base-table row r into the full-width row buffer.
+func fillRow(readers []colReader, r int32, row []storage.Value) {
+	for i := range readers {
+		row[readers[i].off] = readers[i].value(r)
+	}
+}
+
+// materializeSel appends one full-width row per selected id, carving the
+// rows out of a single batch-sized arena allocation.
+func materializeSel(readers []colReader, total int, sel []int32, out [][]storage.Value) [][]storage.Value {
+	buf := make([]storage.Value, len(sel)*total)
+	for i, r := range sel {
+		row := buf[i*total : (i+1)*total : (i+1)*total]
+		fillRow(readers, r, row)
+		out = append(out, row)
+	}
+	return out
+}
+
+// triFn is a compiled predicate kernel: it evaluates the predicate for
+// every row id in sel, writing three-valued results into out (1 true,
+// 0 false, -1 unknown; out has len(sel)). Kernels close over immutable
+// column vectors only — morsel workers share them freely.
+type triFn func(sel []int32, out []int8)
+
+// tableFilter is the compiled local-predicate filter of one table:
+// vector kernels for the conjuncts the compiler understands, plus the
+// uncompiled remainder evaluated row-at-a-time over the survivors.
+// Reordering conjuncts (kernels first) cannot change the surviving set:
+// all conjuncts are ANDed and bexpr evaluation is side-effect free.
+type tableFilter struct {
+	kernels []triFn
+	slow    []bexpr
+	readers []colReader
+	total   int
+}
+
+// compileFilter compiles table ti's local predicates.
+func (b *binder) compileFilter(ti int, filters []filterInfo) *tableFilter {
+	tf := &tableFilter{readers: b.colReaders(ti), total: b.total}
+	for _, p := range tablePreds(ti, filters) {
+		if k, ok := b.compileTri(ti, p); ok {
+			tf.kernels = append(tf.kernels, k)
+		} else {
+			tf.slow = append(tf.slow, p)
+		}
+	}
+	return tf
+}
+
+// compilePreds compiles an explicit predicate list against table ti
+// (star fact-local predicates arrive pre-collected, not as filterInfo).
+func (b *binder) compilePreds(ti int, preds []bexpr) *tableFilter {
+	tf := &tableFilter{readers: b.colReaders(ti), total: b.total}
+	for _, p := range preds {
+		if k, ok := b.compileTri(ti, p); ok {
+			tf.kernels = append(tf.kernels, k)
+		} else {
+			tf.slow = append(tf.slow, p)
+		}
+	}
+	return tf
+}
+
+// batchScratch holds one scanner's reusable buffers. Each scanRange/
+// scanIDs call owns its scratch, so concurrent morsel workers never
+// share mutable state.
+type batchScratch struct {
+	sel []int32
+	tri []int8
+	row []storage.Value
+}
+
+func (tf *tableFilter) newScratch(batch int) *batchScratch {
+	sc := &batchScratch{sel: make([]int32, batch), tri: make([]int8, batch)}
+	if len(tf.slow) > 0 {
+		sc.row = make([]storage.Value, tf.total)
+	}
+	return sc
+}
+
+// apply runs every kernel over sel, compacting survivors in place, then
+// finishes with the uncompiled conjuncts on whatever is left.
+func (tf *tableFilter) apply(sel []int32, sc *batchScratch) []int32 {
+	for _, k := range tf.kernels {
+		if len(sel) == 0 {
+			return sel
+		}
+		tri := sc.tri[:len(sel)]
+		k(sel, tri)
+		w := 0
+		for i, r := range sel {
+			if tri[i] == 1 {
+				sel[w] = r
+				w++
+			}
+		}
+		sel = sel[:w]
+	}
+	if len(tf.slow) > 0 && len(sel) > 0 {
+		w := 0
+		for _, r := range sel {
+			fillRow(tf.readers, r, sc.row)
+			ok := true
+			for _, p := range tf.slow {
+				if !truthy(p.eval(sc.row)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sel[w] = r
+				w++
+			}
+		}
+		sel = sel[:w]
+	}
+	return sel
+}
+
+// scanRange streams the surviving row ids of [lo,hi) batch by batch.
+// fn receives each batch's selection vector (valid only for the call).
+// Cancellation is polled per batch via checkNow — safe from morsel
+// workers, and at the default batch size exactly as frequent as the
+// serial row loop's tick.
+func (tf *tableFilter) scanRange(qc *qctx, batch, lo, hi int, fn func(sel []int32)) {
+	if batch < 1 {
+		batch = 1
+	}
+	sc := tf.newScratch(batch)
+	for base := lo; base < hi; base += batch {
+		qc.checkNow()
+		qc.countBatch()
+		end := base + batch
+		if end > hi {
+			end = hi
+		}
+		sel := sc.sel[:end-base]
+		for i := range sel {
+			sel[i] = int32(base + i)
+		}
+		sel = tf.apply(sel, sc)
+		if len(sel) > 0 {
+			fn(sel)
+		}
+	}
+}
+
+// scanIDs filters an explicit row-id list batch by batch (the star
+// transformation's bitmap-qualified fact ids).
+func (tf *tableFilter) scanIDs(qc *qctx, batch int, ids []int32, fn func(sel []int32)) {
+	if batch < 1 {
+		batch = 1
+	}
+	sc := tf.newScratch(batch)
+	for base := 0; base < len(ids); base += batch {
+		qc.checkNow()
+		qc.countBatch()
+		end := base + batch
+		if end > len(ids) {
+			end = len(ids)
+		}
+		sel := sc.sel[:end-base]
+		copy(sel, ids[base:end])
+		sel = tf.apply(sel, sc)
+		if len(sel) > 0 {
+			fn(sel)
+		}
+	}
+}
+
+// ---- predicate kernel compiler ----
+
+// kernelCol resolves a bexpr to one of table ti's column vectors.
+func (b *binder) kernelCol(ti int, e bexpr) (*colReader, bool) {
+	ce, ok := e.(*colExpr)
+	if !ok {
+		return nil, false
+	}
+	inst := &b.tables[ti]
+	c := ce.off - inst.offset
+	if c < 0 || c >= inst.width() {
+		return nil, false
+	}
+	k, ints, flts, strs, nulls := inst.tab.Col(c).Raw()
+	return &colReader{off: ce.off, kind: k, ints: ints, flts: flts, strs: strs, nulls: nulls}, true
+}
+
+func isNumKind(k storage.Kind) bool {
+	return k == storage.KindInt || k == storage.KindFloat || k == storage.KindDate
+}
+
+func b2t(b bool) int8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cmpPass converts a comparison operator to its sign test.
+func cmpPass(op string) func(c int) bool {
+	switch op {
+	case "=":
+		return func(c int) bool { return c == 0 }
+	case "<>":
+		return func(c int) bool { return c != 0 }
+	case "<":
+		return func(c int) bool { return c < 0 }
+	case "<=":
+		return func(c int) bool { return c <= 0 }
+	case ">":
+		return func(c int) bool { return c > 0 }
+	default: // ">="
+		return func(c int) bool { return c >= 0 }
+	}
+}
+
+// mirrorOp flips a comparison for operand swap (lit op col → col op').
+func mirrorOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default: // "=", "<>"
+		return op
+	}
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpS(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// numAt returns the column's float64 view at r — the same coercion
+// storage.Compare applies to numeric kinds, so kernel comparisons stay
+// bit-identical to the row engine even past 2^53.
+func (cr *colReader) numAt(r int32) float64 {
+	if cr.kind == storage.KindFloat {
+		return cr.flts[r]
+	}
+	return float64(cr.ints[r])
+}
+
+// compileTri compiles one conjunct of table ti's local filter into a
+// vector kernel. ok=false means the shape is not understood (function
+// calls, CASE, arithmetic inside comparisons, …) and the conjunct runs
+// on the row fallback.
+func (b *binder) compileTri(ti int, p bexpr) (triFn, bool) {
+	switch v := p.(type) {
+	case *binExpr:
+		switch v.op {
+		case "AND", "OR":
+			lk, ok := b.compileTri(ti, v.l)
+			if !ok {
+				return nil, false
+			}
+			rk, ok := b.compileTri(ti, v.r)
+			if !ok {
+				return nil, false
+			}
+			and := v.op == "AND"
+			return func(sel []int32, out []int8) {
+				tmp := make([]int8, len(sel))
+				lk(sel, out)
+				rk(sel, tmp)
+				for i := range out {
+					lv, rv := out[i], tmp[i]
+					if and {
+						switch {
+						case lv == 0 || rv == 0:
+							out[i] = 0
+						case lv == -1 || rv == -1:
+							out[i] = -1
+						default:
+							out[i] = 1
+						}
+					} else {
+						switch {
+						case lv == 1 || rv == 1:
+							out[i] = 1
+						case lv == -1 || rv == -1:
+							out[i] = -1
+						default:
+							out[i] = 0
+						}
+					}
+				}
+			}, true
+		case "=", "<>", "<", "<=", ">", ">=":
+			return b.compileCmp(ti, v)
+		}
+		return nil, false
+	case *notExpr:
+		ck, ok := b.compileTri(ti, v.x)
+		if !ok {
+			return nil, false
+		}
+		return func(sel []int32, out []int8) {
+			ck(sel, out)
+			for i := range out {
+				if out[i] != -1 {
+					out[i] = 1 - out[i]
+				}
+			}
+		}, true
+	case *betweenExpr:
+		return b.compileBetween(ti, v)
+	case *inExpr:
+		return b.compileIn(ti, v)
+	case *likeExpr:
+		cr, ok := b.kernelCol(ti, v.x)
+		if !ok || cr.kind != storage.KindString {
+			return nil, false
+		}
+		pat, not, nulls, strs := v.pattern, v.not, cr.nulls, cr.strs
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+					continue
+				}
+				out[i] = b2t(likeMatch(strs[r], pat) != not)
+			}
+		}, true
+	case *isNullExpr:
+		cr, ok := b.kernelCol(ti, v.x)
+		if !ok {
+			return nil, false
+		}
+		not, nulls := v.not, cr.nulls
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				out[i] = b2t(nulls[r] != not)
+			}
+		}, true
+	}
+	if p.mask() == 0 {
+		// Constant predicate (bound subquery results, literal folds):
+		// evaluate once against an empty row.
+		res := p.eval(make([]storage.Value, b.total))
+		var c int8 = -1
+		if !res.IsNull() {
+			c = b2t(res.AsInt() != 0)
+		}
+		return func(sel []int32, out []int8) {
+			for i := range sel {
+				out[i] = c
+			}
+		}, true
+	}
+	return nil, false
+}
+
+// compileCmp compiles col-vs-literal and col-vs-col comparisons.
+func (b *binder) compileCmp(ti int, v *binExpr) (triFn, bool) {
+	l, r, op := v.l, v.r, v.op
+	if _, isLit := l.(*litExpr); isLit {
+		l, r, op = r, l, mirrorOp(op)
+	}
+	cl, ok := b.kernelCol(ti, l)
+	if !ok {
+		return nil, false
+	}
+	pass := cmpPass(op)
+	if lit, isLit := r.(*litExpr); isLit {
+		lv := lit.v
+		if lv.IsNull() {
+			return constNullTri(), true
+		}
+		switch {
+		case isNumKind(cl.kind) && isNumKind(lv.K):
+			// The hottest kernel of the workload: emit one specialized
+			// closure per operator so the inner loop is a direct float64
+			// comparison with no function indirection. Integer-class
+			// columns still compare through float64, matching
+			// storage.Compare exactly (including >2^53 precision loss).
+			lf, nulls := lv.AsFloat(), cl.nulls
+			if cl.kind == storage.KindFloat {
+				return numLitKernel(op, cl.flts, nulls, lf), true
+			}
+			return intLitKernel(op, cl.ints, nulls, lf), true
+		case cl.kind == storage.KindString && lv.K == storage.KindString:
+			ls, nulls, strs := lv.S, cl.nulls, cl.strs
+			return func(sel []int32, out []int8) {
+				for i, r := range sel {
+					if nulls[r] {
+						out[i] = -1
+						continue
+					}
+					out[i] = b2t(pass(cmpS(strs[r], ls)))
+				}
+			}, true
+		}
+		return nil, false
+	}
+	cr, ok := b.kernelCol(ti, r)
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case isNumKind(cl.kind) && isNumKind(cr.kind):
+		a, c := cl, cr
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if a.nulls[r] || c.nulls[r] {
+					out[i] = -1
+					continue
+				}
+				out[i] = b2t(pass(cmpF(a.numAt(r), c.numAt(r))))
+			}
+		}, true
+	case cl.kind == storage.KindString && cr.kind == storage.KindString:
+		ln, rn, ls, rs := cl.nulls, cr.nulls, cl.strs, cr.strs
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if ln[r] || rn[r] {
+					out[i] = -1
+					continue
+				}
+				out[i] = b2t(pass(cmpS(ls[r], rs[r])))
+			}
+		}, true
+	}
+	return nil, false
+}
+
+// numLitKernel builds the float-column vs numeric-literal kernel,
+// specialized per operator.
+func numLitKernel(op string, flts []float64, nulls []bool, lit float64) triFn {
+	cmp := func(sel []int32, out []int8, test func(float64) bool) {
+		for i, r := range sel {
+			if nulls[r] {
+				out[i] = -1
+				continue
+			}
+			out[i] = b2t(test(flts[r]))
+		}
+	}
+	switch op {
+	case "=":
+		return func(sel []int32, out []int8) { cmp(sel, out, func(f float64) bool { return f == lit }) }
+	case "<>":
+		return func(sel []int32, out []int8) { cmp(sel, out, func(f float64) bool { return f != lit }) }
+	case "<":
+		return func(sel []int32, out []int8) { cmp(sel, out, func(f float64) bool { return f < lit }) }
+	case "<=":
+		return func(sel []int32, out []int8) { cmp(sel, out, func(f float64) bool { return f <= lit }) }
+	case ">":
+		return func(sel []int32, out []int8) { cmp(sel, out, func(f float64) bool { return f > lit }) }
+	default: // ">="
+		return func(sel []int32, out []int8) { cmp(sel, out, func(f float64) bool { return f >= lit }) }
+	}
+}
+
+// intLitKernel builds the integer-class-column vs numeric-literal
+// kernel. Each specialization is a flat loop the compiler can keep in
+// registers: null check, widen to float64, compare.
+func intLitKernel(op string, ints []int64, nulls []bool, lit float64) triFn {
+	switch op {
+	case "=":
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+				} else {
+					out[i] = b2t(float64(ints[r]) == lit)
+				}
+			}
+		}
+	case "<>":
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+				} else {
+					out[i] = b2t(float64(ints[r]) != lit)
+				}
+			}
+		}
+	case "<":
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+				} else {
+					out[i] = b2t(float64(ints[r]) < lit)
+				}
+			}
+		}
+	case "<=":
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+				} else {
+					out[i] = b2t(float64(ints[r]) <= lit)
+				}
+			}
+		}
+	case ">":
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+				} else {
+					out[i] = b2t(float64(ints[r]) > lit)
+				}
+			}
+		}
+	default: // ">="
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+				} else {
+					out[i] = b2t(float64(ints[r]) >= lit)
+				}
+			}
+		}
+	}
+}
+
+// constNullTri is the always-UNKNOWN kernel (NULL literal operand).
+func constNullTri() triFn {
+	return func(sel []int32, out []int8) {
+		for i := range sel {
+			out[i] = -1
+		}
+	}
+}
+
+// compileBetween compiles x BETWEEN lo AND hi for column x against
+// literal bounds.
+func (b *binder) compileBetween(ti int, v *betweenExpr) (triFn, bool) {
+	cl, ok := b.kernelCol(ti, v.x)
+	if !ok {
+		return nil, false
+	}
+	loL, ok := v.lo.(*litExpr)
+	if !ok {
+		return nil, false
+	}
+	hiL, ok := v.hi.(*litExpr)
+	if !ok {
+		return nil, false
+	}
+	if loL.v.IsNull() || hiL.v.IsNull() {
+		return constNullTri(), true
+	}
+	not := v.not
+	switch {
+	case isNumKind(cl.kind) && isNumKind(loL.v.K) && isNumKind(hiL.v.K):
+		lo, hi, nulls := loL.v.AsFloat(), hiL.v.AsFloat(), cl.nulls
+		if cl.kind == storage.KindFloat {
+			flts := cl.flts
+			return func(sel []int32, out []int8) {
+				for i, r := range sel {
+					if nulls[r] {
+						out[i] = -1
+						continue
+					}
+					f := flts[r]
+					out[i] = b2t((f >= lo && f <= hi) != not)
+				}
+			}, true
+		}
+		ints := cl.ints
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+					continue
+				}
+				f := float64(ints[r])
+				out[i] = b2t((f >= lo && f <= hi) != not)
+			}
+		}, true
+	case cl.kind == storage.KindString && loL.v.K == storage.KindString && hiL.v.K == storage.KindString:
+		lo, hi, nulls, strs := loL.v.S, hiL.v.S, cl.nulls, cl.strs
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+					continue
+				}
+				s := strs[r]
+				out[i] = b2t((s >= lo && s <= hi) != not)
+			}
+		}, true
+	}
+	return nil, false
+}
+
+// compileIn compiles x [NOT] IN (members) for int, date and string
+// columns with typed member sets. GroupKey encoding is injective per
+// kind, so an int column can only ever match KindInt members (and a
+// date column KindDate members) — the typed sets keep exactly those.
+// Float columns stay on the row fallback: float64 map equality treats
+// -0 and 0 as equal where GroupKey's exact rendering does not.
+func (b *binder) compileIn(ti int, v *inExpr) (triFn, bool) {
+	cl, ok := b.kernelCol(ti, v.x)
+	if !ok {
+		return nil, false
+	}
+	hasNull, not := v.hasNull, v.not
+	switch cl.kind {
+	case storage.KindInt, storage.KindDate:
+		want := storage.KindInt
+		if cl.kind == storage.KindDate {
+			want = storage.KindDate
+		}
+		set := make(map[int64]struct{})
+		for _, m := range v.vals {
+			if m.K == want {
+				set[m.I] = struct{}{}
+			}
+		}
+		nulls, ints := cl.nulls, cl.ints
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+					continue
+				}
+				_, found := set[ints[r]]
+				if !found && hasNull {
+					out[i] = -1
+					continue
+				}
+				out[i] = b2t(found != not)
+			}
+		}, true
+	case storage.KindString:
+		set := make(map[string]struct{})
+		for _, m := range v.vals {
+			if m.K == storage.KindString {
+				set[m.S] = struct{}{}
+			}
+		}
+		nulls, strs := cl.nulls, cl.strs
+		return func(sel []int32, out []int8) {
+			for i, r := range sel {
+				if nulls[r] {
+					out[i] = -1
+					continue
+				}
+				_, found := set[strs[r]]
+				if !found && hasNull {
+					out[i] = -1
+					continue
+				}
+				out[i] = b2t(found != not)
+			}
+		}, true
+	}
+	return nil, false
+}
+
+// ---- join key fast path ----
+
+// intClass classifies a column type for the int64 join-key fast path:
+// 1 for integer-physical columns, 2 for dates, 0 otherwise. GroupKey
+// keeps KindInt and KindDate keys disjoint, so raw int64 keys are only
+// equivalent when both join sides share a class.
+func intClass(t schema.Type) int {
+	switch t {
+	case schema.Identifier, schema.Integer:
+		return 1
+	case schema.Date:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// intJoinKey reports whether a probe/build column pair can use raw
+// int64 hash keys in place of GroupKey strings.
+func intJoinKey(probe, build []*colExpr) bool {
+	if len(probe) != 1 || len(build) != 1 {
+		return false
+	}
+	c := intClass(probe[0].t)
+	return c != 0 && c == intClass(build[0].t)
+}
+
+// rowIntKey extracts the int64 join key of a materialized row.
+func rowIntKey(row []storage.Value, col *colExpr) (int64, bool) {
+	v := row[col.off]
+	if v.IsNull() {
+		return 0, false
+	}
+	return v.I, true
+}
+
+// appendRowKey appends the GroupKey-encoded join key of a materialized
+// row to buf; ok=false on a NULL component (NULL never joins).
+func appendRowKey(row []storage.Value, cols []*colExpr, buf []byte) ([]byte, bool) {
+	for _, c := range cols {
+		v := row[c.off]
+		if v.IsNull() {
+			return buf, false
+		}
+		buf = v.AppendGroupKey(buf)
+	}
+	return buf, true
+}
+
+// keyCols resolves build-side key columns of table ti to vector
+// readers, for key extraction without row materialization.
+func (b *binder) keyCols(ti int, cols []*colExpr) []colReader {
+	out := make([]colReader, 0, len(cols))
+	for _, c := range cols {
+		cr, ok := b.kernelCol(ti, c)
+		if !ok {
+			// Join edges always bind to plain columns of ti; anything else
+			// is an executor invariant violation.
+			panic("exec: join key is not a column of the build table")
+		}
+		out = append(out, *cr)
+	}
+	return out
+}
+
+// appendVecKey appends the GroupKey-encoded join key of base-table row
+// r read straight from the column vectors.
+func appendVecKey(kcs []colReader, r int32, buf []byte) ([]byte, bool) {
+	for i := range kcs {
+		if kcs[i].nulls[r] {
+			return buf, false
+		}
+		buf = kcs[i].value(r).AppendGroupKey(buf)
+	}
+	return buf, true
+}
+
+// partOfInt hashes an int64 join key to a partition — FNV-1a over the
+// key's little-endian bytes, deterministic like partOf.
+func partOfInt(k int64, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for s := uint(0); s < 64; s += 8 {
+		h ^= uint32(uint8(k >> s))
+		h *= 16777619
+	}
+	return int(h % uint32(parts))
+}
+
+// partOfBytes is partOf for a byte-slice key (no string conversion).
+func partOfBytes(key []byte, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(parts))
+}

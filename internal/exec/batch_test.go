@@ -1,0 +1,241 @@
+package exec
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"tpcds/internal/datagen"
+	"tpcds/internal/plan"
+	"tpcds/internal/qgen"
+	"tpcds/internal/queries"
+)
+
+// Batch-vs-row differential tests: the vectorized batch engine must be
+// bit-identical to the row-at-a-time engine (kept behind SetVectorized
+// as the oracle) on every query — same rows, same order, same float
+// bits — serial and parallel, hash-join and star alike.
+
+// assertSameResult fails the test when two results differ in any bit.
+func assertSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Columns, got.Columns) {
+		t.Fatalf("%s: columns %v vs %v", label, want.Columns, got.Columns)
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: %d rows vs %d", label, len(want.Rows), len(got.Rows))
+	}
+	for ri := range want.Rows {
+		if !reflect.DeepEqual(want.Rows[ri], got.Rows[ri]) {
+			t.Fatalf("%s row %d: %v vs %v", label, ri, want.Rows[ri], got.Rows[ri])
+		}
+	}
+}
+
+// TestBatchEqualsRowAllTemplates runs all 99 templates through the
+// row-at-a-time oracle and through the batch engine — serial and
+// morsel-parallel, automatic strategy and forced star — and requires
+// bit-identical results everywhere.
+func TestBatchEqualsRowAllTemplates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-99 batch differential skipped in -short; TestQuickBatchEqualsRow still runs")
+	}
+	db := datagen.New(0.0005, 7).GenerateAll()
+	for _, mode := range []plan.Mode{plan.Auto, plan.ForceStar} {
+		oracle := New(db)
+		oracle.SetMode(mode)
+		oracle.SetParallelism(1)
+		oracle.SetVectorized(false)
+		batchSerial := New(db)
+		batchSerial.SetMode(mode)
+		batchSerial.SetParallelism(1)
+		batchPar := parallelEngine(New(db))
+		batchPar.SetMode(mode)
+		batchPar.SetBatchSize(16) // smaller than the morsel: several batches per morsel
+		for _, tpl := range queries.All() {
+			text, err := qgen.Instantiate(tpl, qgen.StreamSeed(1, 0, tpl.ID))
+			if err != nil {
+				t.Fatalf("query %d: %v", tpl.ID, err)
+			}
+			want, err := oracle.Query(text)
+			if err != nil {
+				t.Fatalf("mode %v query %d row oracle: %v", mode, tpl.ID, err)
+			}
+			got, err := batchSerial.Query(text)
+			if err != nil {
+				t.Fatalf("mode %v query %d batch serial: %v", mode, tpl.ID, err)
+			}
+			assertSameResult(t, "mode "+mode.String()+" serial query "+tpl.Name, want, got)
+			got, err = batchPar.Query(text)
+			if err != nil {
+				t.Fatalf("mode %v query %d batch parallel: %v", mode, tpl.ID, err)
+			}
+			assertSameResult(t, "mode "+mode.String()+" parallel query "+tpl.Name, want, got)
+		}
+	}
+}
+
+// batchDiffQueries covers the operator shapes the batch path rewrote:
+// kernel-compilable predicates (comparison, BETWEEN, IN, LIKE, IS
+// NULL, AND/OR), joins on int and string keys, left joins, star-shaped
+// aggregation and DISTINCT.
+var batchDiffQueries = []string{
+	`SELECT d_s, COUNT(*) c, SUM(f_m) m, AVG(f_m) a FROM f, d WHERE f_k = d_k GROUP BY d_s`,
+	`SELECT f_o, d_g FROM f LEFT OUTER JOIN d ON f_k = d_k`,
+	`SELECT DISTINCT f_v FROM f`,
+	`SELECT d_g, SUM(f_m) m FROM f, d WHERE f_k = d_k AND d_g < 3 GROUP BY d_g ORDER BY m DESC`,
+	`SELECT COUNT(*) c FROM f WHERE f_v BETWEEN 10 AND 60`,
+	`SELECT COUNT(*) c FROM f WHERE f_v IN (1, 2, 3, 5, 8, 13, 21, 34)`,
+	`SELECT COUNT(*) c FROM f WHERE f_v NOT IN (1, 2, 3)`,
+	`SELECT COUNT(*) c FROM f WHERE f_v IS NULL OR f_v > 90`,
+	`SELECT COUNT(*) c FROM d WHERE d_s LIKE 's_'`,
+	`SELECT COUNT(*) c FROM d WHERE d_s IN ('s0', 's2')`,
+	`SELECT d_s, COUNT(*) c FROM f, d WHERE f_k = d_k AND NOT (d_g = 2) GROUP BY d_s`,
+	`SELECT f_o FROM f, d WHERE f_k = d_k AND d_s = 's1' AND f_v < 50 ORDER BY f_o`,
+	`SELECT COUNT(*) c FROM f WHERE f_m > 42.5 AND f_v <> 7`,
+}
+
+// TestQuickBatchEqualsRow re-checks batch/row equivalence on randomized
+// databases across the rewritten operator shapes.
+func TestQuickBatchEqualsRow(t *testing.T) {
+	f := func(seed uint64) bool {
+		db := randDB(seed, 300, 12)
+		oracle := New(db)
+		oracle.SetParallelism(1)
+		oracle.SetVectorized(false)
+		batch := New(db)
+		batch.SetParallelism(1)
+		for _, q := range batchDiffQueries {
+			want, err := oracle.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := batch.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Logf("seed %d query %q: batch differs from row oracle", seed, q)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchBoundaryStress forces batch sizes of 1, 2 and morsel−1 /
+// morsel / morsel+1 rows relative to a 32-row morsel, serial and
+// parallel, so every batch/morsel boundary interaction (batch ==
+// morsel, batch straddling a morsel edge, single-row batches) is
+// exercised against the row oracle.
+func TestBatchBoundaryStress(t *testing.T) {
+	const morsel = 32
+	db := randDB(11, 3*morsel+5, 12)
+	oracle := New(db)
+	oracle.SetParallelism(1)
+	oracle.SetVectorized(false)
+	for _, q := range batchDiffQueries {
+		want, err := oracle.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range []int{1, 2, morsel - 1, morsel, morsel + 1} {
+			for _, workers := range []int{1, 4} {
+				e := New(db)
+				e.SetParallelism(workers)
+				e.SetMorselSize(morsel)
+				e.SetBatchSize(batch)
+				got, err := e.Query(q)
+				if err != nil {
+					t.Fatalf("batch %d workers %d: %v", batch, workers, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("batch %d workers %d query %q: differs from row oracle", batch, workers, q)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchBoundaryStressTemplates runs a slice of real templates (every
+// 9th, covering star and hash-join plans) at adversarial batch sizes.
+func TestBatchBoundaryStressTemplates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("template boundary stress skipped in -short")
+	}
+	db := datagen.New(0.0005, 7).GenerateAll()
+	oracle := New(db)
+	oracle.SetParallelism(1)
+	oracle.SetVectorized(false)
+	all := queries.All()
+	for i := 0; i < len(all); i += 9 {
+		tpl := all[i]
+		text, err := qgen.Instantiate(tpl, qgen.StreamSeed(1, 0, tpl.ID))
+		if err != nil {
+			t.Fatalf("query %d: %v", tpl.ID, err)
+		}
+		want, err := oracle.Query(text)
+		if err != nil {
+			t.Fatalf("query %d row oracle: %v", tpl.ID, err)
+		}
+		for _, batch := range []int{1, 31, 33} {
+			e := parallelEngine(New(db))
+			e.SetBatchSize(batch)
+			got, err := e.Query(text)
+			if err != nil {
+				t.Fatalf("query %d batch %d: %v", tpl.ID, batch, err)
+			}
+			assertSameResult(t, tpl.Name, want, got)
+		}
+	}
+}
+
+// FuzzSelectionVector fuzzes the kernel compiler: random databases and
+// random predicate constants, filtered through the batch path at a
+// fuzzed batch size, must select exactly the rows the row-at-a-time
+// filter keeps.
+func FuzzSelectionVector(f *testing.F) {
+	f.Add(uint64(1), uint16(1), uint8(0), uint8(10), uint8(60))
+	f.Add(uint64(2), uint16(7), uint8(2), uint8(0), uint8(99))
+	f.Add(uint64(3), uint16(32), uint8(4), uint8(50), uint8(50))
+	f.Add(uint64(42), uint16(1024), uint8(1), uint8(90), uint8(10))
+	f.Fuzz(func(t *testing.T, seed uint64, batchRaw uint16, g, lo, hi uint8) {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		db := randDB(seed%512, 200, 10)
+		oracle := New(db)
+		oracle.SetParallelism(1)
+		oracle.SetVectorized(false)
+		batch := New(db)
+		batch.SetParallelism(1)
+		batch.SetBatchSize(1 + int(batchRaw%64))
+		qs := append([]string{}, batchDiffQueries...)
+		qs = append(qs,
+			// Fuzzed constants hit kernel edge values (empty ranges,
+			// boundary equality, non-existent groups).
+			`SELECT COUNT(*) c FROM f WHERE f_v BETWEEN `+itoa(int64(lo))+` AND `+itoa(int64(hi)),
+			`SELECT d_s, SUM(f_m) m FROM f, d WHERE f_k = d_k AND d_g = `+itoa(int64(g%6))+` GROUP BY d_s`,
+		)
+		for _, q := range qs {
+			want, err := oracle.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := batch.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d batch %d query %q: batch filter differs from row filter",
+					seed, batch.BatchSize(), q)
+			}
+		}
+	})
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

@@ -349,6 +349,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 					continue
 				}
 				in.set[row[0].GroupKey()] = true
+			in.vals = append(in.vals, row[0])
 			}
 			return in, nil
 		}
@@ -367,6 +368,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 				continue
 			}
 			in.set[lit.v.GroupKey()] = true
+			in.vals = append(in.vals, lit.v)
 		}
 		return in, nil
 	case *sql.Like:

@@ -28,6 +28,13 @@ type Engine struct {
 	parallelism int
 	morselRows  int
 
+	// vectorized selects the batch execution path (selection-vector
+	// kernels over columnar batches); off forces the row-at-a-time
+	// engine, kept as the differential oracle. batchRows overrides the
+	// batch size (0 = defaultBatchRows).
+	vectorized bool
+	batchRows  int
+
 	// mu guards the four lazily built caches below (hashIdx, bmIdx,
 	// statsCache) plus lastDecision/lastTrace. Concurrent benchmark
 	// streams race to build the same index; mu makes the first build
@@ -65,6 +72,7 @@ type Engine struct {
 func New(db *storage.DB) *Engine {
 	return &Engine{
 		db:         db,
+		vectorized: true,
 		hashIdx:    map[string]*index.HashIndex{},
 		bmIdx:      map[string]*index.BitmapIndex{},
 		statsCache: map[string]colStats{},
@@ -102,6 +110,29 @@ func (e *Engine) SetMorselSize(n int) {
 	}
 	e.morselRows = n
 }
+
+// SetVectorized toggles vectorized batch execution (on by default).
+// With it off every operator runs the original row-at-a-time path —
+// the differential oracle the batch engine is tested against. Results
+// are bit-identical either way. Not safe to call concurrently with
+// queries.
+func (e *Engine) SetVectorized(on bool) { e.vectorized = on }
+
+// Vectorized reports whether batch execution is enabled.
+func (e *Engine) Vectorized() bool { return e.vectorized }
+
+// SetBatchSize overrides the vectorized batch row count (default 1024;
+// tests shrink it to stress batch boundaries). n <= 0 restores the
+// default. Not safe to call concurrently with queries.
+func (e *Engine) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.batchRows = n
+}
+
+// BatchSize returns the effective vectorized batch row count.
+func (e *Engine) BatchSize() int { return e.batchSize() }
 
 // SetUseStatistics toggles statistics-based selectivity estimation (on
 // by default); with it off the optimizer falls back to fixed textbook

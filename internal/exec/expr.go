@@ -215,6 +215,7 @@ func (b *betweenExpr) eval(row []storage.Value) storage.Value {
 type inExpr struct {
 	x       bexpr
 	set     map[string]bool // GroupKey-encoded members
+	vals    []storage.Value // non-NULL members (for typed kernel sets)
 	hasNull bool            // the list/subquery contained NULL
 	not     bool
 }

@@ -68,13 +68,25 @@ func tablePreds(ti int, filters []filterInfo) []bexpr {
 // forEachFiltered streams the rows of table ti surviving its local
 // filters. fn receives the base-table row id and a reusable full-width
 // buffer with only ti's span populated — callers must copy what they
-// keep.
+// keep. With vectorization on, predicates run as batch kernels over the
+// column vectors and only survivors are materialized into the buffer.
 func (b *binder) forEachFiltered(ti int, filters []filterInfo, fn func(r int, row []storage.Value)) {
 	inst := &b.tables[ti]
-	preds := tablePreds(ti, filters)
-	cols := b.usedCols(ti)
 	n := inst.tab.NumRows()
 	b.qc.countScan(n)
+	if b.eng.vectorized {
+		tf := b.compileFilter(ti, filters)
+		row := make([]storage.Value, b.total)
+		tf.scanRange(b.qc, b.eng.batchSize(), 0, n, func(sel []int32) {
+			for _, r := range sel {
+				fillRow(tf.readers, r, row)
+				fn(int(r), row)
+			}
+		})
+		return
+	}
+	preds := tablePreds(ti, filters)
+	cols := b.usedCols(ti)
 	row := make([]storage.Value, b.total)
 	for r := 0; r < n; r++ {
 		b.qc.tick()
@@ -95,8 +107,20 @@ func (b *binder) forEachFiltered(ti int, filters []filterInfo, fn func(r int, ro
 }
 
 // filteredRows materializes one table's surviving rows as full-width
-// rows (driver-table path).
+// rows (driver-table path). The vectorized path carves the rows of each
+// batch out of one arena allocation.
 func (b *binder) filteredRows(ti int, filters []filterInfo) [][]storage.Value {
+	if b.eng.vectorized {
+		inst := &b.tables[ti]
+		n := inst.tab.NumRows()
+		b.qc.countScan(n)
+		tf := b.compileFilter(ti, filters)
+		var out [][]storage.Value
+		tf.scanRange(b.qc, b.eng.batchSize(), 0, n, func(sel []int32) {
+			out = materializeSel(tf.readers, b.total, sel, out)
+		})
+		return out
+	}
 	var out [][]storage.Value
 	b.forEachFiltered(ti, filters, func(_ int, row []storage.Value) {
 		cp := make([]storage.Value, len(row))
@@ -106,8 +130,19 @@ func (b *binder) filteredRows(ti int, filters []filterInfo) [][]storage.Value {
 	return out
 }
 
-// countFiltered counts surviving rows without materializing them.
+// countFiltered counts surviving rows without materializing them. The
+// vectorized path never boxes a value: kernels vote, survivors are
+// counted straight off the selection vector.
 func (b *binder) countFiltered(ti int, filters []filterInfo) int {
+	if b.eng.vectorized {
+		inst := &b.tables[ti]
+		nr := inst.tab.NumRows()
+		b.qc.countScan(nr)
+		tf := b.compileFilter(ti, filters)
+		count := 0
+		tf.scanRange(b.qc, b.eng.batchSize(), 0, nr, func(sel []int32) { count += len(sel) })
+		return count
+	}
 	n := 0
 	b.forEachFiltered(ti, filters, func(int, []storage.Value) { n++ })
 	return n
@@ -276,6 +311,31 @@ func (b *binder) buildHash(ti int, filters []filterInfo, build []*colExpr) map[s
 	return ht
 }
 
+// buildHashInt is buildHash for a single integer-class key column: keys
+// come straight off the column vector, no Value boxing, no GroupKey
+// string. Vectorized mode only.
+func (b *binder) buildHashInt(ti int, filters []filterInfo, build *colExpr) map[int64][]int32 {
+	inst := &b.tables[ti]
+	n := inst.tab.NumRows()
+	b.qc.countScan(n)
+	tf := b.compileFilter(ti, filters)
+	kcs := b.keyCols(ti, []*colExpr{build})
+	nulls, ints := kcs[0].nulls, kcs[0].ints
+	ht := map[int64][]int32{}
+	built := 0
+	tf.scanRange(b.qc, b.eng.batchSize(), 0, n, func(sel []int32) {
+		for _, r := range sel {
+			if nulls[r] {
+				continue // NULL never joins
+			}
+			ht[ints[r]] = append(ht[ints[r]], r)
+			built++
+		}
+	})
+	b.qc.countBuild(built)
+	return ht
+}
+
 // fillSpan copies the used columns of table ti's row r into dst.
 func (b *binder) fillSpan(ti int, r int32, dst []storage.Value) {
 	inst := &b.tables[ti]
@@ -314,7 +374,7 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 	if est := e.estimateFiltered(b, ti, filters); est > 2*float64(len(current)) {
 		return e.streamJoin(b, current, ti, probe, build, filters, tr)
 	}
-	ht := e.buildHashTable(b, ti, filters, build, tr)
+	ht := e.buildHashTable(b, ti, filters, probe, build, tr)
 	return e.probeJoin(b, current, ti, probe, ht, tr)
 }
 
@@ -338,13 +398,19 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 			allIDs = append(allIDs, int32(r))
 		})
 	} else {
-		ht = e.buildHashTable(b, lj.table, filters, build, tr)
+		ht = e.buildHashTable(b, lj.table, filters, probe, build, tr)
 	}
 	probeOne := func(l []storage.Value, out [][]storage.Value) [][]storage.Value {
 		matched := false
 		candidates := allIDs
 		if ht != nil {
-			if key, ok := keyOf(l, probe); ok {
+			if ht.iparts != nil {
+				if k, ok := rowIntKey(l, probe[0]); ok {
+					candidates = ht.lookupInt(k)
+				} else {
+					candidates = nil
+				}
+			} else if key, ok := keyOf(l, probe); ok {
 				candidates = ht.lookup(key)
 			} else {
 				candidates = nil
@@ -383,6 +449,7 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 			b.qc.tick()
 			out = probeOne(l, out)
 		}
+		sp.SetAttrInt("rows_out", int64(len(out)))
 		return out
 	}
 	numMorsels := (n + morsel - 1) / morsel
@@ -395,5 +462,7 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 		outs[m] = out
 	})
 	tr.addWork(counts)
-	return concatRows(outs)
+	rows := concatRows(outs)
+	sp.SetAttrInt("rows_out", int64(len(rows)))
+	return rows
 }

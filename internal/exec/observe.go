@@ -15,6 +15,8 @@ type execMetrics struct {
 	buildRows *obs.Counter
 	// morsels counts morsels dispatched to workers.
 	morsels *obs.Counter
+	// batches counts vectorized batches processed by the batch scanner.
+	batches *obs.Counter
 }
 
 // SetMetrics installs a metrics registry on the engine; the executor
@@ -30,6 +32,7 @@ func (e *Engine) SetMetrics(reg *obs.Registry) {
 		rowsScanned: reg.Counter("exec_rows_scanned"),
 		buildRows:   reg.Counter("exec_hash_build_rows"),
 		morsels:     reg.Counter("exec_morsels"),
+		batches:     reg.Counter("exec_batches"),
 	}
 }
 
@@ -55,4 +58,12 @@ func (q *qctx) countMorsel() {
 		return
 	}
 	q.em.morsels.Add(1)
+}
+
+// countBatch records one vectorized batch. Safe from any goroutine.
+func (q *qctx) countBatch() {
+	if q == nil || q.em == nil {
+		return
+	}
+	q.em.batches.Add(1)
 }

@@ -231,106 +231,191 @@ func (e *Engine) scanFiltered(b *binder, ti int, filters []filterInfo, tr *Trace
 	workers := e.workers()
 	morsel := e.morselSize()
 	if workers <= 1 || n <= morsel {
-		return b.filteredRows(ti, filters)
+		rows := b.filteredRows(ti, filters)
+		sp.SetAttrInt("rows_out", int64(len(rows)))
+		return rows
 	}
 	b.qc.countScan(n)
-	preds := tablePreds(ti, filters)
-	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel
 	outs := make([][][]storage.Value, numMorsels)
-	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
-		row := make([]storage.Value, b.total)
-		var keep [][]storage.Value
-		for r := lo; r < hi; r++ {
-			for _, c := range cols {
-				row[inst.offset+c] = inst.tab.Get(r, c)
-			}
-			ok := true
-			for _, p := range preds {
-				if !truthy(p.eval(row)) {
-					ok = false
-					break
+	var counts []int
+	if e.vectorized {
+		// The filter is compiled once by the coordinator; kernels close
+		// over immutable column vectors only, so morsel workers share it.
+		// Each scanRange call owns its scratch buffers.
+		tf := b.compileFilter(ti, filters)
+		batch := e.batchSize()
+		counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+			var keep [][]storage.Value
+			tf.scanRange(b.qc, batch, lo, hi, func(sel []int32) {
+				keep = materializeSel(tf.readers, b.total, sel, keep)
+			})
+			outs[m] = keep
+		})
+	} else {
+		preds := tablePreds(ti, filters)
+		cols := b.usedCols(ti)
+		counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+			row := make([]storage.Value, b.total)
+			var keep [][]storage.Value
+			for r := lo; r < hi; r++ {
+				for _, c := range cols {
+					row[inst.offset+c] = inst.tab.Get(r, c)
+				}
+				ok := true
+				for _, p := range preds {
+					if !truthy(p.eval(row)) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					cp := make([]storage.Value, b.total)
+					copy(cp, row)
+					keep = append(keep, cp)
 				}
 			}
-			if ok {
-				cp := make([]storage.Value, b.total)
-				copy(cp, row)
-				keep = append(keep, cp)
-			}
-		}
-		outs[m] = keep
-	})
+			outs[m] = keep
+		})
+	}
 	tr.addWork(counts)
-	return concatRows(outs)
+	rows := concatRows(outs)
+	sp.SetAttrInt("rows_out", int64(len(rows)))
+	return rows
 }
 
 // hashTable is a join build side: base-table row ids keyed by join key,
 // partitioned by key hash when built in parallel. Within a partition,
 // row ids appear in base-table row order — exactly what the serial
-// build produces — so probe output is identical either way.
+// build produces — so probe output is identical either way. Exactly one
+// of parts/iparts is non-nil: iparts is the raw-int64 fast path used
+// when both join sides are a single integer-class column (vectorized
+// mode), skipping GroupKey string construction entirely.
 type hashTable struct {
-	parts []map[string][]int32
+	parts  []map[string][]int32
+	iparts []map[int64][]int32
 }
 
 func (h *hashTable) lookup(key string) []int32 {
 	return h.parts[partOf(key, len(h.parts))][key]
 }
 
+func (h *hashTable) lookupInt(k int64) []int32 {
+	return h.iparts[partOfInt(k, len(h.iparts))][k]
+}
+
 // buildEntry is one qualifying build-side row awaiting partitioning.
+// ikey carries the key on the int64 fast path, key otherwise.
 type buildEntry struct {
-	r   int32
-	key string
+	r    int32
+	ikey int64
+	key  string
 }
 
 // buildHashTable indexes the filtered rows of table ti by the build key
 // columns. Large tables use a two-phase partitioned build: a parallel
 // morsel scan collects (row id, key) pairs, then one worker per
 // partition inserts its share walking the morsels in global row order.
-func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, build []*colExpr, tr *Trace) *hashTable {
+// probe is consulted only to decide the key representation: a single
+// integer-class column pair keys on raw int64 values (GroupKey keeps
+// int and date keys disjoint, so the raw fast path is only taken when
+// both sides share a class).
+func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, probe, build []*colExpr, tr *Trace) *hashTable {
 	inst := &b.tables[ti]
 	n := inst.tab.NumRows()
 	sp := b.qc.startOp("build", inst.binding)
 	sp.SetAttrInt("rows_in", int64(n))
 	defer b.qc.endOp(sp)
+	useInt := e.vectorized && intJoinKey(probe, build)
 	workers := e.workers()
 	morsel := e.morselSize()
 	if workers <= 1 || n <= morsel {
+		if useInt {
+			return &hashTable{iparts: []map[int64][]int32{b.buildHashInt(ti, filters, build[0])}}
+		}
 		return &hashTable{parts: []map[string][]int32{b.buildHash(ti, filters, build)}}
 	}
 	b.qc.countScan(n)
-	preds := tablePreds(ti, filters)
-	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel
 	entries := make([][]buildEntry, numMorsels)
-	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
-		row := make([]storage.Value, b.total)
-		var keep []buildEntry
-		for r := lo; r < hi; r++ {
-			for _, c := range cols {
-				row[inst.offset+c] = inst.tab.Get(r, c)
-			}
-			ok := true
-			for _, p := range preds {
-				if !truthy(p.eval(row)) {
-					ok = false
-					break
+	var counts []int
+	if e.vectorized {
+		tf := b.compileFilter(ti, filters)
+		kcs := b.keyCols(ti, build)
+		batch := e.batchSize()
+		counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+			var keep []buildEntry
+			var buf []byte
+			tf.scanRange(b.qc, batch, lo, hi, func(sel []int32) {
+				for _, r := range sel {
+					if useInt {
+						if kcs[0].nulls[r] {
+							continue
+						}
+						keep = append(keep, buildEntry{r: r, ikey: kcs[0].ints[r]})
+						continue
+					}
+					key, ok := appendVecKey(kcs, r, buf[:0])
+					buf = key
+					if ok {
+						keep = append(keep, buildEntry{r: r, key: string(key)})
+					}
+				}
+			})
+			entries[m] = keep
+		})
+	} else {
+		preds := tablePreds(ti, filters)
+		cols := b.usedCols(ti)
+		counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+			row := make([]storage.Value, b.total)
+			var keep []buildEntry
+			for r := lo; r < hi; r++ {
+				for _, c := range cols {
+					row[inst.offset+c] = inst.tab.Get(r, c)
+				}
+				ok := true
+				for _, p := range preds {
+					if !truthy(p.eval(row)) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if key, ok := keyOf(row, build); ok {
+					keep = append(keep, buildEntry{r: int32(r), key: key})
 				}
 			}
-			if !ok {
-				continue
-			}
-			if key, ok := keyOf(row, build); ok {
-				keep = append(keep, buildEntry{r: int32(r), key: key})
-			}
-		}
-		entries[m] = keep
-	})
+			entries[m] = keep
+		})
+	}
 	tr.addWork(counts)
 	built := 0
 	for _, chunk := range entries {
 		built += len(chunk)
 	}
 	b.qc.countBuild(built)
+	sp.SetAttrInt("rows_out", int64(built))
+	if useInt {
+		ht := &hashTable{iparts: make([]map[int64][]int32, workers)}
+		parallelFor(workers, func(p int) {
+			part := map[int64][]int32{}
+			for ci, chunk := range entries {
+				if ci%64 == 0 {
+					b.qc.checkNow()
+				}
+				for _, en := range chunk {
+					if partOfInt(en.ikey, workers) == p {
+						part[en.ikey] = append(part[en.ikey], en.r)
+					}
+				}
+			}
+			ht.iparts[p] = part
+		})
+		return ht
+	}
 	ht := &hashTable{parts: make([]map[string][]int32, workers)}
 	parallelFor(workers, func(p int) {
 		part := map[string][]int32{}
@@ -359,12 +444,23 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 	defer b.qc.endOp(sp)
 	workers := e.workers()
 	morsel := e.morselSize()
+	// probeOne holds no mutable state: morsel workers share it safely.
 	probeOne := func(l []storage.Value, out [][]storage.Value) [][]storage.Value {
-		key, ok := keyOf(l, probe)
-		if !ok {
-			return out
+		var matches []int32
+		if ht.iparts != nil {
+			k, ok := rowIntKey(l, probe[0])
+			if !ok {
+				return out
+			}
+			matches = ht.lookupInt(k)
+		} else {
+			key, ok := keyOf(l, probe)
+			if !ok {
+				return out
+			}
+			matches = ht.lookup(key)
 		}
-		for _, r := range ht.lookup(key) {
+		for _, r := range matches {
 			m := make([]storage.Value, b.total)
 			copy(m, l)
 			b.fillSpan(ti, r, m)
@@ -378,6 +474,7 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 			b.qc.tick()
 			out = probeOne(l, out)
 		}
+		sp.SetAttrInt("rows_out", int64(len(out)))
 		return out
 	}
 	numMorsels := (n + morsel - 1) / morsel
@@ -390,7 +487,9 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 		outs[m] = out
 	})
 	tr.addWork(counts)
-	return concatRows(outs)
+	rows := concatRows(outs)
+	sp.SetAttrInt("rows_out", int64(len(rows)))
+	return rows
 }
 
 // streamJoin hashes the (smaller) current intermediate result and
@@ -402,62 +501,120 @@ func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe,
 	sp.SetAttrInt("rows_in", int64(b.tables[ti].tab.NumRows()))
 	defer b.qc.endOp(sp)
 	b.qc.countBuild(len(current))
-	htCur := make(map[string][]int, len(current))
-	for li, l := range current {
-		b.qc.tick()
-		if key, ok := keyOf(l, probe); ok {
-			htCur[key] = append(htCur[key], li)
+	useInt := e.vectorized && intJoinKey(probe, build)
+	var htCur map[string][]int
+	var htCurI map[int64][]int
+	if useInt {
+		htCurI = make(map[int64][]int, len(current))
+		for li, l := range current {
+			b.qc.tick()
+			if k, ok := rowIntKey(l, probe[0]); ok {
+				htCurI[k] = append(htCurI[k], li)
+			}
+		}
+	} else {
+		htCur = make(map[string][]int, len(current))
+		for li, l := range current {
+			b.qc.tick()
+			if key, ok := keyOf(l, probe); ok {
+				htCur[key] = append(htCur[key], li)
+			}
 		}
 	}
 	inst := &b.tables[ti]
 	n := inst.tab.NumRows()
 	workers := e.workers()
 	morsel := e.morselSize()
+	emitIDs := func(lis []int, r int32, out [][]storage.Value) [][]storage.Value {
+		for _, li := range lis {
+			m := make([]storage.Value, b.total)
+			copy(m, current[li])
+			b.fillSpan(ti, r, m)
+			out = append(out, m)
+		}
+		return out
+	}
 	emit := func(row []storage.Value, r int, out [][]storage.Value) [][]storage.Value {
+		if useInt {
+			k, ok := rowIntKey(row, build[0])
+			if !ok {
+				return out
+			}
+			return emitIDs(htCurI[k], int32(r), out)
+		}
 		key, ok := keyOf(row, build)
 		if !ok {
 			return out
 		}
-		for _, li := range htCur[key] {
-			m := make([]storage.Value, b.total)
-			copy(m, current[li])
-			b.fillSpan(ti, int32(r), m)
-			out = append(out, m)
-		}
-		return out
+		return emitIDs(htCur[key], int32(r), out)
 	}
 	if workers <= 1 || n <= morsel {
 		var out [][]storage.Value
 		b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
 			out = emit(row, r, out)
 		})
+		sp.SetAttrInt("rows_out", int64(len(out)))
 		return out
 	}
 	b.qc.countScan(n)
-	preds := tablePreds(ti, filters)
-	cols := b.usedCols(ti)
 	numMorsels := (n + morsel - 1) / morsel
 	outs := make([][][]storage.Value, numMorsels)
-	counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
-		row := make([]storage.Value, b.total)
-		var out [][]storage.Value
-		for r := lo; r < hi; r++ {
-			for _, c := range cols {
-				row[inst.offset+c] = inst.tab.Get(r, c)
-			}
-			ok := true
-			for _, p := range preds {
-				if !truthy(p.eval(row)) {
-					ok = false
-					break
+	var counts []int
+	if e.vectorized {
+		tf := b.compileFilter(ti, filters)
+		kcs := b.keyCols(ti, build)
+		batch := e.batchSize()
+		counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+			var out [][]storage.Value
+			var buf []byte
+			tf.scanRange(b.qc, batch, lo, hi, func(sel []int32) {
+				// Keys come straight off the vectors; matching rows are
+				// filled span-wise by emitIDs, so survivors that probe
+				// nothing never materialize at all.
+				for _, r := range sel {
+					if useInt {
+						if kcs[0].nulls[r] {
+							continue
+						}
+						out = emitIDs(htCurI[kcs[0].ints[r]], r, out)
+						continue
+					}
+					key, ok := appendVecKey(kcs, r, buf[:0])
+					buf = key
+					if !ok {
+						continue
+					}
+					out = emitIDs(htCur[string(key)], r, out)
+				}
+			})
+			outs[m] = out
+		})
+	} else {
+		preds := tablePreds(ti, filters)
+		cols := b.usedCols(ti)
+		counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+			row := make([]storage.Value, b.total)
+			var out [][]storage.Value
+			for r := lo; r < hi; r++ {
+				for _, c := range cols {
+					row[inst.offset+c] = inst.tab.Get(r, c)
+				}
+				ok := true
+				for _, p := range preds {
+					if !truthy(p.eval(row)) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = emit(row, r, out)
 				}
 			}
-			if ok {
-				out = emit(row, r, out)
-			}
-		}
-		outs[m] = out
-	})
+			outs[m] = out
+		})
+	}
 	tr.addWork(counts)
-	return concatRows(outs)
+	rows := concatRows(outs)
+	sp.SetAttrInt("rows_out", int64(len(rows)))
+	return rows
 }

@@ -181,18 +181,10 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		return true
 	})
 	factCols := b.usedCols(fact)
-	fetch := func(r int, row []storage.Value, out [][]storage.Value) [][]storage.Value {
-		for i := range row {
-			row[i] = storage.Null
-		}
-		for _, c := range factCols {
-			row[factInst.offset+c] = factInst.tab.Get(r, c)
-		}
-		for _, p := range factPreds {
-			if !truthy(p.eval(row)) {
-				return out
-			}
-		}
+	// joinBack resolves the dimension lookups and residual predicates for
+	// one fact row already filled into row (fact span populated, local
+	// predicates already satisfied) and appends the joined copy.
+	joinBack := func(row []storage.Value, out [][]storage.Value) [][]storage.Value {
 		for _, dd := range dimDatas {
 			fkVal := row[dd.spec.factCol.off]
 			if fkVal.IsNull() {
@@ -213,9 +205,62 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		copy(cp, row)
 		return append(out, cp)
 	}
+	fetch := func(r int, row []storage.Value, out [][]storage.Value) [][]storage.Value {
+		for i := range row {
+			row[i] = storage.Null
+		}
+		for _, c := range factCols {
+			row[factInst.offset+c] = factInst.tab.Get(r, c)
+		}
+		for _, p := range factPreds {
+			if !truthy(p.eval(row)) {
+				return out
+			}
+		}
+		return joinBack(row, out)
+	}
 	n := len(ids)
 	workers := e.workers()
 	morsel := e.morselSize()
+	if e.vectorized {
+		// Fact-local predicates run as batch kernels over the qualifying
+		// id list; only survivors are materialized and joined back.
+		tf := b.compilePreds(fact, factPreds)
+		batch := e.batchSize()
+		fetchSel := func(sel []int32, row []storage.Value, out [][]storage.Value) [][]storage.Value {
+			for _, r := range sel {
+				for i := range row {
+					row[i] = storage.Null
+				}
+				fillRow(tf.readers, r, row)
+				out = joinBack(row, out)
+			}
+			return out
+		}
+		if workers <= 1 || n <= morsel {
+			var out [][]storage.Value
+			row := make([]storage.Value, b.total)
+			tf.scanIDs(b.qc, batch, ids, func(sel []int32) {
+				out = fetchSel(sel, row, out)
+			})
+			sp.SetAttrInt("rows_out", int64(len(out)))
+			return out, true
+		}
+		numMorsels := (n + morsel - 1) / morsel
+		outs := make([][][]storage.Value, numMorsels)
+		counts := forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+			row := make([]storage.Value, b.total)
+			var out [][]storage.Value
+			tf.scanIDs(b.qc, batch, ids[lo:hi], func(sel []int32) {
+				out = fetchSel(sel, row, out)
+			})
+			outs[m] = out
+		})
+		tr.addWork(counts)
+		rows := concatRows(outs)
+		sp.SetAttrInt("rows_out", int64(len(rows)))
+		return rows, true
+	}
 	if workers <= 1 || n <= morsel {
 		var out [][]storage.Value
 		row := make([]storage.Value, b.total)
@@ -223,6 +268,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 			b.qc.tick()
 			out = fetch(int(r), row, out)
 		}
+		sp.SetAttrInt("rows_out", int64(len(out)))
 		return out, true
 	}
 	numMorsels := (n + morsel - 1) / morsel
@@ -236,5 +282,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		outs[m] = out
 	})
 	tr.addWork(counts)
-	return concatRows(outs), true
+	rows := concatRows(outs)
+	sp.SetAttrInt("rows_out", int64(len(rows)))
+	return rows, true
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -141,6 +142,87 @@ func TestHistogramStats(t *testing.T) {
 	if (&Histogram{}).Quantile(0.5) != 0 {
 		t.Errorf("unused histogram quantile should be 0")
 	}
+}
+
+// TestHistogramQuantileEdges pins the Quantile/Max edge cases: empty
+// histograms, q outside [0,1] (a huge q used to overflow the target
+// rank and report the minimum bucket), NaN, overflow-bucket values, and
+// the Quantile(1.0) == Max() identity.
+func TestHistogramQuantileEdges(t *testing.T) {
+	edgeQs := []float64{math.Inf(-1), -1, 0, math.NaN(), 0.5, 0.999, 1, 2, 1e300, math.Inf(1)}
+
+	t.Run("empty", func(t *testing.T) {
+		h := newHistogram(DurationBuckets)
+		if h.Max() != 0 {
+			t.Errorf("empty Max = %d, want 0", h.Max())
+		}
+		for _, q := range edgeQs {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single observation", func(t *testing.T) {
+		h := newHistogram(DurationBuckets)
+		v := int64(3 * time.Millisecond)
+		h.Observe(v)
+		for _, q := range edgeQs {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("Quantile(%v) = %d, want the only observation %d", q, got, v)
+			}
+		}
+	})
+
+	t.Run("overflow bucket", func(t *testing.T) {
+		h := newHistogram(DurationBuckets)
+		huge := int64(1) << 62 // beyond the largest bound: overflow bucket
+		h.Observe(huge)
+		h.Observe(int64(time.Millisecond))
+		if got := h.Max(); got != huge {
+			t.Errorf("Max = %d, want %d", got, huge)
+		}
+		if got := h.Quantile(1.0); got != h.Max() {
+			t.Errorf("Quantile(1.0) = %d, Max() = %d: must be identical", got, h.Max())
+		}
+		if got := h.Quantile(0.5); got >= huge {
+			t.Errorf("p50 = %d: should report the low bucket, not the overflow max", got)
+		}
+	})
+
+	t.Run("huge q equals max", func(t *testing.T) {
+		h := newHistogram(DurationBuckets)
+		for i := 1; i <= 1000; i++ {
+			h.Observe(int64(i) * int64(time.Microsecond))
+		}
+		want := h.Max()
+		for _, q := range []float64{1, 2, 1e300, math.Inf(1)} {
+			if got := h.Quantile(q); got != want {
+				t.Errorf("Quantile(%v) = %d, want Max() = %d", q, got, want)
+			}
+		}
+		// And tiny/invalid q reports the lowest occupied bucket bound.
+		lo := h.Quantile(0)
+		if lo > int64(2*time.Microsecond) {
+			t.Errorf("Quantile(0) = %d, want the lowest bucket bound", lo)
+		}
+		for _, q := range []float64{math.NaN(), -1, math.Inf(-1)} {
+			if got := h.Quantile(q); got != lo {
+				t.Errorf("Quantile(%v) = %d, want same as Quantile(0) = %d", q, got, lo)
+			}
+		}
+	})
+
+	t.Run("negative observation", func(t *testing.T) {
+		h := newHistogram(DurationBuckets)
+		h.Observe(-5)
+		if got := h.Max(); got != -5 {
+			t.Errorf("Max = %d, want -5", got)
+		}
+		if got := h.Quantile(1.0); got != -5 {
+			t.Errorf("Quantile(1.0) = %d, want -5", got)
+		}
+	})
 }
 
 func TestRegistryTextDump(t *testing.T) {

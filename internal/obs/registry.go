@@ -228,17 +228,26 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
-// Max returns the largest observation (0 before any Observe).
+// Max returns the largest observation (0 before any Observe). Observe
+// publishes count before the max CAS lands, so a concurrent reader can
+// see count > 0 while max still holds its MinInt64 sentinel; that
+// window reads as 0, never as the sentinel.
 func (h *Histogram) Max() int64 {
 	if h == nil || h.count.Load() == 0 {
 		return 0
 	}
-	return h.max.Load()
+	m := h.max.Load()
+	if m == math.MinInt64 {
+		return 0
+	}
+	return m
 }
 
-// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from
-// the bucket counts, clamped to the exact maximum. Zero before any
-// observation.
+// Quantile returns an upper bound on the q-quantile from the bucket
+// counts, clamped to the exact maximum. q is clamped into (0, 1]: NaN
+// and q <= 0 report the lowest occupied bucket, and q >= 1 is exactly
+// Max() — the huge-q case used to overflow the target rank and report
+// the minimum instead. Zero before any observation.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -247,19 +256,36 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if n == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(n)))
-	if target < 1 {
-		target = 1
+	if q >= 1 {
+		return h.Max()
 	}
+	target := int64(1)
+	if !math.IsNaN(q) && q > 0 {
+		target = int64(math.Ceil(q * float64(n)))
+		if target < 1 {
+			target = 1
+		}
+		if target > n {
+			target = n
+		}
+	}
+	m := h.max.Load()
 	var cum int64
 	for i := range h.buckets {
 		cum += h.buckets[i].Load()
-		if cum >= target {
-			if i < len(h.bounds) && h.bounds[i] < h.max.Load() {
-				return h.bounds[i]
-			}
-			return h.max.Load()
+		if cum < target {
+			continue
 		}
+		if i < len(h.bounds) && (m == math.MinInt64 || h.bounds[i] < m) {
+			return h.bounds[i]
+		}
+		break
 	}
-	return h.max.Load()
+	if m == math.MinInt64 {
+		// Mid-Observe window (count visible, max CAS not yet landed):
+		// the overflow bucket has no upper bound to report, so fall
+		// back to the largest finite bound rather than the sentinel.
+		return h.bounds[len(h.bounds)-1]
+	}
+	return m
 }

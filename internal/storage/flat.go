@@ -14,8 +14,11 @@ import (
 // trailing '|' before the newline (dsdgen's format). NULL is the empty
 // field. Dates are ISO yyyy-mm-dd. String payloads containing the
 // delimiter, a backslash, or a line break are backslash-escaped
-// (\|, \\, \n, \r) so any string round-trips — except the empty
-// string, which the format cannot distinguish from NULL.
+// (\|, \\, \n, \r), and the empty string is written as the marker
+// \e — distinguishing it from NULL — so every string round-trips
+// exactly. The marker cannot be forged by payload bytes: a literal
+// backslash is always written as \\, so a bare \e in a field can only
+// come from the writer.
 
 // WriteFlat writes the whole table in flat-file format.
 func (t *Table) WriteFlat(w io.Writer) error {
@@ -34,9 +37,15 @@ func writeFlatRow(bw *bufio.Writer, t *Table, r int) error {
 		v := t.Get(r, c)
 		s := v.String()
 		if v.K == KindString {
-			// Only strings can carry framing bytes; numeric and date
-			// renderings never contain '|', '\', or line breaks.
-			s = escapeFlat(s)
+			if s == "" {
+				// Explicit empty-string marker: an empty field means
+				// NULL, so "" needs a spelled-out escape to survive.
+				s = `\e`
+			} else {
+				// Only strings can carry framing bytes; numeric and date
+				// renderings never contain '|', '\', or line breaks.
+				s = escapeFlat(s)
+			}
 		}
 		if _, err := bw.WriteString(s); err != nil {
 			return err
@@ -75,20 +84,24 @@ func escapeFlat(s string) string {
 }
 
 // splitFlat splits one line into fields, resolving the escapes
-// escapeFlat emits. An unescaped '|' terminates a field; the trailing
+// writeFlatRow emits. An unescaped '|' terminates a field; the trailing
 // delimiter closes the last field rather than opening an empty one
-// (lines without the trailing '|' are also accepted). A dangling
-// backslash or an unknown escape yields the literal character, so
-// arbitrary input never fails to split.
-func splitFlat(line string) []string {
-	var fields []string
+// (lines without the trailing '|' are also accepted). The \e marker
+// contributes no bytes but flags the field as an explicit (non-NULL)
+// empty string in the parallel explicit slice. A dangling backslash or
+// an unknown escape yields the literal character, so arbitrary input
+// never fails to split.
+func splitFlat(line string) (fields []string, explicit []bool) {
 	var b strings.Builder
+	cur := false // current field carries the explicit-empty marker
 	endedOnDelim := false
 	for i := 0; i < len(line); i++ {
 		switch c := line[i]; c {
 		case '|':
 			fields = append(fields, b.String())
+			explicit = append(explicit, cur)
 			b.Reset()
+			cur = false
 			endedOnDelim = true
 			continue
 		case '\\':
@@ -99,6 +112,8 @@ func splitFlat(line string) []string {
 					b.WriteByte('\n')
 				case 'r':
 					b.WriteByte('\r')
+				case 'e':
+					cur = true
 				default:
 					b.WriteByte(line[i])
 				}
@@ -110,10 +125,26 @@ func splitFlat(line string) []string {
 		}
 		endedOnDelim = false
 	}
-	if !endedOnDelim && (b.Len() > 0 || len(fields) > 0) {
+	if !endedOnDelim && (b.Len() > 0 || len(fields) > 0 || cur) {
 		fields = append(fields, b.String())
+		explicit = append(explicit, cur)
 	}
-	return fields
+	return fields, explicit
+}
+
+// parseFlatValue converts one split field to a Value, honoring the
+// explicit-empty marker: \e decodes to the empty string for string
+// columns and is rejected for typed columns, which have no empty-string
+// value to round-trip.
+func parseFlatValue(field string, explicit bool, typ schema.Type) (Value, error) {
+	if field == "" && explicit {
+		switch typ {
+		case schema.Identifier, schema.Integer, schema.Decimal, schema.Date:
+			return Null, fmt.Errorf("storage: explicit empty string in %v field", typ)
+		}
+		return Str(""), nil
+	}
+	return ParseField(field, typ)
 }
 
 // ParseField converts one flat-file field to a Value of the given
@@ -158,13 +189,13 @@ func (t *Table) ReadFlat(r io.Reader) (int, error) {
 		if line == "" {
 			continue
 		}
-		fields := splitFlat(line)
+		fields, explicit := splitFlat(line)
 		if len(fields) != t.NumCols() {
 			return rows, fmt.Errorf("storage: %s row %d has %d fields, want %d",
 				t.Def.Name, rows+1, len(fields), t.NumCols())
 		}
 		for i, f := range fields {
-			v, err := ParseField(f, t.Def.Columns[i].Type)
+			v, err := parseFlatValue(f, explicit[i], t.Def.Columns[i].Type)
 			if err != nil {
 				return rows, fmt.Errorf("%s row %d col %s: %w", t.Def.Name, rows+1, t.Def.Columns[i].Name, err)
 			}

@@ -29,6 +29,9 @@ func TestFlatRoundTripAdversarialStrings(t *testing.T) {
 		"cr\rlf\n|",
 		`mix|of\every\n|thing` + "\n\r|",
 		"plain",
+		"",   // explicit empty string, distinct from NULL
+		`\e`, // literal backslash-e payload must not read back as ""
+		"e",
 	}
 	tb := NewTable(testDef())
 	for i, s := range adversarial {
@@ -47,14 +50,48 @@ func TestFlatRoundTripAdversarialStrings(t *testing.T) {
 		t.Fatalf("ReadFlat = %d rows, want %d", n, len(adversarial))
 	}
 	for i, s := range adversarial {
-		if got := tb2.Get(i, 3).S; got != s {
-			t.Errorf("row %d: %q round-tripped to %q", i, s, got)
+		got := tb2.Get(i, 3)
+		if got.K != KindString || got.S != s {
+			t.Errorf("row %d: %q round-tripped to %v", i, s, got)
 		}
 	}
 }
 
-// Property: any string except the empty one (NULL by format design)
-// survives a full table write/read cycle.
+// TestFlatEmptyStringVsNull pins the empty-string bug: "" used to be
+// written as an empty field and read back as NULL. The \e marker keeps
+// the two distinct through a full write/read cycle.
+func TestFlatEmptyStringVsNull(t *testing.T) {
+	tb := NewTable(testDef())
+	tb.Append([]Value{Int(1), Null, Null, Str(""), Null})
+	tb.Append([]Value{Int(2), Null, Null, Null, Null})
+	var buf bytes.Buffer
+	if err := tb.WriteFlat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tb2 := NewTable(testDef())
+	if n, err := tb2.ReadFlat(bytes.NewReader(buf.Bytes())); err != nil || n != 2 {
+		t.Fatalf("ReadFlat = %d, %v", n, err)
+	}
+	if got := tb2.Get(0, 3); got.K != KindString || got.S != "" {
+		t.Errorf("explicit empty string read back as %v", got)
+	}
+	if got := tb2.Get(1, 3); !got.IsNull() {
+		t.Errorf("NULL read back as %v", got)
+	}
+}
+
+// TestFlatExplicitEmptyInTypedField: the \e marker has no meaning in a
+// numeric or date column — typed columns have no empty-string value —
+// so the reader must reject it rather than guess.
+func TestFlatExplicitEmptyInTypedField(t *testing.T) {
+	tb := NewTable(testDef())
+	if _, err := tb.ReadFlat(bytes.NewReader([]byte(`\e|1|1.0|a|2000-01-01|` + "\n"))); err == nil {
+		t.Error("explicit empty string in Identifier field loaded without error")
+	}
+}
+
+// Property: every string — including the empty one, via the \e
+// marker — survives a full table write/read cycle exactly.
 func TestQuickFlatStringRoundTrip(t *testing.T) {
 	f := func(s string) bool {
 		tb := NewTable(testDef())
@@ -68,10 +105,7 @@ func TestQuickFlatStringRoundTrip(t *testing.T) {
 			return false
 		}
 		got := tb2.Get(0, 3)
-		if s == "" {
-			return got.IsNull()
-		}
-		return got.S == s
+		return got.K == KindString && got.S == s
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -16,6 +16,11 @@ func FuzzReadFlat(f *testing.F) {
 	f.Add("x|1|1.0|a|2000-01-01|\n")
 	f.Add("1|1|1.0|a\\|2000-01-01|\n")
 	f.Add("||||\n\n|")
+	f.Add("1|2|3.0|\\e|2020-01-01|\n")    // explicit empty string
+	f.Add("\\e|1|1.0|a|2000-01-01|\n")    // \e in typed field: error
+	f.Add("1|2|3.0|\\e\\e|2020-01-01|\n") // doubled marker still ""
+	f.Add("1|2|3.0|a\\eb|2020-01-01|\n")  // marker inside payload bytes
+	f.Add("1|2|3.0|\\\\e|2020-01-01|\n")  // escaped backslash + e: literal \e
 	f.Fuzz(func(t *testing.T, data string) {
 		tb := NewTable(testDef())
 		n, err := tb.ReadFlat(strings.NewReader(data))
@@ -28,6 +33,22 @@ func FuzzReadFlat(f *testing.F) {
 		var sb strings.Builder
 		if err := tb.WriteFlat(&sb); err != nil {
 			t.Fatalf("WriteFlat after clean load: %v", err)
+		}
+		// Write→read must be lossless: reloading our own output yields
+		// the identical table (NULL vs explicit "" included).
+		tb2 := NewTable(testDef())
+		if _, err := tb2.ReadFlat(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("ReadFlat of own output: %v", err)
+		}
+		if tb2.NumRows() != tb.NumRows() {
+			t.Fatalf("reload: %d rows, want %d", tb2.NumRows(), tb.NumRows())
+		}
+		for r := 0; r < tb.NumRows(); r++ {
+			for c := 0; c < tb.NumCols(); c++ {
+				if a, b := tb.Get(r, c), tb2.Get(r, c); a != b {
+					t.Fatalf("reload row %d col %d: %v != %v", r, c, a, b)
+				}
+			}
 		}
 	})
 }

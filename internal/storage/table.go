@@ -249,6 +249,13 @@ func (t *Table) Delete(rowIDs []int) int {
 	return removed
 }
 
+// Raw exposes the column's physical vectors for vectorized execution:
+// the physical kind, the payload slice valid for that kind, and the
+// null bitmap. Callers must treat the slices as read-only.
+func (c *Column) Raw() (k Kind, ints []int64, flts []float64, strs []string, nulls []bool) {
+	return physKind(c.Type), c.ints, c.flts, c.strs, c.nulls
+}
+
 // ScanInt64 returns the raw int64 vector and null bitmap for a key
 // column — the zero-copy path used by hash joins and bitmap index
 // construction. It panics if the column is not integer-typed.

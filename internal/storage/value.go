@@ -182,3 +182,22 @@ func (v Value) GroupKey() string {
 		return "\x00s" + v.S
 	}
 }
+
+// AppendGroupKey appends GroupKey's encoding to buf without the
+// intermediate string — the allocation-free variant for reusable key
+// buffers on the aggregation and join hot paths. The bytes produced are
+// identical to GroupKey's.
+func (v Value) AppendGroupKey(buf []byte) []byte {
+	switch v.K {
+	case KindNull:
+		return append(buf, 0, 'n')
+	case KindInt:
+		return strconv.AppendInt(append(buf, 0, 'i'), v.I, 36)
+	case KindFloat:
+		return strconv.AppendFloat(append(buf, 0, 'f'), v.F, 'b', -1, 64)
+	case KindDate:
+		return strconv.AppendInt(append(buf, 0, 'd'), v.I, 36)
+	default:
+		return append(append(buf, 0, 's'), v.S...)
+	}
+}
