@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,6 +31,19 @@ import (
 // main defers to run so the pprof stop and other defers execute before
 // the process exit code is decided.
 func main() { os.Exit(run()) }
+
+// writeDigest emits one sorted line per query — run, stream, template,
+// row count, and result checksum — so two runs (e.g. -planner cost vs
+// -planner greedy) can be compared with a plain diff.
+func writeDigest(path string, queries []driver.QueryTiming) error {
+	lines := make([]string, 0, len(queries))
+	for _, qt := range queries {
+		lines = append(lines, fmt.Sprintf("run=%d stream=%d q%d rows=%d sum=%016x",
+			qt.Run, qt.Stream, qt.QueryID, qt.Rows, qt.Checksum))
+	}
+	sort.Strings(lines)
+	return os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
+}
 
 func run() int {
 	sf := flag.Float64("sf", 0.01, "scale factor")
@@ -55,12 +69,14 @@ func run() int {
 	maxConcurrent := flag.Int("max-concurrent", 0, "cap queries in flight across all streams (0 = no cap)")
 	batch := flag.Int("batch", 0, "vectorized batch rows per kernel call (0 = engine default 1024)")
 	rowExec := flag.Bool("rowexec", false, "force row-at-a-time execution (the differential oracle path)")
+	planner := flag.String("planner", "cost", "join planner: cost (statistics + plan cache) or greedy (fixed heuristic baseline)")
+	digestOut := flag.String("digest", "", "write per-query result checksums to this file (for cross-planner diffing)")
 	flag.Parse()
 
 	cfg := driver.Config{
 		SF: *sf, Streams: *streams, Seed: *seed,
 		DataDir: *dataDir, ParallelLoad: *parallel, Parallelism: *parallelism,
-		BatchRows: *batch, RowExec: *rowExec,
+		BatchRows: *batch, RowExec: *rowExec, Planner: *planner, Digest: *digestOut != "",
 		QueryTimeout: *timeout, OnError: *onError, MaxConcurrent: *maxConcurrent,
 		Price: metric.PriceModel{HardwareUSD: *hw, SoftwareUSD: *sw, MaintenanceUSD: *maint},
 	}
@@ -127,6 +143,14 @@ func run() int {
 		return 1
 	}
 	fmt.Print(res.Report.String())
+
+	if *digestOut != "" {
+		if werr := writeDigest(*digestOut, res.Queries); werr != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d query digests to %s\n", len(res.Queries), *digestOut)
+	}
 
 	if cfg.Metrics != nil {
 		fmt.Printf("\nMetrics:\n")

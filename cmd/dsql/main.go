@@ -35,6 +35,7 @@ func run() int {
 	parallelism := flag.Int("parallelism", 0, "morsel workers (0 = all cores, 1 = serial)")
 	batch := flag.Int("batch", 0, "vectorized batch rows per kernel call (0 = engine default 1024)")
 	rowExec := flag.Bool("rowexec", false, "force row-at-a-time execution (the differential oracle path)")
+	planner := flag.String("planner", "cost", "join planner: cost (statistics + plan cache) or greedy (fixed heuristic baseline)")
 	timeout := flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 30s")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the query to this file")
 	metrics := flag.Bool("metrics", false, "print the engine metrics dump after the query")
@@ -86,6 +87,12 @@ func run() int {
 	case "star":
 		eng.SetMode(plan.ForceStar)
 	}
+	pk, err := plan.ParsePlanner(*planner)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
+		return 2
+	}
+	eng.SetPlanner(pk)
 	eng.SetParallelism(*parallelism)
 	eng.SetBatchSize(*batch)
 	eng.SetVectorized(!*rowExec)

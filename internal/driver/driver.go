@@ -43,6 +43,16 @@ type Config struct {
 	Seed uint64
 	// Mode constrains the engine's physical strategy (ablations).
 	Mode plan.Mode
+	// Planner selects the engine's join planner: "cost" (or empty, the
+	// default) for the statistics-driven cost-based planner with plan
+	// cache, "greedy" for the fixed-heuristic baseline. Results are
+	// bit-identical under either; only plan quality differs.
+	Planner string
+	// Digest computes a deterministic FNV-1a checksum of every query's
+	// result (all values, row order included) into
+	// QueryTiming.Checksum. CI diffs digests across planner settings to
+	// prove plan changes never change results.
+	Digest bool
 	// QueryIDs selects a template subset; empty means all 99. Subset
 	// runs are development-only (the metric requires the full set).
 	QueryIDs []int
@@ -129,6 +139,9 @@ type QueryTiming struct {
 	Err string
 	// TimedOut marks an Err caused by the per-query deadline.
 	TimedOut bool
+	// Checksum is the FNV-1a digest of the result (Config.Digest only):
+	// column names, then every value of every row in order.
+	Checksum uint64
 }
 
 // Result is the full outcome of a benchmark test.
@@ -169,6 +182,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.MaxConcurrent < 0 {
 		return nil, fmt.Errorf("driver: negative MaxConcurrent")
 	}
+	planner, err := plan.ParsePlanner(cfg.Planner)
+	if err != nil {
+		return nil, fmt.Errorf("driver: %w", err)
+	}
 	tpl, err := selectTemplates(cfg.QueryIDs)
 	if err != nil {
 		return nil, err
@@ -200,6 +217,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	eng := exec.New(db)
 	eng.SetMode(cfg.Mode)
+	eng.SetPlanner(planner)
 	eng.SetParallelism(cfg.Parallelism)
 	eng.SetMorselSize(cfg.MorselRows)
 	eng.SetBatchSize(cfg.BatchRows)
@@ -459,8 +477,40 @@ func runOneQuery(ctx context.Context, eng *exec.Engine, cfg Config, streamSp *ob
 		return qt, err
 	}
 	qt.Rows = len(r.Rows)
+	if cfg.Digest {
+		qt.Checksum = resultChecksum(r)
+	}
 	qsp.SetAttrInt("rows", int64(qt.Rows))
 	return qt, nil
+}
+
+// resultChecksum digests a query result — column names, then every
+// value of every row in order — with FNV-1a. Byte-identical results
+// (including row order) produce equal checksums, so diffing digests
+// across planner or parallelism settings proves result equality
+// without retaining the rows.
+func resultChecksum(r *exec.Result) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff // field separator
+		h *= prime
+	}
+	for _, c := range r.Columns {
+		mix(c)
+	}
+	var buf []byte
+	for _, row := range r.Rows {
+		for _, v := range row {
+			buf = v.AppendGroupKey(buf[:0])
+			mix(string(buf))
+		}
+	}
+	return h
 }
 
 // SlowestQueries returns the n slowest query executions — §5.3's point

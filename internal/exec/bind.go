@@ -335,7 +335,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 		}
 		in := &inExpr{x: x, set: map[string]bool{}, not: v.Not}
 		if v.Sub != nil {
-			res, _, _, err := b.eng.runStatement(b.qc, v.Sub, b.ctes)
+			res, _, err := b.subqueryResult(v.Sub)
 			if err != nil {
 				return nil, fmt.Errorf("IN subquery: %w", err)
 			}
@@ -349,7 +349,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 					continue
 				}
 				in.set[row[0].GroupKey()] = true
-			in.vals = append(in.vals, row[0])
+				in.vals = append(in.vals, row[0])
 			}
 			return in, nil
 		}
@@ -432,7 +432,7 @@ func (b *binder) bind(e sql.Expr) (bexpr, error) {
 	case *sql.Window:
 		return nil, fmt.Errorf("window function not allowed in this context")
 	case *sql.SubQuery:
-		res, types, _, err := b.eng.runStatement(b.qc, v.Select, b.ctes)
+		res, types, err := b.subqueryResult(v.Select)
 		if err != nil {
 			return nil, fmt.Errorf("scalar subquery: %w", err)
 		}

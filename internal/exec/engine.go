@@ -35,7 +35,7 @@ type Engine struct {
 	vectorized bool
 	batchRows  int
 
-	// mu guards the four lazily built caches below (hashIdx, bmIdx,
+	// mu guards the lazily built caches below (hashIdx, bmIdx,
 	// statsCache) plus lastDecision/lastTrace. Concurrent benchmark
 	// streams race to build the same index; mu makes the first build
 	// win and the rest reuse it. Every acquisition is mu.Lock() paired
@@ -43,9 +43,20 @@ type Engine struct {
 	// lock is ever held across a channel operation or query execution —
 	// the invariant lockcheck proves.
 	mu         sync.Mutex
-	hashIdx    map[string]*index.HashIndex   // "table.column" -> index
-	bmIdx      map[string]*index.BitmapIndex // "table.column" -> index
-	statsCache map[string]colStats
+	hashIdx    map[string]cachedHashIndex   // "table.column" -> index
+	bmIdx      map[string]cachedBitmapIndex // "table.column" -> index
+	statsCache map[statsKey]colStats
+
+	// planner selects the join planner: plan.CostBased (the default)
+	// searches join orders against the cost model and caches plans;
+	// plan.Greedy is the original fixed heuristic, kept as the
+	// differential baseline. Results are bit-identical either way.
+	planner plan.PlannerKind
+
+	// planCache memoizes cost-based join plans keyed by statement shape
+	// + planning inputs; it has its own internal lock (never taken while
+	// holding mu).
+	planCache *plan.Cache
 
 	// useHeuristicsOnly disables statistics-based selectivity (the
 	// stats-vs-heuristics ablation).
@@ -68,14 +79,31 @@ type Engine struct {
 	lastTrace    Trace
 }
 
+// cachedHashIndex is one hash-index cache entry together with the
+// identity and epoch of the table contents it was built from.
+type cachedHashIndex struct {
+	ix      *index.HashIndex
+	tableID uint64
+	epoch   uint64
+}
+
+// cachedBitmapIndex is the bitmap-index analogue of cachedHashIndex.
+type cachedBitmapIndex struct {
+	ix      *index.BitmapIndex
+	tableID uint64
+	epoch   uint64
+}
+
 // New returns an engine over db using automatic strategy selection.
 func New(db *storage.DB) *Engine {
 	return &Engine{
 		db:         db,
 		vectorized: true,
-		hashIdx:    map[string]*index.HashIndex{},
-		bmIdx:      map[string]*index.BitmapIndex{},
-		statsCache: map[string]colStats{},
+		hashIdx:    map[string]cachedHashIndex{},
+		bmIdx:      map[string]cachedBitmapIndex{},
+		statsCache: map[statsKey]colStats{},
+		planner:    plan.CostBased,
+		planCache:  plan.NewCache(),
 	}
 }
 
@@ -134,6 +162,20 @@ func (e *Engine) SetBatchSize(n int) {
 // BatchSize returns the effective vectorized batch row count.
 func (e *Engine) BatchSize() int { return e.batchSize() }
 
+// SetPlanner selects the join planner: plan.CostBased (the default)
+// estimates costs, searches join orders and caches plans; plan.Greedy
+// is the original fixed heuristic, kept as the differential baseline.
+// Results are bit-identical under either planner. Not safe to call
+// concurrently with queries.
+func (e *Engine) SetPlanner(k plan.PlannerKind) { e.planner = k }
+
+// Planner returns the active join planner kind.
+func (e *Engine) Planner() plan.PlannerKind { return e.planner }
+
+// PlanCacheStats returns the cost planner's plan-cache hit/miss
+// counters (both zero under the greedy planner).
+func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.planCache.Stats() }
+
 // SetUseStatistics toggles statistics-based selectivity estimation (on
 // by default); with it off the optimizer falls back to fixed textbook
 // heuristics — the stats-vs-heuristics ablation. Not safe to call
@@ -171,7 +213,6 @@ func (e *Engine) setDecision(d plan.Decision) {
 // maintenance model).
 func (e *Engine) InvalidateIndexes(table string) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	prefix := table + "."
 	for k := range e.hashIdx {
 		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
@@ -183,40 +224,48 @@ func (e *Engine) InvalidateIndexes(table string) {
 			delete(e.bmIdx, k)
 		}
 	}
-	statsPrefix := table + "#stats#"
 	for k := range e.statsCache {
-		if len(k) >= len(statsPrefix) && k[:len(statsPrefix)] == statsPrefix {
+		if k.table == table {
 			delete(e.statsCache, k)
 		}
 	}
+	e.mu.Unlock()
+	// Cached join plans embed estimates derived from the table's old
+	// statistics; drop them so the next query replans. (The epoch check
+	// already forces index/stats re-gather; this keeps the plan cache
+	// from serving plans shaped by stale estimates.)
+	e.planCache.InvalidateTable(table)
 }
 
 // hashIndex returns (building if needed) a hash index on table.column.
+// Freshness is (instance id, epoch), not row count: a same-size reload
+// or in-place update must rebuild.
 func (e *Engine) hashIndex(t *storage.Table, col int) *index.HashIndex {
 	key := t.Def.Name + "." + t.Def.Columns[col].Name
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if ix, ok := e.hashIdx[key]; ok && ix.NumRows() == t.NumRows() {
-		return ix
+	if c, ok := e.hashIdx[key]; ok && c.tableID == t.ID() && c.epoch == t.Epoch() {
+		return c.ix
 	}
 	vals, nulls := t.ScanInt64(col)
 	ix := index.BuildHashIndex(vals, nulls)
-	e.hashIdx[key] = ix
+	e.hashIdx[key] = cachedHashIndex{ix: ix, tableID: t.ID(), epoch: t.Epoch()}
 	return ix
 }
 
 // bitmapIndex returns (building if needed) a bitmap index on
-// table.column.
+// table.column, with the same (instance id, epoch) freshness rule as
+// hashIndex.
 func (e *Engine) bitmapIndex(t *storage.Table, col int) *index.BitmapIndex {
 	key := t.Def.Name + "." + t.Def.Columns[col].Name
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if ix, ok := e.bmIdx[key]; ok && ix.NumRows() == t.NumRows() {
-		return ix
+	if c, ok := e.bmIdx[key]; ok && c.tableID == t.ID() && c.epoch == t.Epoch() {
+		return c.ix
 	}
 	vals, nulls := t.ScanInt64(col)
 	ix := index.BuildBitmapIndex(vals, nulls)
-	e.bmIdx[key] = ix
+	e.bmIdx[key] = cachedBitmapIndex{ix: ix, tableID: t.ID(), epoch: t.Epoch()}
 	return ix
 }
 

@@ -590,6 +590,9 @@ func TestRollupHaving(t *testing.T) {
 
 func TestExplainTrace(t *testing.T) {
 	e := New(miniDB())
+	// Pin the hash pipeline: this half checks its explain surface, and
+	// the cost planner is free to pick star for a query this tiny.
+	e.SetMode(plan.ForceHashJoin)
 	out, err := e.Explain(`SELECT i_brand, SUM(s_qty) FROM sales, item
 		WHERE s_item_sk = i_item_sk AND i_category = 'Books' GROUP BY i_brand`)
 	if err != nil {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"tpcds/internal/plan"
-	"tpcds/internal/schema"
+	"tpcds/internal/sql"
 	"tpcds/internal/storage"
 )
 
@@ -19,10 +19,13 @@ type leftJoin struct {
 
 // joinRows produces the joined base rows of a query: full-width rows
 // over the canonical layout (each table instance owning a contiguous
-// span). It selects between the star transformation and the hash-join
-// pipeline via the plan package. The returned trace belongs to this
-// call alone, so concurrent streams never see each other's plans.
-func (e *Engine) joinRows(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin) ([][]storage.Value, Trace, error) {
+// span). The join order comes from the active planner — the greedy
+// heuristic, or the cost-based search with its plan cache — and the
+// star-vs-hash choice from the plan package. Either way the emitted
+// rows are bit-identical: planning may change cost, never results. The
+// returned trace belongs to this call alone, so concurrent streams
+// never see each other's plans.
+func (e *Engine) joinRows(b *binder, stmt *sql.SelectStmt, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin) ([][]storage.Value, Trace, error) {
 	if len(b.tables) == 0 {
 		return nil, Trace{}, fmt.Errorf("no tables to join")
 	}
@@ -31,8 +34,36 @@ func (e *Engine) joinRows(b *binder, filters []filterInfo, edges []joinEdge, res
 		Tables:      e.buildTableTraces(b, filters),
 		Parallelism: e.workers(),
 	}
+	isLeft := map[int]bool{}
+	for _, lj := range lefts {
+		isLeft[lj.table] = true
+	}
+	driver, gOrder, connected := e.greedyJoinOrder(b, filters, edges, isLeft)
+	if driver < 0 {
+		return nil, Trace{}, fmt.Errorf("all tables are left-joined")
+	}
+
+	planned := plan.Cached{Order: gOrder, Source: "greedy"}
+	costBased := e.planner == plan.CostBased
+	if costBased {
+		var hit bool
+		planned, hit = e.costPlan(b, stmt, filters, edges, isLeft, driver, gOrder, connected)
+		tr.PlanSource = planned.Source
+		if hit {
+			tr.PlanSource = "cache:" + planned.Source
+		}
+		tr.EstBaseRows = planned.EstRows
+	} else {
+		tr.PlanSource = "greedy"
+	}
+
 	if shape, dimOfTable, ok := e.starShape(b, filters, edges, lefts); ok {
-		decision := plan.Choose(shape, e.mode)
+		var decision plan.Decision
+		if costBased {
+			decision = plan.ChooseCost(shape, planned.Cost, e.mode)
+		} else {
+			decision = plan.Choose(shape, e.mode)
+		}
 		e.setDecision(decision)
 		tr.Decision = decision
 		if decision.Strategy == plan.StarTransform {
@@ -45,10 +76,7 @@ func (e *Engine) joinRows(b *binder, filters []filterInfo, edges []joinEdge, res
 			}
 		}
 	}
-	rows, order, err := e.hashJoinRows(b, filters, edges, residual, lefts, &tr)
-	if err != nil {
-		return nil, Trace{}, err
-	}
+	rows, order := e.executeJoinOrder(b, planned.Order, filters, edges, residual, lefts, &tr)
 	tr.JoinOrder = order
 	tr.BaseRows = len(rows)
 	return rows, tr, nil
@@ -172,79 +200,27 @@ func (e *Engine) estimateFiltered(b *binder, ti int, filters []filterInfo) float
 	return est
 }
 
-// hashJoinRows is the 3NF-style execution path (§2.1: "access paths in a
-// 3NF DSS system are dominated by large hash-joins"): the largest
-// filtered table drives; every other table is hash-built on its join
-// columns (row ids only — spans are copied on match) and probed.
-func (e *Engine) hashJoinRows(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin, tr *Trace) ([][]storage.Value, []string, error) {
-	isLeft := map[int]bool{}
-	for _, lj := range lefts {
-		isLeft[lj.table] = true
-	}
-	// Pick the driver: the largest estimated fact table, or the largest
-	// table overall when no fact participates. Preferring facts matches
-	// the warehouse shape (facts dwarf dimensions at scale) and avoids
-	// driving from a huge static dimension like customer_demographics at
-	// development scale factors.
-	driver := -1
-	var driverEst float64
-	driverIsFact := false
-	for ti := range b.tables {
-		if isLeft[ti] {
-			continue
-		}
-		isFact := b.tables[ti].tab.Def.Kind == schema.Fact
-		est := e.estimateFiltered(b, ti, filters)
-		better := driver < 0 ||
-			(isFact && !driverIsFact) ||
-			(isFact == driverIsFact && est > driverEst)
-		if better {
-			driver, driverEst, driverIsFact = ti, est, isFact
-		}
-	}
-	if driver < 0 {
-		return nil, nil, fmt.Errorf("all tables are left-joined")
-	}
+// executeJoinOrder runs the hash-join pipeline (§2.1: "access paths in
+// a 3NF DSS system are dominated by large hash-joins") over an explicit
+// join order — driver first, then each inner table hash-built on its
+// join columns (row ids only — spans are copied on match) and probed.
+// Both planners produce orders satisfying the probe-major order
+// invariant, so execution needs no knowledge of which one planned.
+func (e *Engine) executeJoinOrder(b *binder, order []int, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin, tr *Trace) ([][]storage.Value, []string) {
+	driver := order[0]
 	current := e.scanFiltered(b, driver, filters, tr)
 	joined := map[int]bool{driver: true}
-	order := []string{b.tables[driver].binding + " (driver)"}
-
-	remaining := map[int]bool{}
-	for ti := range b.tables {
-		if ti != driver && !isLeft[ti] {
-			remaining[ti] = true
-		}
-	}
-	for len(remaining) > 0 {
-		// Prefer a table connected to the joined set; among those, the
-		// smallest estimate (cheapest hash build).
-		next := -1
-		var nextEst float64
-		nextConnected := false
-		for ti := range remaining {
-			connected := false
-			for _, ed := range edges {
-				if (joined[ed.aTbl] && ed.bTbl == ti) || (joined[ed.bTbl] && ed.aTbl == ti) {
-					connected = true
-					break
-				}
-			}
-			est := e.estimateFiltered(b, ti, filters)
-			if next < 0 || (connected && !nextConnected) ||
-				(connected == nextConnected && est < nextEst) {
-				next, nextEst, nextConnected = ti, est, connected
-			}
-		}
-		delete(remaining, next)
-		current = e.innerHashJoin(b, current, next, filters, edges, joined, tr)
-		joined[next] = true
-		order = append(order, b.tables[next].binding)
+	desc := []string{b.tables[driver].binding + " (driver)"}
+	for _, ti := range order[1:] {
+		current = e.innerHashJoin(b, current, ti, filters, edges, joined, tr)
+		joined[ti] = true
+		desc = append(desc, b.tables[ti].binding)
 	}
 	// LEFT OUTER joins, in declaration order.
 	for _, lj := range lefts {
 		current = e.leftHashJoin(b, current, lj, filters, tr)
 		joined[lj.table] = true
-		order = append(order, b.tables[lj.table].binding+" (left)")
+		desc = append(desc, b.tables[lj.table].binding+" (left)")
 	}
 	// Residual cross-table predicates.
 	if len(residual) > 0 {
@@ -265,7 +241,7 @@ func (e *Engine) hashJoinRows(b *binder, filters []filterInfo, edges []joinEdge,
 		}
 		current = current[:w]
 	}
-	return current, order, nil
+	return current, desc
 }
 
 // joinKeys extracts the probe/build key expressions for joining table ti

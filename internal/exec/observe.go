@@ -17,6 +17,14 @@ type execMetrics struct {
 	morsels *obs.Counter
 	// batches counts vectorized batches processed by the batch scanner.
 	batches *obs.Counter
+	// planCacheHits / planCacheMisses count cost-planner plan-cache
+	// lookups (the multi-stream benchmark's hit-rate criterion reads
+	// these).
+	planCacheHits   *obs.Counter
+	planCacheMisses *obs.Counter
+	// cseHits counts subquery/CTE evaluations answered by the per-query
+	// common-subexpression memo instead of re-execution.
+	cseHits *obs.Counter
 }
 
 // SetMetrics installs a metrics registry on the engine; the executor
@@ -29,10 +37,13 @@ func (e *Engine) SetMetrics(reg *obs.Registry) {
 		return
 	}
 	e.em = &execMetrics{
-		rowsScanned: reg.Counter("exec_rows_scanned"),
-		buildRows:   reg.Counter("exec_hash_build_rows"),
-		morsels:     reg.Counter("exec_morsels"),
-		batches:     reg.Counter("exec_batches"),
+		rowsScanned:     reg.Counter("exec_rows_scanned"),
+		buildRows:       reg.Counter("exec_hash_build_rows"),
+		morsels:         reg.Counter("exec_morsels"),
+		batches:         reg.Counter("exec_batches"),
+		planCacheHits:   reg.Counter("exec_plan_cache_hits"),
+		planCacheMisses: reg.Counter("exec_plan_cache_misses"),
+		cseHits:         reg.Counter("exec_cse_hits"),
 	}
 }
 
@@ -66,4 +77,33 @@ func (q *qctx) countBatch() {
 		return
 	}
 	q.em.batches.Add(1)
+}
+
+// countPlanCacheHit records one plan-cache hit. Coordinator only.
+func (q *qctx) countPlanCacheHit() {
+	if q == nil || q.em == nil {
+		return
+	}
+	q.em.planCacheHits.Add(1)
+}
+
+// countPlanCacheMiss records one plan-cache miss. Coordinator only.
+func (q *qctx) countPlanCacheMiss() {
+	if q == nil || q.em == nil {
+		return
+	}
+	q.em.planCacheMisses.Add(1)
+}
+
+// countCSEHit records one memoized subquery/CTE reuse and bumps the
+// per-query counter surfaced in the trace. Coordinator only.
+func (q *qctx) countCSEHit() {
+	if q == nil {
+		return
+	}
+	q.cseHits++
+	if q.em == nil {
+		return
+	}
+	q.em.cseHits.Add(1)
 }

@@ -11,6 +11,9 @@
 //
 //   - scans and probes buffer output per morsel and concatenate in
 //     morsel order, which equals the serial row order;
+//   - stream joins (build-on-smaller-side) collect match pairs and
+//     re-emit them probe-major, so their output is bit-identical to the
+//     probe join's regardless of which side was hashed;
 //   - hash-table builds partition by key hash, and each partition is
 //     filled by one worker walking the morsels in order, so row-id
 //     lists per key match the serial build;
@@ -492,32 +495,46 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 	return rows
 }
 
+// matchPair records one join match during a stream join: current row
+// li joins table row r.
+type matchPair struct {
+	li, r int32
+}
+
 // streamJoin hashes the (smaller) current intermediate result and
 // streams the rows of table ti past it — the build-on-smaller-side
-// branch of the hash pipeline. The streamed scan is morsel-parallel;
-// output order equals the serial stream (table row order).
+// branch of the hash pipeline. The streamed scan is morsel-parallel.
+//
+// Output order is probe-major — current rows ascending, matching table
+// rows ascending within each — exactly the order probeJoin produces.
+// That makes the build-side choice (and the runtime threshold behind
+// it) invisible in the output, which the planner's join-order search
+// depends on: any plan property may vary with estimates except row
+// order. The scan phase therefore collects (li, r) match pairs
+// (globally r-ascending after morsel-order concatenation), buckets
+// them by li (preserving r order), and materializes bucket by bucket.
 func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe, build []*colExpr, filters []filterInfo, tr *Trace) [][]storage.Value {
 	sp := b.qc.startOp("stream", b.tables[ti].binding)
 	sp.SetAttrInt("rows_in", int64(b.tables[ti].tab.NumRows()))
 	defer b.qc.endOp(sp)
 	b.qc.countBuild(len(current))
 	useInt := e.vectorized && intJoinKey(probe, build)
-	var htCur map[string][]int
-	var htCurI map[int64][]int
+	var htCur map[string][]int32
+	var htCurI map[int64][]int32
 	if useInt {
-		htCurI = make(map[int64][]int, len(current))
+		htCurI = make(map[int64][]int32, len(current))
 		for li, l := range current {
 			b.qc.tick()
 			if k, ok := rowIntKey(l, probe[0]); ok {
-				htCurI[k] = append(htCurI[k], li)
+				htCurI[k] = append(htCurI[k], int32(li))
 			}
 		}
 	} else {
-		htCur = make(map[string][]int, len(current))
+		htCur = make(map[string][]int32, len(current))
 		for li, l := range current {
 			b.qc.tick()
 			if key, ok := keyOf(l, probe); ok {
-				htCur[key] = append(htCur[key], li)
+				htCur[key] = append(htCur[key], int32(li))
 			}
 		}
 	}
@@ -525,96 +542,145 @@ func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe,
 	n := inst.tab.NumRows()
 	workers := e.workers()
 	morsel := e.morselSize()
-	emitIDs := func(lis []int, r int32, out [][]storage.Value) [][]storage.Value {
-		for _, li := range lis {
-			m := make([]storage.Value, b.total)
-			copy(m, current[li])
-			b.fillSpan(ti, r, m)
-			out = append(out, m)
-		}
-		return out
-	}
-	emit := func(row []storage.Value, r int, out [][]storage.Value) [][]storage.Value {
+	match := func(row []storage.Value, r int32, out []matchPair) []matchPair {
+		var lis []int32
 		if useInt {
 			k, ok := rowIntKey(row, build[0])
 			if !ok {
 				return out
 			}
-			return emitIDs(htCurI[k], int32(r), out)
+			lis = htCurI[k]
+		} else {
+			key, ok := keyOf(row, build)
+			if !ok {
+				return out
+			}
+			lis = htCur[key]
 		}
-		key, ok := keyOf(row, build)
-		if !ok {
-			return out
+		for _, li := range lis {
+			out = append(out, matchPair{li: li, r: r})
 		}
-		return emitIDs(htCur[key], int32(r), out)
-	}
-	if workers <= 1 || n <= morsel {
-		var out [][]storage.Value
-		b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
-			out = emit(row, r, out)
-		})
-		sp.SetAttrInt("rows_out", int64(len(out)))
 		return out
 	}
-	b.qc.countScan(n)
-	numMorsels := (n + morsel - 1) / morsel
-	outs := make([][][]storage.Value, numMorsels)
-	var counts []int
-	if e.vectorized {
-		tf := b.compileFilter(ti, filters)
-		kcs := b.keyCols(ti, build)
-		batch := e.batchSize()
-		counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
-			var out [][]storage.Value
-			var buf []byte
-			tf.scanRange(b.qc, batch, lo, hi, func(sel []int32) {
-				// Keys come straight off the vectors; matching rows are
-				// filled span-wise by emitIDs, so survivors that probe
-				// nothing never materialize at all.
-				for _, r := range sel {
-					if useInt {
-						if kcs[0].nulls[r] {
-							continue
-						}
-						out = emitIDs(htCurI[kcs[0].ints[r]], r, out)
-						continue
-					}
-					key, ok := appendVecKey(kcs, r, buf[:0])
-					buf = key
-					if !ok {
-						continue
-					}
-					out = emitIDs(htCur[string(key)], r, out)
-				}
-			})
-			outs[m] = out
+
+	// Phase 1: scan table ti, collecting match pairs in table-row order.
+	var pairs []matchPair
+	if workers <= 1 || n <= morsel {
+		b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
+			pairs = match(row, int32(r), pairs)
 		})
 	} else {
-		preds := tablePreds(ti, filters)
-		cols := b.usedCols(ti)
-		counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
-			row := make([]storage.Value, b.total)
-			var out [][]storage.Value
-			for r := lo; r < hi; r++ {
-				for _, c := range cols {
-					row[inst.offset+c] = inst.tab.Get(r, c)
-				}
-				ok := true
-				for _, p := range preds {
-					if !truthy(p.eval(row)) {
-						ok = false
-						break
+		b.qc.countScan(n)
+		numMorsels := (n + morsel - 1) / morsel
+		chunks := make([][]matchPair, numMorsels)
+		var counts []int
+		if e.vectorized {
+			tf := b.compileFilter(ti, filters)
+			kcs := b.keyCols(ti, build)
+			batch := e.batchSize()
+			counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+				var out []matchPair
+				var buf []byte
+				tf.scanRange(b.qc, batch, lo, hi, func(sel []int32) {
+					// Keys come straight off the vectors; survivors that
+					// probe nothing never materialize at all.
+					for _, r := range sel {
+						var lis []int32
+						if useInt {
+							if kcs[0].nulls[r] {
+								continue
+							}
+							lis = htCurI[kcs[0].ints[r]]
+						} else {
+							key, ok := appendVecKey(kcs, r, buf[:0])
+							buf = key
+							if !ok {
+								continue
+							}
+							lis = htCur[string(key)]
+						}
+						for _, li := range lis {
+							out = append(out, matchPair{li: li, r: r})
+						}
+					}
+				})
+				chunks[m] = out
+			})
+		} else {
+			preds := tablePreds(ti, filters)
+			cols := b.usedCols(ti)
+			counts = forEachMorsel(b.qc, workers, n, morsel, func(_, m, lo, hi int) {
+				row := make([]storage.Value, b.total)
+				var out []matchPair
+				for r := lo; r < hi; r++ {
+					for _, c := range cols {
+						row[inst.offset+c] = inst.tab.Get(r, c)
+					}
+					ok := true
+					for _, p := range preds {
+						if !truthy(p.eval(row)) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						out = match(row, int32(r), out)
 					}
 				}
-				if ok {
-					out = emit(row, r, out)
-				}
-			}
-			outs[m] = out
-		})
+				chunks[m] = out
+			})
+		}
+		tr.addWork(counts)
+		total := 0
+		for _, c := range chunks {
+			total += len(c)
+		}
+		pairs = make([]matchPair, 0, total)
+		for _, c := range chunks {
+			pairs = append(pairs, c...)
+		}
 	}
-	tr.addWork(counts)
-	rows := concatRows(outs)
+
+	// Phase 2: bucket pairs by current row. Pairs arrive r-ascending, so
+	// each bucket stays r-ascending — the probe-major invariant.
+	buckets := make([][]int32, len(current))
+	for _, p := range pairs {
+		b.qc.tick()
+		buckets[p.li] = append(buckets[p.li], p.r)
+	}
+
+	// Phase 3: materialize bucket by bucket (current rows ascending),
+	// morsel-parallel over current with per-morsel buffers concatenated
+	// in order.
+	emitRange := func(lo, hi int, out [][]storage.Value) [][]storage.Value {
+		for li := lo; li < hi; li++ {
+			for _, r := range buckets[li] {
+				m := make([]storage.Value, b.total)
+				copy(m, current[li])
+				b.fillSpan(ti, r, m)
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	nc := len(current)
+	var rows [][]storage.Value
+	if workers <= 1 || nc <= morsel {
+		var out [][]storage.Value
+		for li := 0; li < nc; li++ {
+			b.qc.tick()
+			out = emitRange(li, li+1, out)
+		}
+		rows = out
+	} else {
+		numMorsels := (nc + morsel - 1) / morsel
+		outs := make([][][]storage.Value, numMorsels)
+		counts := forEachMorsel(b.qc, workers, nc, morsel, func(_, m, lo, hi int) {
+			outs[m] = emitRange(lo, hi, nil)
+		})
+		tr.addWork(counts)
+		rows = concatRows(outs)
+	}
 	sp.SetAttrInt("rows_out", int64(len(rows)))
 	return rows
 }

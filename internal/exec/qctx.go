@@ -4,6 +4,8 @@ import (
 	"context"
 
 	"tpcds/internal/obs"
+	"tpcds/internal/schema"
+	"tpcds/internal/storage"
 )
 
 // qctx carries the per-query execution state that is not part of the
@@ -34,6 +36,26 @@ type qctx struct {
 	// em carries the engine's metric handles (nil when no registry is
 	// installed); workers update them through sharded atomics.
 	em *execMetrics
+
+	// cse memoizes subquery and CTE evaluations within this query by
+	// literal-preserving fingerprint + CTE scope (cost planner only).
+	// Values are shared read-only; the query lifetime bounds the memo.
+	// Coordinator goroutine only — subqueries bind before morsel
+	// workers exist.
+	cse map[string]cseEntry
+	// cseHits and decorrelated feed the query's trace: memo reuses and
+	// IN-subquery predicates rewritten to joins.
+	cseHits      int
+	decorrelated int
+}
+
+// cseEntry is one memoized subquery evaluation: the raw result for
+// expression subqueries, plus the materialized table when the same
+// body backed a CTE.
+type cseEntry struct {
+	res   *Result
+	types []schema.Type
+	tab   *storage.Table
 }
 
 // tickInterval is the serial-path polling granularity: a context check

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tpcds/internal/plan"
 	"tpcds/internal/schema"
 	"tpcds/internal/sql"
 	"tpcds/internal/storage"
@@ -58,12 +59,27 @@ func (e *Engine) QueryTracedContext(ctx context.Context, q string) (res *Result,
 	if err != nil {
 		return nil, Trace{}, queryError(q, err)
 	}
+	stmt = e.rewrite(qc, stmt)
 	res, _, tr, err = e.runStatement(qc, stmt, nil)
 	if err != nil {
 		return nil, Trace{}, queryError(q, err)
 	}
+	tr.Decorrelated = qc.decorrelated
+	tr.CSEHits = qc.cseHits
 	e.setTrace(tr)
 	return res, tr, nil
+}
+
+// rewrite applies the cost planner's statement rewrites (IN-subquery
+// decorrelation) ahead of execution. Copy-on-write: the caller's AST
+// is never mutated, so RunContext callers keep a pristine statement.
+func (e *Engine) rewrite(qc *qctx, stmt *sql.SelectStmt) *sql.SelectStmt {
+	if e.planner != plan.CostBased {
+		return stmt
+	}
+	out, n := plan.Decorrelate(stmt)
+	qc.decorrelated = n
+	return out
 }
 
 // Run executes an already parsed statement.
@@ -83,8 +99,10 @@ func (e *Engine) RunContext(ctx context.Context, stmt *sql.SelectStmt) (res *Res
 		}
 	}()
 	qc.checkNow()
-	res, _, tr, err := e.runStatement(qc, stmt, nil)
+	res, _, tr, err := e.runStatement(qc, e.rewrite(qc, stmt), nil)
 	if err == nil {
+		tr.Decorrelated = qc.decorrelated
+		tr.CSEHits = qc.cseHits
 		e.setTrace(tr)
 	}
 	return res, err
@@ -113,11 +131,7 @@ func (e *Engine) runStatement(qc *qctx, stmt *sql.SelectStmt, outer map[string]*
 	}
 	for _, cte := range stmt.With {
 		qc.checkNow()
-		res, types, _, err := e.runStatement(qc, cte.Select, ctes)
-		if err != nil {
-			return nil, nil, Trace{}, fmt.Errorf("WITH %s: %w", cte.Name, err)
-		}
-		tab, err := materialize(cte.Name, res, types)
+		tab, err := e.materializeCTE(qc, cte, ctes)
 		if err != nil {
 			return nil, nil, Trace{}, fmt.Errorf("WITH %s: %w", cte.Name, err)
 		}
@@ -127,6 +141,39 @@ func (e *Engine) runStatement(qc *qctx, stmt *sql.SelectStmt, outer map[string]*
 		return e.runUnion(qc, stmt, ctes)
 	}
 	return e.runSelect(qc, stmt, ctes)
+}
+
+// materializeCTE evaluates one CTE body into a storage table. Under
+// the cost planner, identical bodies in identical CTE scopes are
+// evaluated once per query: the memo key is the literal-preserving
+// statement fingerprint plus the identity of every table in scope, so
+// a repeated subquery block (the classic TPC-DS "with ... as" reuse
+// pattern) shares both the evaluation and — because statistics are
+// keyed by table instance — the gathered statistics.
+func (e *Engine) materializeCTE(qc *qctx, cte sql.CTE, ctes map[string]*storage.Table) (*storage.Table, error) {
+	key := ""
+	if e.planner == plan.CostBased {
+		key = "cte|" + plan.Fingerprint(cte.Select, true) + scopeSig(ctes)
+		if ent, ok := qc.cse[key]; ok && ent.tab != nil {
+			qc.countCSEHit()
+			return ent.tab, nil
+		}
+	}
+	res, types, _, err := e.runStatement(qc, cte.Select, ctes)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := materialize(cte.Name, res, types)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		if qc.cse == nil {
+			qc.cse = map[string]cseEntry{}
+		}
+		qc.cse[key] = cseEntry{res: res, types: types, tab: tab}
+	}
+	return tab, nil
 }
 
 // materialize turns a query result into an anonymous storage table so
@@ -360,7 +407,7 @@ func (e *Engine) runSelect(qc *qctx, stmt *sql.SelectStmt, ctes map[string]*stor
 	// Produce joined base rows.
 	qc.setPhase("join")
 	joinSp := qc.startOp("join", "")
-	rows, tr, err := e.joinRows(b, filters, edges, residual, leftJoins)
+	rows, tr, err := e.joinRows(b, stmt, filters, edges, residual, leftJoins)
 	qc.endOp(joinSp)
 	if err != nil {
 		return nil, nil, Trace{}, err

@@ -12,26 +12,54 @@ import (
 // statistic collection and optimal plan generation" — skewed TPC-DS
 // data makes these numbers matter, which the stats-vs-heuristics
 // ablation demonstrates.
+//
+// valid is false for non-integer columns AND for columns with no
+// non-NULL values: an all-NULL (or empty) column has no min/max, and a
+// fabricated min=max=0 would feed a zero-width range into selectivity
+// math. rows/nonNull are carried explicitly so callers can reason about
+// null fractions.
 type colStats struct {
 	distinct int
 	min, max int64
 	nonNull  int
-	rows     int // table row count at gather time (staleness check)
+	rows     int // table row count at gather time
 	valid    bool
+
+	// tableID/epoch identify the exact table contents the stats were
+	// gathered from (see storage.Table.Epoch). A row-count comparison is
+	// not a freshness check: maintenance can delete and insert the same
+	// number of rows, and two CTE materializations can share a name and
+	// a row count while holding different data.
+	tableID uint64
+	epoch   uint64
+}
+
+// statsKey identifies a cached statistics entry. A struct key cannot
+// collide the way a concatenated "name#stats#column" string can (table
+// "a#stats#b" column "c" versus table "a" column "b#stats#c").
+type statsKey struct {
+	table  string
+	column string
+}
+
+// fresh reports whether the cached entry still describes table t.
+func (s colStats) fresh(t *storage.Table) bool {
+	return s.tableID == t.ID() && s.epoch == t.Epoch()
 }
 
 // columnStats computes (and caches) statistics for an integer-typed
-// column; valid is false for string/decimal columns. The qctx keeps the
-// full-column gathering scan cancellable on large tables.
+// column; valid is false for string/decimal columns and for columns
+// with no non-NULL values. The qctx keeps the full-column gathering
+// scan cancellable on large tables.
 func (e *Engine) columnStats(qc *qctx, t *storage.Table, col int) colStats {
 	switch t.Def.Columns[col].Type {
 	case schema.Identifier, schema.Integer, schema.Date:
 	default:
 		return colStats{}
 	}
-	key := t.Def.Name + "#stats#" + t.Def.Columns[col].Name
+	key := statsKey{table: t.Def.Name, column: t.Def.Columns[col].Name}
 	e.mu.Lock()
-	if st, ok := e.statsCache[key]; ok && st.rows == t.NumRows() {
+	if st, ok := e.statsCache[key]; ok && st.fresh(t) {
 		e.mu.Unlock()
 		return st
 	}
@@ -39,7 +67,7 @@ func (e *Engine) columnStats(qc *qctx, t *storage.Table, col int) colStats {
 
 	vals, nulls := t.ScanInt64(col)
 	seen := make(map[int64]struct{}, 1024)
-	st := colStats{valid: true, rows: t.NumRows()}
+	st := colStats{rows: t.NumRows(), tableID: t.ID(), epoch: t.Epoch()}
 	first := true
 	for i, v := range vals {
 		qc.tick()
@@ -57,10 +85,21 @@ func (e *Engine) columnStats(qc *qctx, t *storage.Table, col int) colStats {
 		seen[v] = struct{}{}
 	}
 	st.distinct = len(seen)
+	st.valid = st.nonNull > 0
 	e.mu.Lock()
 	e.statsCache[key] = st
 	e.mu.Unlock()
 	return st
+}
+
+// uniqueKey reports whether the column is provably a unique join key:
+// exact statistics show every non-NULL value distinct. NULLs never
+// join, so uniqueness among non-NULL values bounds any hash probe at
+// one match — the property the cost planner's order-safety proof needs
+// (see DESIGN.md "Cost-based planning").
+func (e *Engine) uniqueKey(qc *qctx, t *storage.Table, col int) bool {
+	st := e.columnStats(qc, t, col)
+	return st.valid && st.distinct == st.nonNull
 }
 
 // selHint captures the analyzable shape of a single-table predicate for

@@ -24,6 +24,17 @@ type Trace struct {
 	JoinOrder []string // driver first
 	BaseRows  int      // joined rows fed to aggregation/projection
 
+	// Cost-planner surface: PlanSource says how the join order was
+	// obtained ("dp", "greedy", or "cache:<source>" on a plan-cache
+	// hit), EstBaseRows is the cost model's estimate of BaseRows (0
+	// under the greedy planner — it does not estimate), CSEHits counts
+	// subquery/CTE evaluations answered from the per-query memo, and
+	// Decorrelated counts IN-subquery predicates rewritten to joins.
+	PlanSource   string
+	EstBaseRows  float64
+	CSEHits      int
+	Decorrelated int
+
 	// Morsel-execution accounting: Parallelism is the resolved worker
 	// count, WorkerMorsels[i] the number of morsels worker i processed
 	// across all parallel operators of the query. Empty when every
@@ -55,6 +66,16 @@ func (t Trace) String() string {
 		fmt.Fprintf(&sb, " (%s)", t.Decision.Reason)
 	}
 	sb.WriteByte('\n')
+	if t.PlanSource != "" {
+		fmt.Fprintf(&sb, "plan source: %s", t.PlanSource)
+		if t.Decorrelated > 0 {
+			fmt.Fprintf(&sb, ", %d IN-subqueries decorrelated", t.Decorrelated)
+		}
+		if t.CSEHits > 0 {
+			fmt.Fprintf(&sb, ", %d subquery CSE hits", t.CSEHits)
+		}
+		sb.WriteByte('\n')
+	}
 	if len(t.JoinOrder) > 0 {
 		fmt.Fprintf(&sb, "join order: %s\n", strings.Join(t.JoinOrder, " -> "))
 	}
@@ -62,7 +83,11 @@ func (t Trace) String() string {
 		fmt.Fprintf(&sb, "  table %-24s %9d rows, %d filters, est. %.0f\n",
 			tt.Binding, tt.Rows, tt.Filters, tt.Estimate)
 	}
-	fmt.Fprintf(&sb, "joined base rows: %d\n", t.BaseRows)
+	if t.EstBaseRows > 0 {
+		fmt.Fprintf(&sb, "joined base rows: %d (est. %.0f)\n", t.BaseRows, t.EstBaseRows)
+	} else {
+		fmt.Fprintf(&sb, "joined base rows: %d\n", t.BaseRows)
+	}
 	if len(t.WorkerMorsels) > 0 {
 		fmt.Fprintf(&sb, "parallelism: %d workers, morsels per worker %v\n",
 			t.Parallelism, t.WorkerMorsels)

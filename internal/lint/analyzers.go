@@ -11,13 +11,16 @@ import (
 // deterministicPkgs are the generator-side packages whose output must
 // be bit-identical across runs and parallelism levels (§3: everything
 // the seeded-stream design guarantees, a wall-clock read or a global
-// rand call silently destroys).
+// rand call silently destroys). The planner is held to the same bar:
+// plan choice determines result row order, so a map-order or
+// wall-clock dependence there breaks the cost-vs-greedy differential.
 var deterministicPkgs = map[string]bool{
 	"tpcds/internal/rng":     true,
 	"tpcds/internal/dist":    true,
 	"tpcds/internal/datagen": true,
 	"tpcds/internal/qgen":    true,
 	"tpcds/internal/scaling": true,
+	"tpcds/internal/plan":    true,
 }
 
 // wallClockFuncs are the time package functions that read the clock.

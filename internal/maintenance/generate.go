@@ -2,6 +2,7 @@ package maintenance
 
 import (
 	"fmt"
+	"sort"
 
 	"tpcds/internal/rng"
 	"tpcds/internal/schema"
@@ -105,7 +106,18 @@ func GenerateRefresh(db *storage.DB, seed uint64, n int) (*RefreshSet, error) {
 		"promotion":        {"p_cost"},
 		"catalog_page":     {"cp_description"},
 	}
-	for table, cols := range updatable {
+	// Iterate in a fixed order: the RNG stream is sequential, so the
+	// table processed first determines every later table's draws — map
+	// iteration order here made the whole refresh set (and with it the
+	// post-maintenance database and every run-2 result) differ from
+	// process to process.
+	tables := make([]string, 0, len(updatable))
+	for table := range updatable {
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		cols := updatable[table]
 		t := db.Table(table)
 		if t == nil || t.Def.BusinessKey == "" {
 			continue

@@ -22,6 +22,7 @@ package maintenance
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -224,11 +225,17 @@ func bkIndex(t *storage.Table) map[string]int {
 // SCD class.
 func applyDimUpdates(db *storage.DB, rs *RefreshSet, class schema.SCDClass) (int, error) {
 	byTable := map[string][]DimUpdate{}
+	var tables []string
 	for _, u := range rs.DimUpdates {
+		if _, ok := byTable[u.Table]; !ok {
+			tables = append(tables, u.Table)
+		}
 		byTable[u.Table] = append(byTable[u.Table], u)
 	}
+	sort.Strings(tables)
 	n := 0
-	for table, updates := range byTable {
+	for _, table := range tables {
+		updates := byTable[table]
 		t := db.Table(table)
 		if t == nil {
 			return n, fmt.Errorf("unknown dimension %q", table)

@@ -1,6 +1,7 @@
 package maintenance
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -28,6 +29,13 @@ func TestGenerateRefreshDeterministic(t *testing.T) {
 	if len(a.Sales["store"]) != len(b.Sales["store"]) ||
 		a.Sales["store"][0] != b.Sales["store"][0] {
 		t.Error("refresh generation not deterministic")
+	}
+	// The FULL set must match, DimUpdates order included: the generator
+	// draws from one sequential RNG stream, so iterating the updatable
+	// dimensions in map order made every run-2 query result differ from
+	// process to process (the cross-planner digest diff caught it).
+	if !reflect.DeepEqual(a, b) {
+		t.Error("refresh sets differ between identically-seeded generations")
 	}
 	c, err := GenerateRefresh(eng.DB(), 5, 2)
 	if err != nil {

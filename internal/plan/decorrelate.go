@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"fmt"
+
+	"tpcds/internal/sql"
+)
+
+// Subquery decorrelation: rewriting `col IN (SELECT item FROM ...)`
+// predicates into joins against a deduplicated CTE. The executor's
+// nested evaluation runs the subquery once and builds a value set, so
+// the win is not avoiding re-execution — it is making the membership
+// test visible to the planner as a join edge, where it participates in
+// cardinality estimation, join-order search, and star detection
+// instead of being an opaque black-box filter.
+//
+// The rewrite of `x IN (SELECT e FROM ...)` (x a plain column, no NOT)
+// synthesizes two CTEs and a join:
+//
+//	__dc_N_s AS (<subquery, its single item aliased __dc_v if unnamed>)
+//	__dc_N   AS (SELECT DISTINCT __dc_v FROM __dc_N_s WHERE __dc_v IS NOT NULL)
+//	... FROM ..., __dc_N WHERE ... x = __dc_N.__dc_v ...
+//
+// The two-step form leaves the subquery's own execution untouched;
+// only the trivial dedup select is new. Correctness:
+//
+//   - DISTINCT makes the join key unique, so the join matches each
+//     outer row at most once — it filters, never multiplies, exactly
+//     like the IN predicate. (Uniqueness also makes the statistics
+//     classify the table as order-free; see Search.)
+//   - IS NOT NULL: `x IN (set)` is never satisfied by NULL list values
+//     (with a NULL x the predicate is NULL, i.e. filtered), and an
+//     equi-join never matches NULL keys either way, so dropping NULLs
+//     from the set changes nothing — while guarding against any join
+//     implementation that would bucket NULLs together.
+//   - NOT IN is excluded: its NULL semantics (any NULL in the set
+//     rejects every row) have no join equivalent.
+//
+// Scalar subqueries need no decorrelation in this engine: the binder
+// runs an uncorrelated `(SELECT ...)` once and folds it to a literal
+// (correlated references fail binding — the subset has no correlation),
+// and common-subexpression elimination dedupes repeats.
+//
+// Everything is copy-on-write: RunContext callers own their parsed
+// statement, so shared nodes are never mutated — rewritten paths are
+// shallow-copied from the leaf up, and an unchanged tree returns the
+// original pointer.
+
+// DecorrPrefix names decorrelation-synthesized CTEs. The executor
+// keeps such tables out of driver selection so the rewrite can never
+// change the join pipeline's driver (and with it the output order).
+const DecorrPrefix = "__dc_"
+
+// decorrValue is the output column name forced onto the subquery's
+// item when it has no alias.
+const decorrValue = "__dc_v"
+
+// Decorrelate rewrites eligible IN-subquery predicates throughout a
+// statement tree (head, union blocks, CTE bodies, nested IN
+// subqueries). It returns the rewritten statement and the number of
+// predicates rewritten; when nothing matches, the input pointer is
+// returned unchanged.
+func Decorrelate(s *sql.SelectStmt) (*sql.SelectStmt, int) {
+	d := &decorrelator{}
+	out, _ := d.root(s)
+	return out, d.n
+}
+
+type decorrelator struct {
+	// n counts rewrites and numbers synthesized CTEs uniquely across
+	// the whole statement tree.
+	n int
+}
+
+// root rewrites one statement that owns a WITH list: the top-level
+// statement, a CTE body, or an IN subquery. Synthesized CTEs from the
+// head and every union block attach here — union blocks share the
+// head's WITH scope (the executor clears per-block WITH lists).
+func (d *decorrelator) root(s *sql.SelectStmt) (*sql.SelectStmt, bool) {
+	if s == nil {
+		return nil, false
+	}
+	var synth []sql.CTE
+	out, changed := d.chain(s, &synth)
+	if len(synth) > 0 {
+		// chain already copied out when it produced synth CTEs.
+		// Synthesized CTEs go after existing ones: WITH materializes in
+		// order and the subquery may reference earlier CTEs.
+		out.With = append(append([]sql.CTE{}, out.With...), synth...)
+	}
+	return out, changed
+}
+
+// chain rewrites a statement and its UNION ALL continuations,
+// accumulating synthesized CTEs into synth.
+func (d *decorrelator) chain(s *sql.SelectStmt, synth *[]sql.CTE) (*sql.SelectStmt, bool) {
+	if s == nil {
+		return nil, false
+	}
+	out := s
+	changed := false
+	cow := func() *sql.SelectStmt {
+		if out == s {
+			c := *s
+			out = &c
+		}
+		return out
+	}
+
+	for i := range s.With {
+		if ns, ch := d.root(s.With[i].Select); ch {
+			c := cow()
+			if len(c.With) > 0 && &c.With[0] == &s.With[0] {
+				c.With = append([]sql.CTE{}, s.With...)
+			}
+			c.With[i].Select = ns
+			changed = true
+		}
+	}
+
+	var from []sql.TableRef
+	if nw, ch := d.conj(s.Where, &from, synth); ch {
+		c := cow()
+		c.Where = nw
+		c.From = append(append([]sql.TableRef{}, s.From...), from...)
+		changed = true
+	}
+
+	if nu, ch := d.chain(s.UnionAll, synth); ch {
+		cow().UnionAll = nu
+		changed = true
+	}
+	return out, changed
+}
+
+// conj walks a WHERE tree's top-level AND structure. Matching IN
+// conjuncts become equality predicates (appending the join table to
+// from and the CTE pair to synth); non-matching IN subqueries are
+// still recursed into as independent roots.
+func (d *decorrelator) conj(e sql.Expr, from *[]sql.TableRef, synth *[]sql.CTE) (sql.Expr, bool) {
+	switch v := e.(type) {
+	case *sql.BinOp:
+		if v.Op != "AND" {
+			return e, false
+		}
+		l, lch := d.conj(v.L, from, synth)
+		r, rch := d.conj(v.R, from, synth)
+		if !lch && !rch {
+			return e, false
+		}
+		return &sql.BinOp{Op: "AND", L: l, R: r}, true
+	case *sql.In:
+		if v.Sub == nil {
+			return e, false
+		}
+		if eq, ok := d.rewriteIn(v, from, synth); ok {
+			return eq, true
+		}
+		// Not eligible at this level — still decorrelate inside it.
+		if ns, ch := d.root(v.Sub); ch {
+			c := *v
+			c.Sub = ns
+			return &c, true
+		}
+		return e, false
+	default:
+		return e, false
+	}
+}
+
+// rewriteIn applies the CTE rewrite to one eligible IN conjunct.
+func (d *decorrelator) rewriteIn(in *sql.In, from *[]sql.TableRef, synth *[]sql.CTE) (sql.Expr, bool) {
+	if _, ok := in.X.(*sql.ColRef); !ok || in.Not || in.Sub == nil || len(in.List) > 0 {
+		return nil, false
+	}
+	sub := in.Sub
+	// Only plain single-item subqueries: LIMIT/OFFSET and UNION ALL
+	// heads carry result-shaping the CTE rewrite must not re-order, and
+	// a starred item has no single value column.
+	if sub.Limit != -1 || sub.Offset != 0 || sub.UnionAll != nil ||
+		len(sub.Items) != 1 || sub.Items[0].Star {
+		return nil, false
+	}
+
+	// Decorrelate inside the subquery first so its own rewrites land in
+	// its own WITH scope.
+	sub, _ = d.root(sub)
+	alias := sub.Items[0].Alias
+	if alias == "" {
+		alias = decorrValue
+		c := *sub
+		c.Items = append([]sql.SelectItem{}, sub.Items...)
+		c.Items[0].Alias = alias
+		sub = &c
+	}
+
+	subName := fmt.Sprintf("%s%d_s", DecorrPrefix, d.n)
+	setName := fmt.Sprintf("%s%d", DecorrPrefix, d.n)
+	d.n++
+	valCol := func() *sql.ColRef { return &sql.ColRef{Name: alias} }
+	dedup := &sql.SelectStmt{
+		Distinct: true,
+		Items:    []sql.SelectItem{{Expr: valCol()}},
+		From:     []sql.TableRef{{Table: subName}},
+		Where:    &sql.IsNull{X: valCol(), Not: true},
+		Limit:    -1,
+	}
+	*synth = append(*synth, sql.CTE{Name: subName, Select: sub}, sql.CTE{Name: setName, Select: dedup})
+	*from = append(*from, sql.TableRef{Table: setName})
+	return &sql.BinOp{Op: "=", L: in.X, R: &sql.ColRef{Table: setName, Name: alias}}, true
+}

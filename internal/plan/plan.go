@@ -24,6 +24,43 @@ func Parallelism(configured int) int {
 	return configured
 }
 
+// PlannerKind selects the join planner. CostBased (the default) builds
+// statistics into cardinality estimates, searches join orders under
+// order-safety constraints, decides star-vs-hash from estimated cost
+// and caches plans; Greedy is the original fixed heuristic, kept as
+// the differential baseline ("when greedy beats optimal" is an
+// empirical question the benchmark answers per template). Results are
+// bit-identical under either planner.
+type PlannerKind int
+
+const (
+	// CostBased plans with the cost model, join-order search and plan
+	// cache.
+	CostBased PlannerKind = iota
+	// Greedy plans with the fixed heuristic: largest estimated fact
+	// drives, smallest estimated connected table joins next.
+	Greedy
+)
+
+func (k PlannerKind) String() string {
+	if k == Greedy {
+		return "greedy"
+	}
+	return "cost"
+}
+
+// ParsePlanner converts a CLI/driver knob value to a PlannerKind; the
+// empty string selects the default (cost-based).
+func ParsePlanner(s string) (PlannerKind, error) {
+	switch s {
+	case "", "cost":
+		return CostBased, nil
+	case "greedy":
+		return Greedy, nil
+	}
+	return CostBased, fmt.Errorf("unknown planner %q (want cost or greedy)", s)
+}
+
 // Mode constrains the strategy choice; Auto lets the cost heuristic
 // decide. The ablation benchmark forces each mode in turn.
 type Mode int

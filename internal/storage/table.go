@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"tpcds/internal/schema"
 )
@@ -106,15 +107,32 @@ func (c *Column) Set(i int, v Value) {
 	}
 }
 
+// tableInstances issues process-unique table instance ids. Two tables
+// can share a schema name (a CTE materialized by two concurrent
+// queries, a table reloaded from flat files); caches keyed by name
+// alone would serve one instance's derived data for the other, so every
+// cache entry must also remember which instance — and which mutation
+// epoch of it — the data was derived from.
+var tableInstances atomic.Uint64
+
 // Table is a columnar table instance bound to its schema definition.
 type Table struct {
 	Def  *schema.Table
 	cols []Column
+
+	// id is the process-unique instance identity; epoch counts data
+	// mutations (appends, updates, deletes). Together they version the
+	// table's contents for derived-data caches: statistics and indexes
+	// are fresh only while both match. A row-count comparison is not
+	// enough — a maintenance cycle that deletes and inserts the same
+	// number of rows changes the data without changing NumRows.
+	id    uint64
+	epoch uint64
 }
 
 // NewTable creates an empty table for the given schema definition.
 func NewTable(def *schema.Table) *Table {
-	t := &Table{Def: def, cols: make([]Column, len(def.Columns))}
+	t := &Table{Def: def, cols: make([]Column, len(def.Columns)), id: tableInstances.Add(1)}
 	for i, c := range def.Columns {
 		t.cols[i].Type = c.Type
 	}
@@ -137,6 +155,17 @@ func (t *Table) Grow(n int) {
 		}
 	}
 }
+
+// ID returns the process-unique instance id of this table. Two tables
+// with the same schema name (separate materializations of a CTE, a
+// reload) have different ids.
+func (t *Table) ID() uint64 { return t.id }
+
+// Epoch returns the table's data epoch: a counter bumped by every
+// mutating operation (Append, Update, SetValue, Delete). Derived-data
+// caches store the (ID, Epoch) pair at derivation time and are fresh
+// only while both still match.
+func (t *Table) Epoch() uint64 { return t.epoch }
 
 // NumRows returns the table's row count.
 func (t *Table) NumRows() int {
@@ -182,6 +211,7 @@ func (t *Table) Append(row []Value) {
 	for i, v := range row {
 		t.cols[i].Append(v)
 	}
+	t.epoch++
 }
 
 // Update overwrites row i with the given values (in-place dimension
@@ -193,10 +223,14 @@ func (t *Table) Update(i int, row []Value) {
 	for c, v := range row {
 		t.cols[c].Set(i, v)
 	}
+	t.epoch++
 }
 
 // SetValue overwrites a single cell.
-func (t *Table) SetValue(row, col int, v Value) { t.cols[col].Set(row, v) }
+func (t *Table) SetValue(row, col int, v Value) {
+	t.cols[col].Set(row, v)
+	t.epoch++
+}
 
 // Delete removes the given row ids (any order, duplicates allowed) and
 // compacts the table. Fact-table deletes are logically clustered on a
@@ -218,6 +252,7 @@ func (t *Table) Delete(rowIDs []int) int {
 	if removed == 0 {
 		return 0
 	}
+	t.epoch++
 	for c := range t.cols {
 		col := &t.cols[c]
 		w := 0
