@@ -13,12 +13,22 @@
 // Usage:
 //
 //	dslint [-source=false] [-templates=false] [-rules lockcheck,goleak] [-json] [packages]
+//	dslint -summary '(Engine).costPlan'
 //
 // -rules restricts the source layer to a comma-separated subset of
 // analyzers (see -rules=help for the list); unknown names are a usage
 // error. -json replaces the human-readable listing with one JSON array
 // of findings on stdout — source findings first (sorted by position),
 // then template findings in template order — for CI artifact upload.
+//
+// -summary prints the computed interprocedural summary (purity, escape,
+// taint transfer) of one function and exits — the triage tool for
+// sharecap/pubfreeze/taintdet findings. The name is matched as an exact
+// display name ("exec.(Engine).costPlan") or any unique suffix.
+//
+// -cache persists per-package summaries to the given file, keyed by a
+// content hash of each package and its in-module imports, so repeat
+// runs skip the summary fixpoint for unchanged packages.
 //
 // The package argument is accepted for familiarity ("./...") but the
 // tool always analyzes the whole module containing the working
@@ -44,11 +54,43 @@ func main() {
 	templates := flag.Bool("templates", true, "run the schema-aware template checker")
 	rulesFlag := flag.String("rules", "", "comma-separated subset of source analyzers to run (default: all; 'help' lists them)")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	summaryFlag := flag.String("summary", "", "print the interprocedural summary of the named function and exit")
+	cacheFlag := flag.String("cache", "", "summary cache file: restore unchanged packages, record the rest")
 	flag.Parse()
 
 	if *rulesFlag == "help" {
 		fmt.Fprintf(os.Stderr, "dslint: source rules: %s\n", strings.Join(lint.Rules(), ", "))
 		os.Exit(0)
+	}
+
+	if *summaryFlag != "" {
+		_, pkgs, err := lint.Module(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
+			os.Exit(2)
+		}
+		pr := lint.BuildProgram(pkgs, nil)
+		node, candidates := pr.FindNode(*summaryFlag)
+		if node == nil {
+			if len(candidates) > 0 {
+				fmt.Fprintf(os.Stderr, "dslint: %q is ambiguous: %s\n", *summaryFlag, strings.Join(candidates, ", "))
+			} else {
+				fmt.Fprintf(os.Stderr, "dslint: no function matches %q\n", *summaryFlag)
+			}
+			os.Exit(2)
+		}
+		fmt.Printf("%s: %s\n", node.Name, node.Summary())
+		var callees []string
+		for _, c := range node.Calls {
+			callees = append(callees, c.Name)
+		}
+		if len(callees) > 0 {
+			fmt.Printf("  calls: %s\n", strings.Join(callees, ", "))
+		}
+		if node.CallsUnknown {
+			fmt.Println("  calls unresolved functions (interface methods, function values, or stdlib)")
+		}
+		return
 	}
 	var rules []string
 	if *rulesFlag != "" {
@@ -77,7 +119,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
 			os.Exit(2)
 		}
-		res := lint.CheckRules(pkgs, rules)
+		var store *lint.SummaryStore
+		if *cacheFlag != "" {
+			store = lint.LoadSummaryStore(*cacheFlag)
+		}
+		res := lint.CheckRulesWithStore(pkgs, rules, store)
+		if store != nil {
+			if err := store.Save(); err != nil {
+				fmt.Fprintf(os.Stderr, "dslint: saving summary cache: %v\n", err)
+			}
+		}
 		all = append(all, res.Diagnostics...)
 		fmt.Fprintf(os.Stderr, "dslint: source: %d packages, %d findings, %d suppressed by //lint:ignore\n",
 			len(pkgs), len(res.Diagnostics), res.Suppressed)

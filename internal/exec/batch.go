@@ -101,7 +101,9 @@ func materializeSel(readers []colReader, total int, sel []int32, out [][]storage
 // triFn is a compiled predicate kernel: it evaluates the predicate for
 // every row id in sel, writing three-valued results into out (1 true,
 // 0 false, -1 unknown; out has len(sel)). Kernels close over immutable
-// column vectors only — morsel workers share them freely.
+// column vectors only — morsel workers share them freely. That capture
+// contract is machine-checked: dslint's sharecap rule flags any
+// literal assigned or returned as a triFn that mutates a capture.
 type triFn func(sel []int32, out []int8)
 
 // tableFilter is the compiled local-predicate filter of one table:

@@ -63,6 +63,11 @@ func (e *Engine) morselSize() int {
 // fires they stop pulling work and return — the pool always drains
 // cleanly, leaking no goroutines — and the coordinator re-raises the
 // cancellation after the drain so the query unwinds to QueryContext.
+//
+// Capture contract: fn runs on multiple goroutines at once, so it may
+// capture only values that are immutable after construction,
+// per-worker-owned slots (counts[worker]-style), or lock-protected
+// state. dslint's sharecap rule checks every closure passed here.
 func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel, lo, hi int)) []int {
 	numMorsels := (n + morselRows - 1) / morselRows
 	if workers > numMorsels {
@@ -161,6 +166,8 @@ func runMorsel(qc *qctx, opsp *obs.Span, worker, m, lo, hi int, fn func(worker, 
 
 // parallelFor runs fn(p) for every p in [0,workers) on its own
 // goroutine and waits; the first panic is re-raised on the caller.
+// fn's captures are held to the same sharecap-checked contract as
+// forEachMorsel's: immutable, per-worker-owned, or lock-protected.
 func parallelFor(workers int, fn func(p int)) {
 	if workers <= 1 {
 		fn(0)

@@ -262,6 +262,9 @@ func (p *Package) errSanctioned(call *ast.CallExpr) bool {
 				switch obj.Pkg().Path() + "." + obj.Name() {
 				case "strings.Builder", "bytes.Buffer":
 					return true
+				// hash.Hash documents that Write never returns an error.
+				case "hash.Hash", "hash.Hash32", "hash.Hash64":
+					return true
 				}
 			}
 		}

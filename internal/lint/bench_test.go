@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 // BenchmarkLintModule quantifies the shared-module cache: "fresh" pays
 // the full from-source type-check of the module plus its stdlib imports
@@ -28,6 +31,37 @@ func BenchmarkLintModule(b *testing.B) {
 			if _, _, err := Module("."); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkSummaries quantifies the summary cache: "cold" runs the full
+// bottom-up SCC fixpoint (call graph + purity/escape/taint transfer for
+// every function in the module) on each iteration, "warm" restores
+// every package from a content-hash-keyed store first, so only the
+// graph construction remains. The gap is what `dslint -cache` saves on
+// a repeat run over an unchanged tree.
+func BenchmarkSummaries(b *testing.B) {
+	_, pkgs, err := Module(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildProgram(pkgs, nil)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "summaries.json")
+		store := LoadSummaryStore(path)
+		buildProgram(pkgs, store)
+		if err := store.Save(); err != nil {
+			b.Fatal(err)
+		}
+		warm := LoadSummaryStore(path)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buildProgram(pkgs, warm)
 		}
 	})
 }

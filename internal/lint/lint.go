@@ -87,7 +87,7 @@ type Result struct {
 func (r *Result) Clean() bool { return len(r.Diagnostics) == 0 }
 
 // analyzers lists the source rules: the five statement-level analyzers
-// followed by the four flow-sensitive ones.
+// followed by the three intraprocedural flow-sensitive ones.
 var analyzers = []struct {
 	name string
 	fn   func(*Package) []Diagnostic
@@ -100,14 +100,29 @@ var analyzers = []struct {
 	{"lockcheck", analyzeLockCheck},
 	{"goleak", analyzeGoLeak},
 	{"ctxflow", analyzeCtxFlow},
+}
+
+// interAnalyzers lists the interprocedural rules: they additionally see
+// the Program (call graph + summaries) built over the whole package
+// set. taintdet lives here since it follows taint through helper calls
+// via transfer summaries.
+var interAnalyzers = []struct {
+	name string
+	fn   func(*Program, *Package) []Diagnostic
+}{
 	{"taintdet", analyzeTaintDet},
+	{"sharecap", analyzeShareCap},
+	{"pubfreeze", analyzePubFreeze},
 }
 
 // Rules lists the registered analyzer names in registration order.
 func Rules() []string {
-	out := make([]string, len(analyzers))
-	for i, a := range analyzers {
-		out[i] = a.name
+	var out []string
+	for _, a := range analyzers {
+		out = append(out, a.name)
+	}
+	for _, a := range interAnalyzers {
+		out = append(out, a.name)
 	}
 	return out
 }
@@ -115,6 +130,11 @@ func Rules() []string {
 // KnownRule reports whether name is a registered analyzer.
 func KnownRule(name string) bool {
 	for _, a := range analyzers {
+		if a.name == name {
+			return true
+		}
+	}
+	for _, a := range interAnalyzers {
 		if a.name == name {
 			return true
 		}
@@ -131,14 +151,33 @@ func Check(pkgs []*Package) *Result { return CheckRules(pkgs, nil) }
 // rules that actually ran (a directive for a skipped rule cannot prove
 // itself useful).
 func CheckRules(pkgs []*Package, rules []string) *Result {
+	return CheckRulesWithStore(pkgs, rules, nil)
+}
+
+// CheckRulesWithStore is CheckRules with an optional summary store: a
+// non-nil store restores summaries for packages whose content hash
+// matches and records the rest after the fixpoint (the caller saves).
+func CheckRulesWithStore(pkgs []*Package, rules []string, store *SummaryStore) *Result {
 	run := map[string]bool{}
 	if len(rules) == 0 {
 		for _, a := range analyzers {
 			run[a.name] = true
 		}
+		for _, a := range interAnalyzers {
+			run[a.name] = true
+		}
 	} else {
 		for _, r := range rules {
 			run[r] = true
+		}
+	}
+	// The Program (call graph + bottom-up summaries) is built once over
+	// the whole set and shared by every interprocedural rule.
+	var pr *Program
+	for _, a := range interAnalyzers {
+		if run[a.name] {
+			pr = buildProgram(pkgs, store)
+			break
 		}
 	}
 	res := &Result{}
@@ -149,6 +188,11 @@ func CheckRules(pkgs []*Package, rules []string) *Result {
 		for _, a := range analyzers {
 			if run[a.name] {
 				raw = append(raw, a.fn(p)...)
+			}
+		}
+		for _, a := range interAnalyzers {
+			if run[a.name] {
+				raw = append(raw, a.fn(pr, p)...)
 			}
 		}
 		for _, d := range raw {

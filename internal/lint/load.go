@@ -21,6 +21,7 @@ import (
 type Package struct {
 	Path  string
 	Name  string
+	Root  string // module root the file display names are relative to
 	Fset  *token.FileSet
 	Files []*ast.File
 	Info  *types.Info
@@ -288,6 +289,7 @@ func (l *Loader) check(importPath, dir string, files []string) (*Package, error)
 	return &Package{
 		Path:  importPath,
 		Name:  tpkg.Name(),
+		Root:  l.root,
 		Fset:  l.Fset,
 		Files: asts,
 		Info:  info,

@@ -1,0 +1,178 @@
+package lint
+
+// summarycache.go persists per-package function summaries between
+// dslint runs. A package's entry is keyed by a content hash covering
+// its own source files plus the hashes of its in-module imports, so a
+// change anywhere in a package's dependency cone invalidates it while
+// untouched subtrees restore their summaries without running the
+// fixpoint. The cache stores only summaries — diagnostics are always
+// recomputed (they are cheap once summaries exist, and fixture paths
+// would poison a shared cache).
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SummaryStore is an on-disk map from package path to its summaries.
+type SummaryStore struct {
+	path    string
+	entries map[string]storedPkg
+
+	hashes map[*Package]string // per-run memo
+}
+
+type storedPkg struct {
+	Hash  string             `json:"hash"`
+	Funcs map[string]Summary `json:"funcs"`
+}
+
+// LoadSummaryStore opens (or initializes) the store at path. A missing
+// or corrupt file yields an empty store: the cache is an optimization,
+// never a correctness dependency.
+func LoadSummaryStore(path string) *SummaryStore {
+	s := &SummaryStore{path: path, entries: map[string]storedPkg{}, hashes: map[*Package]string{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s
+	}
+	var entries map[string]storedPkg
+	if json.Unmarshal(data, &entries) == nil && entries != nil {
+		s.entries = entries
+	}
+	return s
+}
+
+// Save writes the store back to its path.
+func (s *SummaryStore) Save() error {
+	data, err := json.MarshalIndent(s.entries, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.path, append(data, '\n'), 0o644)
+}
+
+// pkgHash computes (and memoizes) the content hash of p: FNV-64a over
+// its source files in filename order, chained with the hashes of its
+// in-module imports. The import graph is acyclic, so the recursion
+// terminates.
+func (s *SummaryStore) pkgHash(pr *Program, p *Package) string {
+	if h, ok := s.hashes[p]; ok {
+		return h
+	}
+	s.hashes[p] = "" // cycle guard; overwritten below
+	byPath := map[string]*Package{}
+	for _, q := range pr.Pkgs {
+		byPath[q.Path] = q
+	}
+	h := fnv.New64a()
+	var names []string
+	for _, f := range p.Files {
+		names = append(names, p.Fset.File(f.Pos()).Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		path := name
+		if !filepath.IsAbs(path) && p.Root != "" {
+			path = filepath.Join(p.Root, name)
+		}
+		if data, err := os.ReadFile(path); err == nil {
+			h.Write(data)
+		}
+		h.Write([]byte{0})
+	}
+	var imps []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if byPath[path] != nil {
+				imps = append(imps, path)
+			}
+		}
+	}
+	sort.Strings(imps)
+	prev := ""
+	for _, imp := range imps {
+		if imp == prev {
+			continue
+		}
+		prev = imp
+		h.Write([]byte(imp))
+		h.Write([]byte{0})
+		h.Write([]byte(s.pkgHash(pr, byPath[imp])))
+		h.Write([]byte{0})
+	}
+	hash := strconv.FormatUint(h.Sum64(), 16)
+	s.hashes[p] = hash
+	return hash
+}
+
+// funcKey identifies a function within its package, stable across
+// reloads: "Func" or "(T).Method".
+func funcKey(n *FuncNode) string {
+	return strings.TrimPrefix(n.Name, n.Pkg.Name+".")
+}
+
+// pkgFuncKeys assigns each of p's nodes a unique stable key. Duplicate
+// base names (multiple init functions) are disambiguated by ordinal in
+// the deterministic node order.
+func pkgFuncKeys(pr *Program, p *Package) map[*FuncNode]string {
+	count := map[string]int{}
+	out := map[*FuncNode]string{}
+	for _, n := range pr.Nodes {
+		if n.Pkg != p {
+			continue
+		}
+		base := funcKey(n)
+		key := base
+		if c := count[base]; c > 0 {
+			key = base + "#" + strconv.Itoa(c)
+		}
+		count[base]++
+		out[n] = key
+	}
+	return out
+}
+
+// restore loads p's summaries from the store when its hash matches and
+// every declared function has a stored entry. Reports success.
+func (s *SummaryStore) restore(pr *Program, p *Package) bool {
+	ent, ok := s.entries[p.Path]
+	if !ok || ent.Hash != s.pkgHash(pr, p) {
+		return false
+	}
+	keys := pkgFuncKeys(pr, p)
+	for _, key := range keys {
+		if _, ok := ent.Funcs[key]; !ok {
+			return false
+		}
+	}
+	for n, key := range keys {
+		sum := ent.Funcs[key]
+		n.sum = &sum
+	}
+	return true
+}
+
+// update records every package's summaries under its current hash.
+func (s *SummaryStore) update(pr *Program) {
+	for _, p := range pr.Pkgs {
+		ent := storedPkg{Hash: s.pkgHash(pr, p), Funcs: map[string]Summary{}}
+		for n, key := range pkgFuncKeys(pr, p) {
+			if n.sum != nil {
+				ent.Funcs[key] = *n.sum
+			}
+		}
+		s.entries[p.Path] = ent
+	}
+}

@@ -72,26 +72,28 @@ func cloneTaintFacts(s taintFacts) taintFacts {
 	return c
 }
 
-func analyzeTaintDet(p *Package) []Diagnostic {
+func analyzeTaintDet(pr *Program, p *Package) []Diagnostic {
 	if !deterministicPkgs[p.Path] && !taintScopeExtra[p.Path] {
 		return nil
 	}
 	var out []Diagnostic
 	for _, f := range p.Files {
 		for _, fs := range funcScopes(f) {
-			out = append(out, p.taintFunc(fs)...)
+			out = append(out, p.taintFunc(pr, fs)...)
 		}
 	}
 	return out
 }
 
-func (p *Package) taintFunc(fs funcScope) []Diagnostic {
-	// Cheap pre-pass: a function that never calls a source cannot taint
-	// anything (closures inherit no taint — see the scope note below).
+func (p *Package) taintFunc(pr *Program, fs funcScope) []Diagnostic {
+	// Cheap pre-pass: a function that neither calls a source directly
+	// nor calls a helper whose summary says it returns tainted values
+	// cannot taint anything (closures inherit no taint — see the scope
+	// note below).
 	hasSource := false
 	inspectShallow(fs.body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if _, ok := p.taintSource(call); ok {
+			if _, ok := p.taintSourceInter(pr, call); ok {
 				hasSource = true
 			}
 		}
@@ -118,7 +120,7 @@ func (p *Package) taintFunc(fs funcScope) []Diagnostic {
 	transfer := func(blk *Block, in taintFacts) taintFacts {
 		st := cloneTaintFacts(in)
 		for _, node := range blk.Nodes {
-			p.taintTransferNode(node, st, exported, funcName, report)
+			p.taintTransferNode(pr, node, st, exported, funcName, report)
 		}
 		return st
 	}
@@ -128,25 +130,57 @@ func (p *Package) taintFunc(fs funcScope) []Diagnostic {
 
 // taintTransferNode interprets one CFG node: sinks first (the node's
 // reads see the pre-state), then assignments update the state.
-func (p *Package) taintTransferNode(node ast.Node, st taintFacts, exported bool, funcName string, report func(n ast.Node, format string, args ...any)) {
-	// Sinks anywhere inside the node.
+func (p *Package) taintTransferNode(pr *Program, node ast.Node, st taintFacts, exported bool, funcName string, report func(n ast.Node, format string, args ...any)) {
+	// Sinks anywhere inside the node: direct storage calls, and calls to
+	// in-module helpers whose summary proves the argument flows on into
+	// storage emission (the interprocedural half).
 	inspectShallow(node, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj := p.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == storagePkgPath {
+				for _, arg := range call.Args {
+					if origin, tainted := p.exprTaint(pr, arg, st); tainted {
+						report(arg, "value derived from %s reaches storage emission via %s; generator output must be bit-deterministic",
+							origin.src, displayExpr(call.Fun))
+					}
+				}
+				return true
+			}
+		}
+		if pr == nil {
 			return true
 		}
-		obj := p.Info.Uses[sel.Sel]
-		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != storagePkgPath {
+		callee := pr.calleeNode(p, call)
+		if callee == nil {
 			return true
 		}
-		for _, arg := range call.Args {
-			if origin, tainted := p.exprTaint(arg, st); tainted {
+		cs := pr.summaryOf(callee)
+		if cs.ParamToSink == 0 && !cs.RecvToSink {
+			return true
+		}
+		if cs.RecvToSink {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && p.Info.Selections[sel] != nil {
+				if origin, tainted := p.exprTaint(pr, sel.X, st); tainted {
+					report(sel.X, "value derived from %s reaches storage emission via %s; generator output must be bit-deterministic",
+						origin.src, callee.Name)
+				}
+			}
+		}
+		nparams := calleeParamCount(callee)
+		for i, arg := range call.Args {
+			j := i
+			if nparams > 0 && j >= nparams {
+				j = nparams - 1
+			}
+			if j >= 32 || cs.ParamToSink&(1<<j) == 0 {
+				continue
+			}
+			if origin, tainted := p.exprTaint(pr, arg, st); tainted {
 				report(arg, "value derived from %s reaches storage emission via %s; generator output must be bit-deterministic",
-					origin.src, displayExpr(call.Fun))
+					origin.src, callee.Name)
 			}
 		}
 		return true
@@ -156,14 +190,14 @@ func (p *Package) taintTransferNode(node ast.Node, st taintFacts, exported bool,
 	case *ast.ReturnStmt:
 		if exported {
 			for _, res := range v.Results {
-				if origin, tainted := p.exprTaint(res, st); tainted {
+				if origin, tainted := p.exprTaint(pr, res, st); tainted {
 					report(res, "exported %s returns a value derived from %s; benchmark data must be bit-deterministic",
 						funcName, origin.src)
 				}
 			}
 		}
 	case *ast.AssignStmt:
-		p.taintAssign(v, st)
+		p.taintAssign(pr, v, st)
 	case *ast.DeclStmt:
 		if gd, ok := v.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
@@ -181,7 +215,7 @@ func (p *Package) taintTransferNode(node ast.Node, st taintFacts, exported bool,
 					if rhs == nil {
 						continue
 					}
-					if origin, tainted := p.exprTaint(rhs, st); tainted {
+					if origin, tainted := p.exprTaint(pr, rhs, st); tainted {
 						if obj := p.Info.Defs[name]; obj != nil {
 							st[obj] = origin
 						}
@@ -190,7 +224,7 @@ func (p *Package) taintTransferNode(node ast.Node, st taintFacts, exported bool,
 			}
 		}
 	case *ast.RangeStmt:
-		if origin, tainted := p.exprTaint(v.X, st); tainted {
+		if origin, tainted := p.exprTaint(pr, v.X, st); tainted {
 			for _, e := range []ast.Expr{v.Key, v.Value} {
 				if e == nil {
 					continue
@@ -209,7 +243,7 @@ func (p *Package) taintTransferNode(node ast.Node, st taintFacts, exported bool,
 
 // taintAssign propagates taint through one assignment, with strong
 // updates: reassigning a clean value to a plain identifier clears it.
-func (p *Package) taintAssign(as *ast.AssignStmt, st taintFacts) {
+func (p *Package) taintAssign(pr *Program, as *ast.AssignStmt, st taintFacts) {
 	assignOne := func(lhs ast.Expr, origin taintOrigin, tainted bool) {
 		switch l := unparen(lhs).(type) {
 		case *ast.Ident:
@@ -247,7 +281,7 @@ func (p *Package) taintAssign(as *ast.AssignStmt, st taintFacts) {
 	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
 		for i, lhs := range as.Lhs {
 			if i < len(as.Rhs) {
-				if origin, tainted := p.exprTaint(as.Rhs[i], st); tainted {
+				if origin, tainted := p.exprTaint(pr, as.Rhs[i], st); tainted {
 					assignOne(lhs, origin, true)
 				}
 			}
@@ -255,7 +289,7 @@ func (p *Package) taintAssign(as *ast.AssignStmt, st taintFacts) {
 		return
 	}
 	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
-		origin, tainted := p.exprTaint(as.Rhs[0], st)
+		origin, tainted := p.exprTaint(pr, as.Rhs[0], st)
 		for _, lhs := range as.Lhs {
 			assignOne(lhs, origin, tainted)
 		}
@@ -265,21 +299,21 @@ func (p *Package) taintAssign(as *ast.AssignStmt, st taintFacts) {
 		if i >= len(as.Rhs) {
 			break
 		}
-		origin, tainted := p.exprTaint(as.Rhs[i], st)
+		origin, tainted := p.exprTaint(pr, as.Rhs[i], st)
 		assignOne(lhs, origin, tainted)
 	}
 }
 
 // exprTaint reports whether e's value derives from a taint source under
 // the current state: it mentions a tainted object or contains a source
-// call.
-func (p *Package) exprTaint(e ast.Expr, st taintFacts) (taintOrigin, bool) {
+// call (direct, or a helper whose transfer summary taints its return).
+func (p *Package) exprTaint(pr *Program, e ast.Expr, st taintFacts) (taintOrigin, bool) {
 	var origin taintOrigin
 	found := false
 	inspectShallow(e, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.CallExpr:
-			if src, ok := p.taintSource(v); ok {
+			if src, ok := p.taintSourceInter(pr, v); ok {
 				origin = taintOrigin{src: src, pos: v.Pos()}
 				found = true
 			}
@@ -294,6 +328,24 @@ func (p *Package) exprTaint(e ast.Expr, st taintFacts) (taintOrigin, bool) {
 		return !found
 	})
 	return origin, found
+}
+
+// taintSourceInter is taintSource plus the interprocedural case: a call
+// to an in-graph function whose summary proves a nondeterministic value
+// can reach its return.
+func (p *Package) taintSourceInter(pr *Program, call *ast.CallExpr) (string, bool) {
+	if src, ok := p.taintSource(call); ok {
+		return src, true
+	}
+	if pr == nil {
+		return "", false
+	}
+	if callee := pr.calleeNode(p, call); callee != nil {
+		if cs := pr.summaryOf(callee); cs.TaintsReturn {
+			return cs.TaintSrc + " (via " + callee.Name + ")", true
+		}
+	}
+	return "", false
 }
 
 // taintSource recognizes calls whose results differ between two runs of

@@ -1,0 +1,106 @@
+// Package pubfix is a known-bad fixture for the pubfreeze analyzer:
+// values published into a shared cache (a *Cache Put, a sync.Map
+// Store, or a lock-guarded map store) must not be modified afterwards
+// — readers hold them unlocked the moment the publish returns. The
+// clean shapes show the two sanctioned escapes: re-binding the local
+// before mutating, and publishing an all-scalar value that cannot
+// alias.
+package pubfix
+
+import "sync"
+
+// Entry is a published plan entry; the Cols slice makes it aliasable.
+type Entry struct {
+	Name string
+	Cols []string
+}
+
+// planCache's named type ends in "Cache", so Put is a publish site.
+type planCache struct {
+	mu sync.Mutex
+	m  map[string]*Entry
+}
+
+func (c *planCache) Put(key string, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = e
+}
+
+// putThenPatch mutates the entry after publishing it — both through a
+// field of the pointer and through the shared slice.
+func putThenPatch(c *planCache, e *Entry) {
+	c.Put("q1", e)
+	e.Name = "patched"
+	e.Cols[0] = "renamed"
+}
+
+var registry sync.Map
+
+// storeThenMutate publishes a slice into a sync.Map and then writes an
+// element the reader shares.
+func storeThenMutate(cols []string) {
+	registry.Store("cols", cols)
+	cols[0] = "mutated"
+}
+
+// statsTable uses the lock-guarded map idiom: a store into byCol with
+// the mutex held is a publication.
+type statsTable struct {
+	mu    sync.Mutex
+	byCol map[string]*Entry
+}
+
+// recordThenAppend publishes under the lock, then grows the entry's
+// column list after unlocking — the reader's copy shares the header.
+func (t *statsTable) recordThenAppend(name string, e *Entry) {
+	t.mu.Lock()
+	t.byCol[name] = e
+	t.mu.Unlock()
+	e.Cols = append(e.Cols, "late")
+}
+
+// rename mutates its parameter; the interprocedural summary records
+// MutatesParam for it.
+func rename(e *Entry, name string) {
+	e.Name = name
+}
+
+// putThenRename hides the post-publication mutation behind a helper
+// call; the summary-driven check still flags the argument.
+func putThenRename(c *planCache, e *Entry) {
+	c.Put("q2", e)
+	rename(e, "late")
+}
+
+// rebindThenWrite re-binds the local before mutating: the published
+// value is no longer reachable through it, so the write is clean.
+func rebindThenWrite(c *planCache, e *Entry) {
+	c.Put("q3", e)
+	e = &Entry{Name: "fresh"}
+	e.Name = "mine"
+	c.Put("q4", e)
+}
+
+// scalarStats has no pointer-like component: the published copy cannot
+// be changed retroactively, so mutating the local afterwards is clean.
+type scalarStats struct {
+	Rows int64
+	Min  int64
+}
+
+type statsCache struct {
+	mu sync.Mutex
+	m  map[string]scalarStats
+}
+
+func (c *statsCache) Put(key string, s scalarStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = s
+}
+
+func recordScalar(c *statsCache, s scalarStats) {
+	c.Put("store_sales", s)
+	s.Rows++
+}

@@ -1,0 +1,163 @@
+// Package sharecapfix is a known-bad fixture for the sharecap
+// analyzer. It is type-checked under the virtual import path
+// "tpcds/internal/exec" so the scope condition fires, and declares its
+// own forEachMorsel/parallelFor stubs so the worker-pool call sites
+// match by name. The clean shapes — per-worker slots, mutex-guarded
+// writes, atomics — produce no findings; everything else shows how a
+// concurrent closure can smuggle a shared write past a code review.
+package sharecapfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachMorsel and parallelFor stand in for the real fork-join entry
+// points; sharecap matches worker closures by callee name.
+func forEachMorsel(workers int, fn func(worker, lo, hi int)) {
+	for w := 0; w < workers; w++ {
+		fn(w, 0, 0)
+	}
+}
+
+func parallelFor(n int, fn func(p int)) {
+	for p := 0; p < n; p++ {
+		fn(p)
+	}
+}
+
+// goPlainWrite increments a captured counter from a goroutine with no
+// synchronization at all.
+func goPlainWrite() int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total++
+	}()
+	wg.Wait()
+	return total
+}
+
+// workerSharedIndex writes a captured slice through an index that is
+// itself a shared capture: every worker races on both the slot and the
+// cursor.
+func workerSharedIndex(out []int) {
+	next := 0
+	forEachMorsel(4, func(worker, lo, hi int) {
+		out[next] = worker
+		next++
+	})
+}
+
+// workerOwnedSlots is the sanctioned per-worker-slot idiom: the index
+// is the closure's own worker parameter, so each worker owns its slot.
+// Clean.
+func workerOwnedSlots(workers int) []int64 {
+	counts := make([]int64, workers)
+	forEachMorsel(workers, func(worker, lo, hi int) {
+		counts[worker] += int64(hi - lo)
+	})
+	return counts
+}
+
+// workerLocked mutates a shared capture under a captured mutex. Clean.
+func workerLocked() int {
+	var mu sync.Mutex
+	total := 0
+	parallelFor(4, func(p int) {
+		mu.Lock()
+		total += p
+		mu.Unlock()
+	})
+	return total
+}
+
+// workerAtomic goes through sync/atomic, whose receiver mutation is
+// internally synchronized. Clean.
+func workerAtomic() int64 {
+	var total atomic.Int64
+	parallelFor(4, func(p int) {
+		total.Add(int64(p))
+	})
+	return total.Load()
+}
+
+// bumpCount mutates its map parameter; the interprocedural summary
+// records MutatesParam for it.
+func bumpCount(m map[string]int, key string) {
+	m[key]++
+}
+
+// workerViaHelper hides the shared-map write behind a helper call: the
+// summary-driven check still flags the captured argument.
+func workerViaHelper(stats map[string]int) {
+	parallelFor(4, func(p int) {
+		bumpCount(stats, "batches")
+	})
+}
+
+// viaBoundClosure calls a captured function value whose unique binding
+// is a visible literal; the literal is re-checked with the goroutine's
+// ownership boundary and its own capture is flagged.
+func viaBoundClosure() int {
+	sum := 0
+	add := func(v int) { sum += v }
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		add(1)
+	}()
+	wg.Wait()
+	return sum
+}
+
+// kernelFn is the locally declared named function type that marks a
+// compiled-kernel factory.
+type kernelFn func(sel []int32, out []int8)
+
+// compileCounting returns a kernel that counts its own invocations:
+// every worker shares the kernel, so even a plain counter is a race.
+// Writes to the kernel's own parameters are per-invocation and clean.
+func compileCounting() kernelFn {
+	calls := 0
+	return func(sel []int32, out []int8) {
+		calls++
+		for i := range sel {
+			out[i] = 1
+		}
+	}
+}
+
+// compileThreshold only reads its capture; a kernel may close over
+// immutable configuration. Clean.
+func compileThreshold(limit int32) kernelFn {
+	var k kernelFn
+	k = func(sel []int32, out []int8) {
+		for i, v := range sel {
+			if v > limit {
+				out[i] = 1
+			}
+		}
+	}
+	return k
+}
+
+// compileStateful smuggles a dedup map into a kernel through the
+// assignment form of kernel creation; the map write is flagged under
+// the stricter kernel rule.
+func compileStateful() kernelFn {
+	seen := make(map[int32]bool)
+	var k kernelFn
+	k = func(sel []int32, out []int8) {
+		for i, v := range sel {
+			if !seen[v] {
+				seen[v] = true
+				out[i] = 1
+			}
+		}
+	}
+	return k
+}
