@@ -14,21 +14,39 @@
 //
 //	dslint [-source=false] [-templates=false] [-rules lockcheck,goleak] [-json] [packages]
 //	dslint -summary '(Engine).costPlan'
+//	dslint -why internal/exec/batch.go:177
 //
 // -rules restricts the source layer to a comma-separated subset of
 // analyzers (see -rules=help for the list); unknown names are a usage
-// error. -json replaces the human-readable listing with one JSON array
-// of findings on stdout — source findings first (sorted by position),
-// then template findings in template order — for CI artifact upload.
+// error. -json replaces the human-readable listing with one JSON
+// object {"findings": [...]} on stdout — source findings first (sorted
+// by position), then template findings in template order — for CI
+// artifact upload; with -timings a "timings" member carries the
+// per-analyzer wall time.
 //
 // -summary prints the computed interprocedural summary (purity, escape,
 // taint transfer) of one function and exits — the triage tool for
 // sharecap/pubfreeze/taintdet findings. The name is matched as an exact
 // display name ("exec.(Engine).costPlan") or any unique suffix.
 //
+// -why file:line explains the value-tier findings at that source line:
+// the proof obligations boundscheck/nilcheck/errcontract tried and the
+// abstract facts that were too weak — the triage tool for deciding
+// between a code fix and a //lint:ignore.
+//
 // -cache persists per-package summaries to the given file, keyed by a
 // content hash of each package and its in-module imports, so repeat
 // runs skip the summary fixpoint for unchanged packages.
+//
+// -baseline enforces the suppression ratchet: the JSON file holds the
+// accepted per-rule //lint:ignore counts; a rule whose live count
+// exceeds its baseline fails the run, and counts below baseline print
+// a ratchet-down reminder. -write-baseline rewrites the file from the
+// current counts (the only way the numbers move).
+//
+// -timings reports per-analyzer wall time; -budget fails the run when
+// the source layer exceeds the given total duration — the CI guard
+// keeping the abstract-interpretation tier interactive.
 //
 // The package argument is accepted for familiarity ("./...") but the
 // tool always analyzes the whole module containing the working
@@ -42,7 +60,10 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"tpcds/internal/lint"
 	"tpcds/internal/lint/templatecheck"
@@ -56,6 +77,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	summaryFlag := flag.String("summary", "", "print the interprocedural summary of the named function and exit")
 	cacheFlag := flag.String("cache", "", "summary cache file: restore unchanged packages, record the rest")
+	whyFlag := flag.String("why", "", "explain the value-tier findings at file:line and exit")
+	baselineFlag := flag.String("baseline", "", "suppression-ratchet file: fail if any rule's //lint:ignore count grows past it")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file from the current suppression counts")
+	timingsFlag := flag.Bool("timings", false, "report per-analyzer wall time")
+	budgetFlag := flag.Duration("budget", 0, "fail when the source layer exceeds this total wall time (0 = no limit)")
 	flag.Parse()
 
 	if *rulesFlag == "help" {
@@ -92,6 +118,9 @@ func main() {
 		}
 		return
 	}
+	if *whyFlag != "" {
+		os.Exit(explain(*whyFlag))
+	}
 	var rules []string
 	if *rulesFlag != "" {
 		for _, r := range strings.Split(*rulesFlag, ",") {
@@ -108,11 +137,13 @@ func main() {
 	}
 
 	// all accumulates every finding as a lint.Diagnostic so -json emits
-	// one uniform array: source findings first (already sorted by
+	// one uniform object: source findings first (already sorted by
 	// position), then template findings as rule "template" in template
 	// order. Both orders are deterministic, so the artifact is diffable
 	// across CI runs.
 	var all []lint.Diagnostic
+	failed := false
+	var timings map[string]float64
 	if *source {
 		_, pkgs, err := lint.Module(".")
 		if err != nil {
@@ -132,6 +163,33 @@ func main() {
 		all = append(all, res.Diagnostics...)
 		fmt.Fprintf(os.Stderr, "dslint: source: %d packages, %d findings, %d suppressed by //lint:ignore\n",
 			len(pkgs), len(res.Diagnostics), res.Suppressed)
+		var total time.Duration
+		for _, d := range res.Timings {
+			total += d
+		}
+		if *timingsFlag {
+			timings = map[string]float64{}
+			var names []string
+			for name, d := range res.Timings {
+				names = append(names, name)
+				timings[name] = float64(d.Microseconds()) / 1000
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(os.Stderr, "dslint: timing: %-12s %s\n", name, res.Timings[name].Round(time.Millisecond))
+			}
+			fmt.Fprintf(os.Stderr, "dslint: timing: %-12s %s\n", "total", total.Round(time.Millisecond))
+		}
+		if *budgetFlag > 0 && total > *budgetFlag {
+			fmt.Fprintf(os.Stderr, "dslint: source layer took %s, over the %s budget\n",
+				total.Round(time.Millisecond), *budgetFlag)
+			failed = true
+		}
+		if *baselineFlag != "" {
+			if !ratchet(*baselineFlag, *writeBaseline, rules, res.SuppressedByRule) {
+				failed = true
+			}
+		}
 	}
 	if *templates {
 		diags := templatecheck.CheckAll(queries.All())
@@ -150,9 +208,13 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if all == nil {
-			all = []lint.Diagnostic{} // emit [] rather than null
+			all = []lint.Diagnostic{} // emit "findings": [] rather than null
 		}
-		if err := enc.Encode(all); err != nil {
+		out := struct {
+			Findings []lint.Diagnostic  `json:"findings"`
+			Timings  map[string]float64 `json:"timings,omitempty"` // per-analyzer wall ms
+		}{all, timings}
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
 			os.Exit(2)
 		}
@@ -161,7 +223,127 @@ func main() {
 			fmt.Println(d)
 		}
 	}
-	if len(all) > 0 {
+	if len(all) > 0 || failed {
 		os.Exit(1)
 	}
+}
+
+// explain implements -why: it re-runs the value-tier analyzers and
+// prints, for each finding at the given file:line, the proof
+// obligations that failed and the abstract facts that were too weak.
+func explain(loc string) int {
+	i := strings.LastIndex(loc, ":")
+	if i < 0 {
+		fmt.Fprintf(os.Stderr, "dslint: -why wants file:line, got %q\n", loc)
+		return 2
+	}
+	file, lineStr := loc[:i], loc[i+1:]
+	line, err := strconv.Atoi(lineStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dslint: -why wants file:line, got %q\n", loc)
+		return 2
+	}
+	_, pkgs, err := lint.Module(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
+		return 2
+	}
+	res := lint.CheckRules(pkgs, []string{"boundscheck", "nilcheck", "errcontract"})
+	matched := 0
+	for _, d := range res.Diagnostics {
+		if d.Pos.Line != line || !sameFile(d.Pos.Filename, file) {
+			continue
+		}
+		matched++
+		fmt.Println(d)
+		if d.Why != "" {
+			for _, l := range strings.Split(d.Why, "\n") {
+				fmt.Println("\t" + l)
+			}
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "dslint: no value-tier finding at %s (proof succeeded, or the finding is suppressed — remove the //lint:ignore to re-triage it)\n", loc)
+		return 1
+	}
+	return 0
+}
+
+// sameFile matches the user-given path against a finding's filename by
+// suffix, so both "internal/exec/batch.go" and "batch.go" work.
+func sameFile(found, given string) bool {
+	return found == given || strings.HasSuffix(found, "/"+given)
+}
+
+// ratchet implements -baseline: current per-rule suppression counts may
+// only move down relative to the committed file. Rules that did not run
+// are left out of the comparison (their count is vacuously zero). With
+// write set, the file is rewritten from the current counts, keeping the
+// stored value for rules that did not run.
+func ratchet(path string, write bool, rules []string, current map[string]int) bool {
+	stored := map[string]int{}
+	data, err := os.ReadFile(path)
+	if err == nil {
+		if err := json.Unmarshal(data, &stored); err != nil {
+			fmt.Fprintf(os.Stderr, "dslint: baseline %s: %v\n", path, err)
+			return false
+		}
+	} else if !write {
+		fmt.Fprintf(os.Stderr, "dslint: baseline %s: %v (run -write-baseline to create it)\n", path, err)
+		return false
+	}
+	ran := map[string]bool{}
+	if len(rules) == 0 {
+		for _, r := range lint.Rules() {
+			ran[r] = true
+		}
+	} else {
+		for _, r := range rules {
+			ran[r] = true
+		}
+	}
+	if write {
+		next := map[string]int{}
+		for rule, n := range stored {
+			if !ran[rule] && n > 0 {
+				next[rule] = n
+			}
+		}
+		for rule, n := range current {
+			if n > 0 {
+				next[rule] = n
+			}
+		}
+		out, err := json.MarshalIndent(next, "", "\t")
+		if err == nil {
+			err = os.WriteFile(path, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dslint: writing baseline %s: %v\n", path, err)
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "dslint: baseline %s rewritten\n", path)
+		return true
+	}
+	ok := true
+	var names []string
+	for rule := range ran {
+		if current[rule] > 0 || stored[rule] > 0 {
+			names = append(names, rule)
+		}
+	}
+	sort.Strings(names)
+	for _, rule := range names {
+		cur, base := current[rule], stored[rule]
+		switch {
+		case cur > base:
+			fmt.Fprintf(os.Stderr, "dslint: suppression ratchet: rule %s has %d //lint:ignore directives, baseline allows %d — fix the code or justify and -write-baseline\n",
+				rule, cur, base)
+			ok = false
+		case cur < base:
+			fmt.Fprintf(os.Stderr, "dslint: suppression ratchet: rule %s is down to %d (baseline %d) — ratchet down with -write-baseline\n",
+				rule, cur, base)
+		}
+	}
+	return ok
 }

@@ -247,7 +247,3 @@ func (g *Generator) genShipMode(def *schema.Table) *storage.Table {
 	}
 	return t
 }
-
-func stampNow() int64 { return time.Now().UnixNano() }
-
-func emitStamp() storage.Value { return storage.Int(stampNow()) }

@@ -258,6 +258,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 			row := make([]storage.Value, width, width+len(winMap))
 			copy(row, g.vals)
 			for i := range specs {
+				//lint:ignore boundscheck every group is allocated with accs: make([]aggAcc, len(specs)); the per-group field length is a cross-object invariant the per-variable domain cannot carry
 				row[len(groupExprs)+i] = g.accs[i].finalize(specs[i])
 			}
 			out = append(out, row)
@@ -299,6 +300,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 				if specs[i].arg != nil {
 					v = specs[i].arg.eval(row)
 				}
+				//lint:ignore boundscheck every group is allocated with accs: make([]aggAcc, len(specs)); the per-group field length is a cross-object invariant the per-variable domain cannot carry
 				g.accs[i].add(v, specs[i].distinct)
 			}
 		}
@@ -347,6 +349,14 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 	aggregateMaskParallel := func(mask uint, workers, morsel int) [][]storage.Value {
 		precompute(workers, morsel)
 		n := len(rows)
+		// Shadow with locals pinned to this mask's view: precompute
+		// guarantees one value slot per row, and the explicit check
+		// makes that contract a local fact rather than action at a
+		// distance through the lazily-filled captures.
+		gv, av := gv, av
+		if len(gv) != n || len(av) != n {
+			panic("exec: precompute row-value sizes out of sync with rows")
+		}
 		keys := make([]string, n)
 		parts := make([]int, n)
 		counts := forEachMorsel(b.qc, workers, n, morsel, func(_, _, lo, hi int) {
@@ -355,6 +365,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 				buf = buf[:0]
 				for i := range groupExprs {
 					if mask&(1<<uint(i)) != 0 {
+						//lint:ignore boundscheck precompute builds each gv row with make([]storage.Value, len(groupExprs)); per-element slice lengths are outside the per-variable domain
 						buf = gv[r][i].AppendGroupKey(buf)
 					} else {
 						buf = append(buf, 0, '-')
@@ -381,6 +392,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 					gvals := make([]storage.Value, len(groupExprs))
 					for i := range groupExprs {
 						if mask&(1<<uint(i)) != 0 {
+							//lint:ignore boundscheck precompute builds each gv row with make([]storage.Value, len(groupExprs)); per-element slice lengths are outside the per-variable domain
 							gvals[i] = gv[r][i]
 						} else {
 							gvals[i] = storage.Null
@@ -391,6 +403,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 					order = append(order, g)
 				}
 				for i := range specs {
+					//lint:ignore boundscheck per-group accs and per-row av lengths are fixed at construction (len(specs)); per-element invariants are outside the per-variable domain
 					g.accs[i].add(av[r][i], specs[i].distinct)
 				}
 			}
@@ -447,6 +460,7 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 	// Slot table for post-aggregation binding.
 	slots := map[string]bexpr{}
 	for i, r := range groupRenders {
+		//lint:ignore boundscheck groupRenders is emitted one entry per groupExprs element (lockstep lengths); cross-slice equality is outside the per-variable domain
 		slots[r] = &colExpr{off: i, t: groupExprs[i].typ()}
 	}
 	for i, spec := range specs {
@@ -462,6 +476,9 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		if w.Agg.Star {
 			ws.arg = nil
 		} else {
+			if len(w.Agg.Args) != 1 {
+				return nil, nil, fmt.Errorf("%s expects one argument", w.Agg.Name)
+			}
 			arg, err := b.bind(w.Agg.Args[0])
 			if err != nil {
 				return nil, nil, fmt.Errorf("window argument: %w", err)
@@ -513,8 +530,9 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		}
 		spec := aggSpec{fn: ws.fn, arg: ws.arg}
 		outType := aggOutType(ws.fn, ws.arg)
-		slot := width
-		width++
+		// Window columns take slots past the aggregate layout; width
+		// itself stays fixed at the emit-time row length.
+		slot := width + wi
 		for ri := range aggRows {
 			aggRows[ri] = append(aggRows[ri], accs[keys[ri]].finalize(spec))
 		}

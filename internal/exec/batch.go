@@ -22,6 +22,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"tpcds/internal/schema"
 	"tpcds/internal/storage"
 )
@@ -50,9 +52,20 @@ type colReader struct {
 	nulls []bool
 }
 
+// tableAt returns the bound instance at table index ti with an explicit
+// range check: indices flow in from plan structures, and a stale index
+// is a planner bug that deserves a clear panic rather than a slice
+// fault deep inside a kernel.
+func (b *binder) tableAt(ti int) *tabInst {
+	if ti < 0 || ti >= len(b.tables) {
+		panic(fmt.Sprintf("exec: table index %d out of range (%d tables bound)", ti, len(b.tables)))
+	}
+	return &b.tables[ti]
+}
+
 // colReaders resolves the used columns of table ti to vector readers.
 func (b *binder) colReaders(ti int) []colReader {
-	inst := &b.tables[ti]
+	inst := b.tableAt(ti)
 	cols := b.usedCols(ti)
 	out := make([]colReader, 0, len(cols))
 	for _, c := range cols {
@@ -82,6 +95,7 @@ func (cr *colReader) value(r int32) storage.Value {
 // fillRow materializes base-table row r into the full-width row buffer.
 func fillRow(readers []colReader, r int32, row []storage.Value) {
 	for i := range readers {
+		//lint:ignore boundscheck layout invariant: the binder assigns every reader off < total and row is allocated at the bound width (see binder.colReaders); cross-struct offsets are outside the per-variable domain
 		row[readers[i].off] = readers[i].value(r)
 	}
 }
@@ -91,6 +105,7 @@ func fillRow(readers []colReader, r int32, row []storage.Value) {
 func materializeSel(readers []colReader, total int, sel []int32, out [][]storage.Value) [][]storage.Value {
 	buf := make([]storage.Value, len(sel)*total)
 	for i, r := range sel {
+		//lint:ignore boundscheck i*total is a product of two variables; the arena is allocated at len(sel)*total so the carve is exact, but nonlinear arithmetic is outside the linear interval domain
 		row := buf[i*total : (i+1)*total : (i+1)*total]
 		fillRow(readers, r, row)
 		out = append(out, row)
@@ -165,11 +180,18 @@ func (tf *tableFilter) newScratch(batch int) *batchScratch {
 // apply runs every kernel over sel, compacting survivors in place, then
 // finishes with the uncompiled conjuncts on whatever is left.
 func (tf *tableFilter) apply(sel []int32, sc *batchScratch) []int32 {
+	// Local header: kernel calls cannot retarget a slice passed by
+	// value, so len(tbuf) is stable across the loop in a way len(sc.tri)
+	// is not (sc is a pointer any callee could write through).
+	tbuf := sc.tri
+	if len(tbuf) < len(sel) {
+		panic("exec: scratch tri vector smaller than the selection")
+	}
 	for _, k := range tf.kernels {
 		if len(sel) == 0 {
 			return sel
 		}
-		tri := sc.tri[:len(sel)]
+		tri := tbuf[:len(sel)]
 		k(sel, tri)
 		w := 0
 		for i, r := range sel {
@@ -211,14 +233,15 @@ func (tf *tableFilter) scanRange(qc *qctx, batch, lo, hi int, fn func(sel []int3
 		batch = 1
 	}
 	sc := tf.newScratch(batch)
+	buf := sc.sel
+	if len(buf) < batch {
+		panic("exec: scratch selection vector smaller than batch")
+	}
 	for base := lo; base < hi; base += batch {
 		qc.checkNow()
 		qc.countBatch()
-		end := base + batch
-		if end > hi {
-			end = hi
-		}
-		sel := sc.sel[:end-base]
+		end := min(base+batch, hi)
+		sel := buf[:end-base]
 		for i := range sel {
 			sel[i] = int32(base + i)
 		}
@@ -236,15 +259,16 @@ func (tf *tableFilter) scanIDs(qc *qctx, batch int, ids []int32, fn func(sel []i
 		batch = 1
 	}
 	sc := tf.newScratch(batch)
+	buf := sc.sel
+	if len(buf) < batch {
+		panic("exec: scratch selection vector smaller than batch")
+	}
 	for base := 0; base < len(ids); base += batch {
 		qc.checkNow()
 		qc.countBatch()
-		end := base + batch
-		if end > len(ids) {
-			end = len(ids)
-		}
-		sel := sc.sel[:end-base]
-		copy(sel, ids[base:end])
+		end := min(base+batch, len(ids))
+		sel := buf[:end-base]
+		copy(sel, ids[base:])
 		sel = tf.apply(sel, sc)
 		if len(sel) > 0 {
 			fn(sel)
@@ -260,7 +284,7 @@ func (b *binder) kernelCol(ti int, e bexpr) (*colReader, bool) {
 	if !ok {
 		return nil, false
 	}
-	inst := &b.tables[ti]
+	inst := b.tableAt(ti)
 	c := ce.off - inst.offset
 	if c < 0 || c >= inst.width() {
 		return nil, false
@@ -790,6 +814,7 @@ func intJoinKey(probe, build []*colExpr) bool {
 
 // rowIntKey extracts the int64 join key of a materialized row.
 func rowIntKey(row []storage.Value, col *colExpr) (int64, bool) {
+	//lint:ignore boundscheck layout invariant: col.off is a binder-assigned offset < total and row is allocated at b.total; cross-struct offsets are outside the per-variable domain
 	v := row[col.off]
 	if v.IsNull() {
 		return 0, false
@@ -801,6 +826,7 @@ func rowIntKey(row []storage.Value, col *colExpr) (int64, bool) {
 // row to buf; ok=false on a NULL component (NULL never joins).
 func appendRowKey(row []storage.Value, cols []*colExpr, buf []byte) ([]byte, bool) {
 	for _, c := range cols {
+		//lint:ignore boundscheck layout invariant: c.off is a binder-assigned offset < total and row is allocated at b.total; cross-struct offsets are outside the per-variable domain
 		v := row[c.off]
 		if v.IsNull() {
 			return buf, false

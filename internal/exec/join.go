@@ -99,7 +99,7 @@ func tablePreds(ti int, filters []filterInfo) []bexpr {
 // keep. With vectorization on, predicates run as batch kernels over the
 // column vectors and only survivors are materialized into the buffer.
 func (b *binder) forEachFiltered(ti int, filters []filterInfo, fn func(r int, row []storage.Value)) {
-	inst := &b.tables[ti]
+	inst := b.tableAt(ti)
 	n := inst.tab.NumRows()
 	b.qc.countScan(n)
 	if b.eng.vectorized {
@@ -119,6 +119,7 @@ func (b *binder) forEachFiltered(ti int, filters []filterInfo, fn func(r int, ro
 	for r := 0; r < n; r++ {
 		b.qc.tick()
 		for _, c := range cols {
+			//lint:ignore boundscheck layout invariant: inst.offset+c < total for every used column and row is allocated at b.total; cross-struct offsets are outside the per-variable domain
 			row[inst.offset+c] = inst.tab.Get(r, c)
 		}
 		ok := true
@@ -139,7 +140,7 @@ func (b *binder) forEachFiltered(ti int, filters []filterInfo, fn func(r int, ro
 // batch out of one arena allocation.
 func (b *binder) filteredRows(ti int, filters []filterInfo) [][]storage.Value {
 	if b.eng.vectorized {
-		inst := &b.tables[ti]
+		inst := b.tableAt(ti)
 		n := inst.tab.NumRows()
 		b.qc.countScan(n)
 		tf := b.compileFilter(ti, filters)
@@ -163,7 +164,7 @@ func (b *binder) filteredRows(ti int, filters []filterInfo) [][]storage.Value {
 // counted straight off the selection vector.
 func (b *binder) countFiltered(ti int, filters []filterInfo) int {
 	if b.eng.vectorized {
-		inst := &b.tables[ti]
+		inst := b.tableAt(ti)
 		nr := inst.tab.NumRows()
 		b.qc.countScan(nr)
 		tf := b.compileFilter(ti, filters)
@@ -181,7 +182,7 @@ func (b *binder) countFiltered(ti int, filters []filterInfo) int {
 // min/max stats; other predicates — and everything when statistics are
 // disabled — use the plan package's fixed heuristics.
 func (e *Engine) estimateFiltered(b *binder, ti int, filters []filterInfo) float64 {
-	est := float64(b.tables[ti].tab.NumRows())
+	est := float64(b.tableAt(ti).tab.NumRows())
 	for _, f := range filters {
 		if f.table != ti {
 			continue
@@ -207,20 +208,23 @@ func (e *Engine) estimateFiltered(b *binder, ti int, filters []filterInfo) float
 // Both planners produce orders satisfying the probe-major order
 // invariant, so execution needs no knowledge of which one planned.
 func (e *Engine) executeJoinOrder(b *binder, order []int, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin, tr *Trace) ([][]storage.Value, []string) {
+	if len(order) == 0 {
+		panic("exec: empty join order")
+	}
 	driver := order[0]
 	current := e.scanFiltered(b, driver, filters, tr)
 	joined := map[int]bool{driver: true}
-	desc := []string{b.tables[driver].binding + " (driver)"}
+	desc := []string{b.tableAt(driver).binding + " (driver)"}
 	for _, ti := range order[1:] {
 		current = e.innerHashJoin(b, current, ti, filters, edges, joined, tr)
 		joined[ti] = true
-		desc = append(desc, b.tables[ti].binding)
+		desc = append(desc, b.tableAt(ti).binding)
 	}
 	// LEFT OUTER joins, in declaration order.
 	for _, lj := range lefts {
 		current = e.leftHashJoin(b, current, lj, filters, tr)
 		joined[lj.table] = true
-		desc = append(desc, b.tables[lj.table].binding+" (left)")
+		desc = append(desc, b.tableAt(lj.table).binding+" (left)")
 	}
 	// Residual cross-table predicates.
 	if len(residual) > 0 {
@@ -263,6 +267,7 @@ func joinKeys(edges []joinEdge, joined map[int]bool, ti int) (probe, build []*co
 func keyOf(row []storage.Value, cols []*colExpr) (string, bool) {
 	key := ""
 	for _, c := range cols {
+		//lint:ignore boundscheck layout invariant: c.off is a binder-assigned offset < total and row is allocated at b.total; cross-struct offsets are outside the per-variable domain
 		v := row[c.off]
 		if v.IsNull() {
 			return "", false // NULL never joins
@@ -291,11 +296,14 @@ func (b *binder) buildHash(ti int, filters []filterInfo, build []*colExpr) map[s
 // come straight off the column vector, no Value boxing, no GroupKey
 // string. Vectorized mode only.
 func (b *binder) buildHashInt(ti int, filters []filterInfo, build *colExpr) map[int64][]int32 {
-	inst := &b.tables[ti]
+	inst := b.tableAt(ti)
 	n := inst.tab.NumRows()
 	b.qc.countScan(n)
 	tf := b.compileFilter(ti, filters)
 	kcs := b.keyCols(ti, []*colExpr{build})
+	if len(kcs) != 1 {
+		panic("exec: buildHashInt expects a single key column")
+	}
 	nulls, ints := kcs[0].nulls, kcs[0].ints
 	ht := map[int64][]int32{}
 	built := 0
@@ -314,8 +322,9 @@ func (b *binder) buildHashInt(ti int, filters []filterInfo, build *colExpr) map[
 
 // fillSpan copies the used columns of table ti's row r into dst.
 func (b *binder) fillSpan(ti int, r int32, dst []storage.Value) {
-	inst := &b.tables[ti]
+	inst := b.tableAt(ti)
 	for _, c := range b.usedCols(ti) {
+		//lint:ignore boundscheck layout invariant: inst.offset+c < total for every used column and dst is allocated at b.total; cross-struct offsets are outside the per-variable domain
 		dst[inst.offset+c] = inst.tab.Get(int(r), c)
 	}
 }
@@ -325,7 +334,7 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 	probe, build := joinKeys(edges, joined, ti)
 	if len(probe) == 0 {
 		// No connecting edge: cartesian product (rare; small sides only).
-		sp := b.qc.startOp("cartesian", b.tables[ti].binding)
+		sp := b.qc.startOp("cartesian", b.tableAt(ti).binding)
 		defer b.qc.endOp(sp)
 		var ids []int32
 		b.forEachFiltered(ti, filters, func(r int, _ []storage.Value) {
@@ -359,7 +368,7 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 // over current (each probe row is independent; per-morsel buffers keep
 // the serial output order).
 func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin, filters []filterInfo, tr *Trace) [][]storage.Value {
-	sp := b.qc.startOp("left", b.tables[lj.table].binding)
+	sp := b.qc.startOp("left", b.tableAt(lj.table).binding)
 	sp.SetAttrInt("rows_in", int64(len(current)))
 	defer b.qc.endOp(sp)
 	var probe, build []*colExpr
@@ -380,7 +389,7 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 		matched := false
 		candidates := allIDs
 		if ht != nil {
-			if ht.iparts != nil {
+			if ht.iparts != nil && len(probe) == 1 {
 				if k, ok := rowIntKey(l, probe[0]); ok {
 					candidates = ht.lookupInt(k)
 				} else {
@@ -435,6 +444,7 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 		for _, l := range current[lo:hi] {
 			out = probeOne(l, out)
 		}
+		//lint:ignore boundscheck forEachMorsel enumerates m < (n+morsel-1)/morsel = len(outs); integer division is outside the linear interval domain
 		outs[m] = out
 	})
 	tr.addWork(counts)

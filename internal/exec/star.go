@@ -30,10 +30,10 @@ func (e *Engine) starShape(b *binder, filters []filterInfo, edges []joinEdge, le
 	fact := -1
 	factIsFact := false
 	for ti := range b.tables {
-		isFact := b.tables[ti].tab.Def.Kind == schema.Fact
+		isFact := b.tableAt(ti).tab.Def.Kind == schema.Fact
 		better := fact < 0 ||
 			(isFact && !factIsFact) ||
-			(isFact == factIsFact && b.tables[ti].tab.NumRows() > b.tables[fact].tab.NumRows())
+			(isFact == factIsFact && b.tableAt(ti).tab.NumRows() > b.tableAt(fact).tab.NumRows())
 		if better {
 			fact, factIsFact = ti, isFact
 		}
@@ -58,7 +58,7 @@ func (e *Engine) starShape(b *binder, filters []filterInfo, edges []joinEdge, le
 			// ONE binding is a composite join) — not star shaped.
 			return plan.StarShape{}, nil, false
 		}
-		inst := &b.tables[dimT]
+		inst := b.tableAt(dimT)
 		pk := inst.tab.Def.PrimaryKey
 		if len(pk) != 1 {
 			return plan.StarShape{}, nil, false
@@ -74,11 +74,11 @@ func (e *Engine) starShape(b *binder, filters []filterInfo, edges []joinEdge, le
 		return plan.StarShape{}, nil, false
 	}
 	shape := plan.StarShape{
-		FactName: b.tables[fact].binding,
-		FactRows: b.tables[fact].tab.NumRows(),
+		FactName: b.tableAt(fact).binding,
+		FactRows: b.tableAt(fact).tab.NumRows(),
 	}
 	for ti, spec := range dims {
-		inst := &b.tables[ti]
+		inst := b.tableAt(ti)
 		// Exact filtered cardinality: dimensions are small, a counting
 		// scan is cheaper than being wrong about the strategy.
 		filtered := inst.tab.NumRows()
@@ -121,7 +121,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 	if fact < 0 {
 		return nil, false
 	}
-	factInst := &b.tables[fact]
+	factInst := b.tableAt(fact)
 	sp := b.qc.startOp("star", factInst.binding)
 	defer b.qc.endOp(sp)
 
@@ -134,10 +134,11 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 	var dimDatas []dimData
 	var accBitmap *index.Bitmap
 	for ti, spec := range dims {
-		inst := &b.tables[ti]
+		inst := b.tableAt(ti)
 		dd := dimData{spec: spec, rows: map[int64]int32{}}
 		var keys []int64
 		b.forEachFiltered(ti, filters, func(r int, row []storage.Value) {
+			//lint:ignore boundscheck layout invariant: inst.offset+spec.pkCol < total (binder-assigned offsets) and row is allocated at b.total; cross-struct offsets are outside the per-variable domain
 			skVal := row[inst.offset+spec.pkCol]
 			if skVal.IsNull() {
 				return
@@ -186,6 +187,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 	// predicates already satisfied) and appends the joined copy.
 	joinBack := func(row []storage.Value, out [][]storage.Value) [][]storage.Value {
 		for _, dd := range dimDatas {
+			//lint:ignore boundscheck layout invariant: factCol.off is a binder-assigned offset < total and row is allocated at b.total; cross-struct offsets are outside the per-variable domain
 			fkVal := row[dd.spec.factCol.off]
 			if fkVal.IsNull() {
 				return out
@@ -210,6 +212,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 			row[i] = storage.Null
 		}
 		for _, c := range factCols {
+			//lint:ignore boundscheck layout invariant: factInst.offset+c < total for every used column and row is allocated at b.total; cross-struct offsets are outside the per-variable domain
 			row[factInst.offset+c] = factInst.tab.Get(r, c)
 		}
 		for _, p := range factPreds {
@@ -254,6 +257,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 			tf.scanIDs(b.qc, batch, ids[lo:hi], func(sel []int32) {
 				out = fetchSel(sel, row, out)
 			})
+			//lint:ignore boundscheck forEachMorsel enumerates m < (n+morsel-1)/morsel = len(outs); integer division is outside the linear interval domain
 			outs[m] = out
 		})
 		tr.addWork(counts)
@@ -279,6 +283,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		for _, r := range ids[lo:hi] {
 			out = fetch(int(r), row, out)
 		}
+		//lint:ignore boundscheck forEachMorsel enumerates m < (n+morsel-1)/morsel = len(outs); integer division is outside the linear interval domain
 		outs[m] = out
 	})
 	tr.addWork(counts)

@@ -41,6 +41,28 @@ func BenchmarkLintModule(b *testing.B) {
 // every package from a content-hash-keyed store first, so only the
 // graph construction remains. The gap is what `dslint -cache` saves on
 // a repeat run over an unchanged tree.
+// BenchmarkValueTier times one full abstract-interpretation pass — the
+// SSA-lite construction plus the interval/nilness/error-contract
+// fixpoint and replay — over every value-tier package of the module
+// (exec, plan, storage, obs). This is the marginal cost the value tier
+// adds to a dslint run; the CI budget assertion (-budget 30s) bounds
+// the same work. The per-package cache is cleared each iteration so
+// every pass is cold.
+func BenchmarkValueTier(b *testing.B) {
+	_, pkgs, err := Module(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := buildProgram(pkgs, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pkgs {
+			p.valRes, p.valProg = nil, nil
+			valueAnalyze(pr, p)
+		}
+	}
+}
+
 func BenchmarkSummaries(b *testing.B) {
 	_, pkgs, err := Module(".")
 	if err != nil {

@@ -1,0 +1,228 @@
+package lint
+
+// boundscheck.go proves index, slice, and divisor obligations over the
+// interval facts of valueflow.go. The rule is scoped to the batch
+// kernel files of internal/exec (batch.go, join.go, agg.go, star.go)
+// and all of internal/obs — the hot paths where an out-of-bounds
+// selection-vector index or histogram-bucket index silently corrupts a
+// result rather than crashing (PAPER.md's trustworthiness argument).
+//
+// An index proof needs two facts: lo(idx) ≥ 0 and hi(idx) ≤ L−1 for
+// some known length bound L of the indexed container (the constant
+// length of an array, the symbolic len(x) of an addressable slice, or
+// the tracked lower bound of its length interval). Trusted row ids
+// (the exec contract seeded in valueflow.go) pass without a derived
+// interval. What cannot be proven is flagged with the derived facts
+// attached for `dslint -why`.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzeBoundsCheck is the boundscheck analyzer entry.
+func analyzeBoundsCheck(pr *Program, p *Package) []Diagnostic {
+	return valueAnalyze(pr, p).diags["boundscheck"]
+}
+
+// indexLenBounds returns the candidate length lower bounds of the
+// indexed expression, or ok=false when the container kind carries no
+// bounds obligation here (maps, type parameters).
+func (va *valueAnalysis) indexLenBounds(env *valEnv, x ast.Expr) (cands []*lin, desc string, ok bool) {
+	t := va.p.typeOf(x)
+	if t == nil {
+		return nil, "", false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return nil, "", false
+	case *types.Array:
+		return []*lin{linConst(u.Len())}, fmt.Sprintf("len = %d", u.Len()), true
+	case *types.Pointer:
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return []*lin{linConst(arr.Len())}, fmt.Sprintf("len = %d", arr.Len()), true
+		}
+		return nil, "", false
+	case *types.Slice:
+	case *types.Basic:
+		if u.Info()&types.IsString == 0 {
+			return nil, "", false
+		}
+	default:
+		return nil, "", false
+	}
+	key := va.p.canonKey(x)
+	if key == "" {
+		return nil, "no stable identity for the indexed expression", true
+	}
+	cands = append(cands, linLen(key))
+	desc = fmt.Sprintf("len(%s) unknown", keyDisplay(key))
+	if l, ok := env.ln[key]; ok && l.lo != nil {
+		cands = append(cands, l.lo)
+		desc = fmt.Sprintf("len(%s) ∈ %s", keyDisplay(key), l.String())
+	}
+	return cands, desc, true
+}
+
+// checkIndex proves (or flags) one index expression.
+func (va *valueAnalysis) checkIndex(env *valEnv, v *ast.IndexExpr) {
+	cands, lenDesc, ok := va.indexLenBounds(env, v.X)
+	if !ok {
+		return
+	}
+	if va.trusted(env, v.Index) {
+		return // exec row-id contract
+	}
+	iv := va.eval(env, v.Index)
+	// The exact symbolic form is a second candidate for each side:
+	// interval arithmetic on `end − base` loses the cancelling base
+	// terms that the syntactic form keeps.
+	exact := va.evalExact(v.Index)
+	loOK := iv.lo != nil && va.proveNonNeg(env, iv.lo, proveDepth)
+	if !loOK && exact != nil {
+		loOK = va.proveNonNeg(env, exact, proveDepth)
+	}
+	hiOK := false
+	for _, cand := range cands {
+		// cand − 1 − hi ≥ 0  ⇔  hi ≤ cand − 1.
+		if iv.hi != nil && va.proveNonNeg(env, linAddK(linSub(cand, iv.hi), -1), proveDepth) {
+			hiOK = true
+			break
+		}
+		if exact != nil && va.proveNonNeg(env, linAddK(linSub(cand, exact), -1), proveDepth) {
+			hiOK = true
+			break
+		}
+	}
+	if loOK && hiOK {
+		return
+	}
+	why := fmt.Sprintf("index %s ∈ %s; %s; lower bound %s, upper bound %s",
+		displayExpr(v.Index), iv.String(), lenDesc, proofWord(loOK), proofWord(hiOK))
+	va.emit(v, "boundscheck", why,
+		"cannot prove index %s in bounds of %s", displayExpr(v.Index), displayExpr(v.X))
+}
+
+func proofWord(ok bool) string {
+	if ok {
+		return "proven"
+	}
+	return "unproven"
+}
+
+// checkSlice proves the obligations of s[lo:hi] (and the full three-
+// index form): lo ≥ 0, hi ≤ len(s) (sufficient since len ≤ cap — a
+// deliberate over-restriction, documented), lo ≤ hi.
+func (va *valueAnalysis) checkSlice(env *valEnv, v *ast.SliceExpr) {
+	cands, lenDesc, ok := va.indexLenBounds(env, v.X)
+	if !ok {
+		return
+	}
+	lo, hi := ivalConst(0), ivalTop()
+	if v.Low != nil {
+		lo = va.eval(env, v.Low)
+	}
+	if v.High != nil {
+		hi = va.eval(env, v.High)
+	} else {
+		if len(cands) > 0 {
+			hi = ivalExact(cands[0])
+		}
+	}
+	var loExact, hiExact *lin
+	if v.Low != nil {
+		loExact = va.evalExact(v.Low)
+	}
+	if v.High != nil {
+		hiExact = va.evalExact(v.High)
+	}
+	loOK := lo.lo != nil && va.proveNonNeg(env, lo.lo, proveDepth)
+	if !loOK && loExact != nil {
+		loOK = va.proveNonNeg(env, loExact, proveDepth)
+	}
+	hiOK := v.High == nil
+	if !hiOK {
+		for _, cand := range cands {
+			if hi.hi != nil && va.proveNonNeg(env, linSub(cand, hi.hi), proveDepth) { // hi ≤ cand
+				hiOK = true
+				break
+			}
+			if hiExact != nil && va.proveNonNeg(env, linSub(cand, hiExact), proveDepth) {
+				hiOK = true
+				break
+			}
+		}
+	}
+	ordOK := lo.hi != nil && hi.lo != nil && va.proveNonNeg(env, linSub(hi.lo, lo.hi), proveDepth)
+	if !ordOK && loExact != nil && hiExact != nil {
+		ordOK = va.proveNonNeg(env, linSub(hiExact, loExact), proveDepth)
+	}
+	if !ordOK && v.Low != nil && v.High != nil {
+		// Relational fallback: an interval entry for the bound variable
+		// hides its self-identity (eval returns [0, len(s)] for hi, not
+		// hi itself), but low's own upper bound may name the high
+		// variable directly — s[lo:hi] under the seeded fact lo ≤ hi.
+		if hk := va.intKeyOf(v.High); hk != "" && lo.hi != nil {
+			ordOK = va.proveNonNeg(env, linSub(linVar(hk), lo.hi), proveDepth)
+		}
+		if !ordOK {
+			if lk := va.intKeyOf(v.Low); lk != "" && hi.lo != nil {
+				ordOK = va.proveNonNeg(env, linSub(hi.lo, linVar(lk)), proveDepth)
+			}
+		}
+	}
+	if v.Low == nil {
+		ordOK = hiOK || (hi.lo != nil && va.proveNonNeg(env, hi.lo, proveDepth))
+	}
+	maxOK := true
+	if v.Max != nil {
+		m := va.eval(env, v.Max)
+		maxOK = false
+		if m.hi != nil {
+			for _, cand := range cands {
+				if va.proveNonNeg(env, linSub(cand, m.hi), proveDepth) {
+					maxOK = true
+					break
+				}
+			}
+		}
+	}
+	if loOK && hiOK && ordOK && maxOK {
+		return
+	}
+	why := fmt.Sprintf("low ∈ %s, high ∈ %s; %s; low≥0 %s, high≤len %s, low≤high %s",
+		lo.String(), hi.String(), lenDesc, proofWord(loOK), proofWord(hiOK), proofWord(ordOK))
+	va.emit(v, "boundscheck", why,
+		"cannot prove slice bounds of %s", displayExpr(v.X))
+}
+
+// checkDivisor flags integer division/modulo by a possibly-zero
+// divisor.
+func (va *valueAnalysis) checkDivisor(env *valEnv, v *ast.BinaryExpr) {
+	t := va.p.typeOf(v)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return
+	}
+	if k, isConst := constInt(va.p, v.Y); isConst {
+		if k != 0 {
+			return
+		}
+		// Constant zero divisor is a compile error; unreachable here.
+	}
+	y := va.eval(env, v.Y)
+	// divisor ≥ 1 or divisor ≤ −1, via the substitution prover.
+	if y.lo != nil && va.proveNonNeg(env, linAddK(y.lo, -1), proveDepth) {
+		return
+	}
+	if y.hi != nil && va.proveNonNeg(env, linNeg(linAddK(y.hi, 1)), proveDepth) {
+		return
+	}
+	why := fmt.Sprintf("divisor %s ∈ %s; cannot exclude 0", displayExpr(v.Y), y.String())
+	va.emit(v, "boundscheck", why,
+		"cannot prove divisor %s non-zero", displayExpr(v.Y))
+}

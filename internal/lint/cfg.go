@@ -40,6 +40,19 @@ type Block struct {
 	Index int
 	Nodes []ast.Node
 	Succs []*Block
+
+	// Branch metadata for the value tier (ssa.go, interval.go,
+	// nilness.go). When Cond is non-nil the block ends in a two-way
+	// branch on Cond and TrueSucc/FalseSucc are the successors taken
+	// when the condition is true/false. When Range is non-nil the block
+	// is a range-loop head: TrueSucc is the body (one more iteration),
+	// FalseSucc the exit. Both nil: the edges carry no condition. The
+	// fields are additive — analyzers that only read Succs are
+	// unaffected.
+	Cond     ast.Expr
+	Range    *ast.RangeStmt
+	TrueSucc *Block
+	FalseSucc *Block
 }
 
 func (b *Block) addSucc(s *Block) {
@@ -182,6 +195,8 @@ func (b *cfgBuilder) ifStmt(v *ast.IfStmt) {
 
 	thenB := b.newBlock()
 	head.addSucc(thenB)
+	head.Cond = v.Cond
+	head.TrueSucc = thenB
 	b.cur = thenB
 	b.stmtList(v.Body.List, "")
 	thenEnd := b.cur
@@ -191,6 +206,7 @@ func (b *cfgBuilder) ifStmt(v *ast.IfStmt) {
 	if hasElse {
 		elseB := b.newBlock()
 		head.addSucc(elseB)
+		head.FalseSucc = elseB
 		b.cur = elseB
 		b.stmt(v.Else, "")
 		elseEnd = b.cur
@@ -206,6 +222,7 @@ func (b *cfgBuilder) ifStmt(v *ast.IfStmt) {
 		}
 	} else {
 		head.addSucc(after)
+		head.FalseSucc = after
 	}
 	b.cur = after
 }
@@ -238,6 +255,11 @@ func (b *cfgBuilder) forStmt(v *ast.ForStmt, label string) {
 
 	body := b.newBlock()
 	head.addSucc(body)
+	if v.Cond != nil {
+		head.Cond = v.Cond
+		head.TrueSucc = body
+		head.FalseSucc = after
+	}
 	b.pushTargets(label, after, contTarget)
 	b.cur = body
 	b.stmtList(v.Body.List, "")
@@ -264,6 +286,9 @@ func (b *cfgBuilder) rangeStmt(v *ast.RangeStmt, label string) {
 
 	body := b.newBlock()
 	head.addSucc(body)
+	head.Range = v
+	head.TrueSucc = body
+	head.FalseSucc = after
 	b.pushTargets(label, after, head)
 	b.cur = body
 	b.stmtList(v.Body.List, "")

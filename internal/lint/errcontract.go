@@ -1,0 +1,403 @@
+package lint
+
+// errcontract.go enforces the (T, error) contract flow-sensitively:
+//
+//   - a call result guarded by a companion error must not be consumed
+//     (dereferenced, indexed, sliced, ranged, or selected through) on a
+//     path where the error has not been excluded — nil3 of the error
+//     key must be nil at the use;
+//   - error wrapping must preserve the original: an error formatted
+//     into fmt.Errorf must use the %w verb, and a return constructing a
+//     fresh error while a live error value is non-nil must mention it.
+//
+// Consuming uses are restricted to pointer-shaped operations: scalar
+// arithmetic on an (int, error) result (`n, err := w.Write(b); total +=
+// n`) is fine by design — only uses that can panic or read through the
+// result count.
+//
+// The interprocedural half lives in the two Summary fields computed by
+// computeErrFacts (after the PR-8 bottom-up fixpoint, callees before
+// callers): ReturnsNilErrOn marks error results nil on every return,
+// NonNilResultWhenNilErr marks results non-nil whenever the trailing
+// error is nil — the fact that promotes `if err != nil { return }` into
+// a non-nil proof for the companion result.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// analyzeErrContract is the errcontract analyzer entry.
+func analyzeErrContract(pr *Program, p *Package) []Diagnostic {
+	return valueAnalyze(pr, p).diags["errcontract"]
+}
+
+// checkConsume flags a pointer-shaped use of a companion-guarded result
+// while its error is not excluded.
+func (va *valueAnalysis) checkConsume(env *valEnv, base ast.Expr) {
+	key := va.p.canonKey(base)
+	if key == "" {
+		return
+	}
+	c, ok := env.comp[key]
+	if !ok {
+		return
+	}
+	if env.nl[key] == nlNonNil {
+		return // independently proven non-nil
+	}
+	switch env.nl[c.errKey] {
+	case nlNil:
+		return // error excluded on this path
+	case nlNonNil:
+		why := fmt.Sprintf("%s is non-nil on every path reaching this use of %s",
+			keyDisplay(c.errKey), keyDisplay(key))
+		va.emit(base, "errcontract", why,
+			"%s used although %s is non-nil", displayExpr(base), keyDisplay(c.errKey))
+	default:
+		why := fmt.Sprintf("%s is unchecked when %s is consumed (nilness: unknown)",
+			keyDisplay(c.errKey), keyDisplay(key))
+		va.emit(base, "errcontract", why,
+			"%s used before %s is checked", displayExpr(base), keyDisplay(c.errKey))
+	}
+}
+
+// checkReturn enforces the wrap obligations at one return site.
+func (va *valueAnalysis) checkReturn(env *valEnv, ret *ast.ReturnStmt) {
+	for _, r := range ret.Results {
+		va.checkExpr(env, r)
+	}
+	for _, r := range ret.Results {
+		call, ok := unparen(r).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		switch externalErrCtor(va.p, call) {
+		case "fmt.Errorf":
+			va.checkErrorfWrap(env, call)
+			va.checkDropsOriginal(env, ret, call)
+		case "errors.New":
+			va.checkDropsOriginal(env, ret, call)
+		}
+	}
+}
+
+// externalErrCtor classifies a call as fmt.Errorf / errors.New, else "".
+func externalErrCtor(p *Package, call *ast.CallExpr) string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "fmt.Errorf":
+		return "fmt.Errorf"
+	case "errors.New":
+		return "errors.New"
+	}
+	return ""
+}
+
+// checkErrorfWrap flags an error value formatted with a verb other than
+// %w: %v (or %s) erases the chain errors.Is/As walks.
+func (va *valueAnalysis) checkErrorfWrap(env *valEnv, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := va.p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // indexed or otherwise exotic format: no claim
+	}
+	for i, arg := range call.Args[1:] {
+		t := va.p.typeOf(arg)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if i >= len(verbs) {
+			break
+		}
+		if verbs[i] != 'w' {
+			why := fmt.Sprintf("error value %s formatted with %%%c; errors.Is/As cannot unwrap it",
+				displayExpr(arg), verbs[i])
+			va.emit(arg, "errcontract", why,
+				"error %s wrapped with %%%c: use %%w to preserve it", displayExpr(arg), verbs[i])
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order. ok=false when the format uses explicit argument indexes.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if format[i] == '[' {
+			return nil, false
+		}
+		for i < len(format) && strings.IndexByte("#0- +.123456789", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*') // width arg consumes a slot
+				continue
+			}
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}
+
+// checkDropsOriginal flags a return that constructs a fresh error while
+// a live error value is non-nil and unmentioned in any result — the
+// original failure is silently discarded.
+func (va *valueAnalysis) checkDropsOriginal(env *valEnv, ret *ast.ReturnStmt, ctor *ast.CallExpr) {
+	var live []string
+	for key := range va.errKeys {
+		if env.nl[key] == nlNonNil {
+			live = append(live, key)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	mentioned := map[string]bool{}
+	for _, r := range ret.Results {
+		ast.Inspect(r, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := objOf(va.p, id); obj != nil {
+					mentioned[objKey(obj)] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, key := range live {
+		if !mentioned[key] {
+			why := fmt.Sprintf("%s is non-nil here and does not reach the returned error",
+				keyDisplay(key))
+			va.emit(ctor, "errcontract", why,
+				"returned error drops the original %s", keyDisplay(key))
+			return // one finding per return suffices
+		}
+	}
+}
+
+// ---- interprocedural error facts ----
+
+// computeErrFacts fills ReturnsNilErrOn / NonNilResultWhenNilErr on
+// every summary, callees before callers (sccs order), by running the
+// value engine over each body and inspecting the environment at every
+// return. Packages restored from the summary cache keep their stored
+// bits.
+func (pr *Program) computeErrFacts(cached map[*Package]bool) {
+	for _, comp := range pr.sccs() {
+		if cached[comp[0].Pkg] {
+			continue
+		}
+		for _, n := range comp {
+			pr.errFactsFor(n)
+		}
+	}
+}
+
+// errFactsFor computes the two bitmasks for one function.
+func (pr *Program) errFactsFor(n *FuncNode) {
+	fd := n.Decl
+	if fd.Type.Results == nil {
+		return
+	}
+	var resObjs []types.Object
+	var resTypes []types.Type
+	for _, f := range fd.Type.Results.List {
+		reps := len(f.Names)
+		if reps == 0 {
+			reps = 1
+		}
+		for i := 0; i < reps; i++ {
+			var obj types.Object
+			if i < len(f.Names) {
+				obj = n.Pkg.Info.Defs[f.Names[i]]
+			}
+			resObjs = append(resObjs, obj)
+			resTypes = append(resTypes, n.Pkg.Info.Types[f.Type].Type)
+		}
+	}
+	nres := len(resTypes)
+	if nres == 0 || nres > 32 {
+		return
+	}
+	errIdx := -1
+	anyNilable := false
+	for i, t := range resTypes {
+		if t != nil && isErrorType(t) {
+			errIdx = i
+		} else if t != nil && nilable(t) {
+			anyNilable = true
+		}
+	}
+	if errIdx < 0 && !anyNilable {
+		return
+	}
+	va := &valueAnalysis{
+		pr:       pr,
+		p:        n.Pkg,
+		res:      &valueResult{diags: map[string][]Diagnostic{}},
+		seeds:    map[*ast.FuncLit]*valEnv{},
+		reported: map[string]bool{},
+		quiet:    true,
+	}
+	fs := funcScope{name: fd.Name.Name, decl: fd, body: fd.Body}
+	va.fs = fs
+	va.s = newSSA(va.p, fs)
+	va.errKeys = map[string]bool{}
+	va.compact = map[types.Object]compactFact{}
+	va.findCompactions(fs.body)
+	envs := va.solve(va.s, va.boundaryEnv(fs))
+
+	errAlwaysNil := errIdx >= 0
+	var okMask uint32
+	for i, t := range resTypes {
+		if i != errIdx && t != nil && nilable(t) {
+			okMask |= 1 << uint(i)
+		}
+	}
+	sawReturn := false
+	for _, blk := range va.s.g.Blocks {
+		env := envs[blk]
+		if env == nil {
+			env = newValEnv()
+		} else {
+			env = env.clone()
+		}
+		for _, node := range blk.Nodes {
+			if ret, ok := node.(*ast.ReturnStmt); ok {
+				sawReturn = true
+				vals := va.returnValues(env, ret, resObjs, resTypes)
+				errNl := nlUnknown
+				if errIdx >= 0 {
+					errNl = vals[errIdx]
+					if errNl != nlNil {
+						errAlwaysNil = false
+					}
+				}
+				if errNl != nlNonNil {
+					// The error can be nil on this return: every ok-mask
+					// result must be non-nil to keep its bit.
+					for i := 0; i < nres; i++ {
+						if okMask&(1<<uint(i)) != 0 && vals[i] != nlNonNil {
+							okMask &^= 1 << uint(i)
+						}
+					}
+				}
+			}
+			va.transferNode(env, node)
+		}
+	}
+	if !sawReturn {
+		// No normal return (panic/loop): facts are vacuous; keep the
+		// conservative zero for the error bit, the full mask for results
+		// (no caller ever observes them).
+		errAlwaysNil = false
+	}
+	sum := pr.summaryOf(n)
+	if errAlwaysNil {
+		sum.ReturnsNilErrOn |= 1 << uint(errIdx)
+	}
+	sum.NonNilResultWhenNilErr = okMask
+}
+
+// returnValues computes the nilness of each result at one return.
+func (va *valueAnalysis) returnValues(env *valEnv, ret *ast.ReturnStmt, resObjs []types.Object, resTypes []types.Type) []nil3 {
+	nres := len(resTypes)
+	vals := make([]nil3, nres)
+	switch {
+	case len(ret.Results) == 0:
+		for i, obj := range resObjs {
+			if obj != nil {
+				vals[i] = env.nl[objKey(obj)]
+			}
+		}
+	case len(ret.Results) == nres:
+		for i, r := range ret.Results {
+			vals[i] = va.returnNilness(env, r)
+		}
+	case len(ret.Results) == 1:
+		// return f(): forward the callee's facts.
+		if call, ok := unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			if cn := va.pr.calleeNode(va.p, call); cn != nil && cn.sum != nil {
+				for i := 0; i < nres && i < 32; i++ {
+					if resTypes[i] != nil && isErrorType(resTypes[i]) {
+						if cn.sum.ReturnsNilErrOn&(1<<uint(i)) != 0 {
+							vals[i] = nlNil
+						}
+					} else if cn.sum.NonNilResultWhenNilErr&(1<<uint(i)) != 0 {
+						// Callee guarantees non-nil when its error is nil;
+						// as an unconditional fact this is only sound when
+						// the callee has no error result — leave unknown
+						// otherwise.
+						if !tupleHasError(resTypes) {
+							vals[i] = nlNonNil
+						}
+					}
+				}
+			}
+		}
+	}
+	return vals
+}
+
+func tupleHasError(ts []types.Type) bool {
+	for _, t := range ts {
+		if t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnNilness resolves one returned expression's nilness: syntax
+// first, then the environment, then the error-constructor model
+// (errors.New / fmt.Errorf never return nil).
+func (va *valueAnalysis) returnNilness(env *valEnv, e ast.Expr) nil3 {
+	if n := va.nilFact(env, e); n != nlUnknown {
+		return n
+	}
+	if call, ok := unparen(e).(*ast.CallExpr); ok {
+		if externalErrCtor(va.p, call) != "" {
+			return nlNonNil
+		}
+		if cn := va.pr.calleeNode(va.p, call); cn != nil && cn.sum != nil {
+			t := va.p.typeOf(e)
+			if t != nil && isErrorType(t) && cn.sum.ReturnsNilErrOn&1 != 0 {
+				return nlNil
+			}
+			if t != nil && nilable(t) && !isErrorType(t) && cn.sum.NonNilResultWhenNilErr&1 != 0 {
+				// Only sound unconditionally for single-result callees.
+				if sig, ok := va.p.typeOf(call.Fun).(*types.Signature); ok && sig.Results().Len() == 1 {
+					return nlNonNil
+				}
+			}
+		}
+	}
+	return nlUnknown
+}

@@ -1,0 +1,396 @@
+package lint
+
+// interval.go is the numeric half of the value tier: integer intervals
+// whose bounds are symbolic linear expressions over variable values and
+// slice/map/string lengths,
+//
+//	Σ cᵢ·len(xᵢ) + Σ dⱼ·xⱼ + k
+//
+// rooted at canonical keys (dataflow.go's canonKey). Symbolic bounds are
+// what make selection-vector proofs possible at all: `i < len(sel)` has
+// no useful constant bound, but the bound len(sel)−1 compares exactly
+// against the length of sel. Widening to ±∞ happens at loop heads
+// (ssa.go's retreating-edge targets); narrowing happens on branch edges
+// (valueflow.go's refineCond), which restores `i ∈ [0, len(sel)−1]`
+// inside a widened loop from the loop condition itself.
+//
+// Comparison is decidable in two cases, both sound:
+//
+//   - identical symbolic parts: a ≤ b iff the constant deltas compare;
+//   - after subtraction every surviving term is a length with a
+//     non-negative coefficient and the delta is non-negative
+//     (lengths are always ≥ 0).
+//
+// One level of substitution through the environment (a variable term
+// replaced by that variable's own interval bound) is tried before
+// giving up; deeper chains widen to unknown.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// term is one symbolic summand of a linear bound.
+type term struct {
+	key   string // canonical key of the variable
+	isLen bool   // the term is len(key), not the value of key
+	coeff int64
+}
+
+// lin is a symbolic linear expression Σ coeff·term + k. The zero value
+// is the constant 0. Terms are sorted by (isLen, key) with no zero
+// coefficients, so equal expressions are structurally equal.
+type lin struct {
+	k     int64
+	terms []term
+}
+
+func linConst(k int64) *lin  { return &lin{k: k} }
+func linVar(key string) *lin { return &lin{terms: []term{{key: key, coeff: 1}}} }
+func linLen(key string) *lin { return &lin{terms: []term{{key: key, isLen: true, coeff: 1}}} }
+
+func (l *lin) isConst() (int64, bool) {
+	if len(l.terms) == 0 {
+		return l.k, true
+	}
+	return 0, false
+}
+
+// mentions reports whether any term refers to key (as value or length).
+func (l *lin) mentions(key string) bool {
+	for _, t := range l.terms {
+		if t.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *lin) norm() *lin {
+	sort.Slice(l.terms, func(i, j int) bool {
+		a, b := l.terms[i], l.terms[j]
+		if a.isLen != b.isLen {
+			return !a.isLen && b.isLen
+		}
+		return a.key < b.key
+	})
+	out := l.terms[:0]
+	for _, t := range l.terms {
+		if n := len(out); n > 0 && out[n-1].key == t.key && out[n-1].isLen == t.isLen {
+			out[n-1].coeff += t.coeff
+		} else {
+			out = append(out, t)
+		}
+	}
+	final := out[:0]
+	for _, t := range out {
+		if t.coeff != 0 {
+			final = append(final, t)
+		}
+	}
+	l.terms = final
+	return l
+}
+
+func linAdd(a, b *lin) *lin {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := &lin{k: a.k + b.k}
+	out.terms = append(out.terms, a.terms...)
+	out.terms = append(out.terms, b.terms...)
+	return out.norm()
+}
+
+func linNeg(a *lin) *lin {
+	if a == nil {
+		return nil
+	}
+	out := &lin{k: -a.k}
+	for _, t := range a.terms {
+		t.coeff = -t.coeff
+		out.terms = append(out.terms, t)
+	}
+	return out.norm()
+}
+
+func linSub(a, b *lin) *lin { return linAdd(a, linNeg(b)) }
+
+func linAddK(a *lin, k int64) *lin {
+	if a == nil {
+		return nil
+	}
+	out := &lin{k: a.k + k}
+	out.terms = append(out.terms, a.terms...)
+	return out
+}
+
+func linScale(a *lin, c int64) *lin {
+	if a == nil {
+		return nil
+	}
+	out := &lin{k: a.k * c}
+	for _, t := range a.terms {
+		t.coeff *= c
+		out.terms = append(out.terms, t)
+	}
+	return out.norm()
+}
+
+func linEq(a, b *lin) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.k != b.k || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i := range a.terms {
+		if a.terms[i] != b.terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// linNonNeg reports whether the expression is provably ≥ 0: every term
+// is a length with a non-negative coefficient and the delta is ≥ 0.
+func linNonNeg(l *lin) bool {
+	if l == nil || l.k < 0 {
+		return false
+	}
+	for _, t := range l.terms {
+		if !t.isLen || t.coeff < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// linLE reports whether a ≤ b is provable: b − a ≥ 0.
+func linLE(a, b *lin) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return linNonNeg(linSub(b, a))
+}
+
+// linNonNegIn is linNonNeg with length facts: a failing direct proof
+// retries by substituting one len-term with its interval bound from ln
+// (sign-aware: positive coefficients take the lower bound, negative
+// ones the upper — both under-approximate the expression).
+func linNonNegIn(l *lin, ln map[string]ival, depth int) bool {
+	if l == nil {
+		return false
+	}
+	if linNonNeg(l) {
+		return true
+	}
+	if depth == 0 || ln == nil {
+		return false
+	}
+	for i, t := range l.terms {
+		if !t.isLen {
+			continue
+		}
+		lv := ln[t.key]
+		var sub *lin
+		if t.coeff > 0 {
+			sub = lv.lo
+			if sub == nil {
+				sub = linConst(0) // lengths are never negative
+			}
+		} else {
+			sub = lv.hi
+		}
+		if sub == nil || sub.mentions(t.key) {
+			continue
+		}
+		rest := &lin{k: l.k}
+		for j, o := range l.terms {
+			if j != i {
+				rest.terms = append(rest.terms, o)
+			}
+		}
+		if linNonNegIn(linAdd(rest.norm(), linScale(sub, t.coeff)), ln, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// linLEIn is linLE consulting length facts, used by the env-aware
+// interval hull: joining [1, len(s)−1] with [0, 0] keeps the symbolic
+// upper bound exactly when ln proves len(s) ≥ 1.
+func linLEIn(a, b *lin, ln map[string]ival) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return linNonNegIn(linSub(b, a), ln, 2)
+}
+
+func (l *lin) String() string {
+	if l == nil {
+		return "∞"
+	}
+	var sb strings.Builder
+	for i, t := range l.terms {
+		c := t.coeff
+		switch {
+		case i == 0 && c < 0:
+			sb.WriteByte('-')
+			c = -c
+		case i > 0 && c < 0:
+			sb.WriteByte('-')
+			c = -c
+		case i > 0:
+			sb.WriteByte('+')
+		}
+		if c != 1 {
+			fmt.Fprintf(&sb, "%d*", c)
+		}
+		name := keyDisplay(t.key)
+		if t.isLen {
+			fmt.Fprintf(&sb, "len(%s)", name)
+		} else {
+			sb.WriteString(name)
+		}
+	}
+	if len(l.terms) == 0 {
+		fmt.Fprintf(&sb, "%d", l.k)
+	} else if l.k > 0 {
+		fmt.Fprintf(&sb, "+%d", l.k)
+	} else if l.k < 0 {
+		fmt.Fprintf(&sb, "%d", l.k)
+	}
+	return sb.String()
+}
+
+// ival is an integer interval with symbolic bounds; a nil bound is
+// −∞ (lo) or +∞ (hi). The zero value is ⊤ (unknown).
+type ival struct {
+	lo, hi *lin
+}
+
+func ivalTop() ival            { return ival{} }
+func ivalConst(k int64) ival   { return ival{lo: linConst(k), hi: linConst(k)} }
+func ivalExact(l *lin) ival    { return ival{lo: l, hi: l} }
+func (v ival) isTop() bool     { return v.lo == nil && v.hi == nil }
+func (v ival) String() string {
+	lo, hi := "-∞", "+∞"
+	if v.lo != nil {
+		lo = v.lo.String()
+	}
+	if v.hi != nil {
+		hi = v.hi.String()
+	}
+	return "[" + lo + ", " + hi + "]"
+}
+
+// ivalJoin is the interval hull. An incomparable pair of symbolic
+// bounds joins to the unbounded side — precision lost, soundness kept.
+func ivalJoin(a, b ival) ival { return ivalJoinIn(a, b, nil) }
+
+// ivalJoinIn is the hull with length facts that hold on both joined
+// paths (the caller passes the already-joined length map): they decide
+// otherwise-incomparable symbolic-vs-constant bound pairs.
+func ivalJoinIn(a, b ival, ln map[string]ival) ival {
+	out := ival{}
+	switch {
+	case a.lo == nil || b.lo == nil:
+	case linEq(a.lo, b.lo):
+		out.lo = a.lo
+	case linLEIn(a.lo, b.lo, ln):
+		out.lo = a.lo
+	case linLEIn(b.lo, a.lo, ln):
+		out.lo = b.lo
+	}
+	switch {
+	case a.hi == nil || b.hi == nil:
+	case linEq(a.hi, b.hi):
+		out.hi = a.hi
+	case linLEIn(a.hi, b.hi, ln):
+		out.hi = b.hi
+	case linLEIn(b.hi, a.hi, ln):
+		out.hi = a.hi
+	}
+	return out
+}
+
+// ivalWiden keeps a bound only when the joined value did not move past
+// the old one. A bound that grows from a constant to a symbolic
+// expression climbs to the symbolic bound instead of jumping to ±∞ —
+// the first sweep of a nested loop sees constant bounds from the
+// not-yet-widened outer induction variable, and the symbolic bound is
+// the eventual fixpoint (the i := 1 entry of an insertion sort). Any
+// further growth widens to ±∞, so the per-bound chain is
+// constant → symbolic → unbounded and termination holds. Applied at
+// loop heads.
+func ivalWiden(old, joined ival) ival {
+	out := joined
+	if old.lo != nil && (joined.lo == nil || !linLE(old.lo, joined.lo)) {
+		if _, oldConst := old.lo.isConst(); oldConst && joined.lo != nil {
+			if _, jc := joined.lo.isConst(); !jc {
+				out.lo = joined.lo
+			} else {
+				out.lo = nil
+			}
+		} else {
+			out.lo = nil
+		}
+	} else if old.lo != nil {
+		out.lo = old.lo
+	}
+	if old.hi != nil && (joined.hi == nil || !linLE(joined.hi, old.hi)) {
+		if _, oldConst := old.hi.isConst(); oldConst && joined.hi != nil {
+			if _, jc := joined.hi.isConst(); !jc {
+				out.hi = joined.hi
+			} else {
+				out.hi = nil
+			}
+		} else {
+			out.hi = nil
+		}
+	} else if old.hi != nil {
+		out.hi = old.hi
+	}
+	return out
+}
+
+func ivalEq(a, b ival) bool { return linEq(a.lo, b.lo) && linEq(a.hi, b.hi) }
+
+// ivalAdd/ivalSub/ivalNeg are exact interval arithmetic over symbolic
+// bounds; an unbounded side propagates.
+func ivalAdd(a, b ival) ival { return ival{lo: linAdd(a.lo, b.lo), hi: linAdd(a.hi, b.hi)} }
+
+func ivalNeg(a ival) ival { return ival{lo: linNeg(a.hi), hi: linNeg(a.lo)} }
+
+func ivalSub(a, b ival) ival { return ivalAdd(a, ivalNeg(b)) }
+
+func ivalAddK(a ival, k int64) ival { return ival{lo: linAddK(a.lo, k), hi: linAddK(a.hi, k)} }
+
+// ivalScale multiplies by a constant (the only multiplication the
+// domain supports; variable products widen to ⊤ at the caller).
+func ivalScale(a ival, c int64) ival {
+	switch {
+	case c == 0:
+		return ivalConst(0)
+	case c > 0:
+		return ival{lo: linScale(a.lo, c), hi: linScale(a.hi, c)}
+	default:
+		n := ivalNeg(a)
+		return ival{lo: linScale(n.lo, -c), hi: linScale(n.hi, -c)}
+	}
+}
+
+// excludesZero reports whether the interval provably excludes 0: the
+// divisor obligation of the division/modulo check.
+func (v ival) excludesZero() bool {
+	if v.lo != nil && linLE(linConst(1), v.lo) {
+		return true
+	}
+	if v.hi != nil && linLE(v.hi, linConst(-1)) {
+		return true
+	}
+	return false
+}

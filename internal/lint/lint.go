@@ -52,13 +52,18 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Diagnostic is one finding, positioned like a compiler error.
+// Diagnostic is one finding, positioned like a compiler error. Why
+// carries the failed-proof explanation of the value-tier rules for
+// `dslint -why`; it is deliberately excluded from String and the JSON
+// encoding so default output stays stable and comparable across runs.
 type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	Why     string `json:"-"`
 }
 
 func (d Diagnostic) String() string {
@@ -81,6 +86,16 @@ func (d Diagnostic) MarshalJSON() ([]byte, error) {
 type Result struct {
 	Diagnostics []Diagnostic
 	Suppressed  int // findings silenced by matching //lint:ignore directives
+
+	// SuppressedByRule splits Suppressed per rule: the input of the
+	// suppression-ratchet baseline (cmd/dslint -baseline).
+	SuppressedByRule map[string]int
+
+	// Timings is the cumulative wall time per analyzer across all
+	// packages (cmd/dslint -timings). The first value-tier rule to run
+	// absorbs the shared abstract-interpretation pass; the other two
+	// read its per-package cache.
+	Timings map[string]time.Duration
 }
 
 // Clean reports whether no findings survived.
@@ -113,6 +128,9 @@ var interAnalyzers = []struct {
 	{"taintdet", analyzeTaintDet},
 	{"sharecap", analyzeShareCap},
 	{"pubfreeze", analyzePubFreeze},
+	{"boundscheck", analyzeBoundsCheck},
+	{"nilcheck", analyzeNilCheck},
+	{"errcontract", analyzeErrContract},
 }
 
 // Rules lists the registered analyzer names in registration order.
@@ -180,24 +198,29 @@ func CheckRulesWithStore(pkgs []*Package, rules []string, store *SummaryStore) *
 			break
 		}
 	}
-	res := &Result{}
+	res := &Result{SuppressedByRule: map[string]int{}, Timings: map[string]time.Duration{}}
 	for _, p := range pkgs {
 		dirs, dirDiags := collectDirectives(p)
 		res.Diagnostics = append(res.Diagnostics, dirDiags...)
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			if run[a.name] {
+				start := time.Now()
 				raw = append(raw, a.fn(p)...)
+				res.Timings[a.name] += time.Since(start)
 			}
 		}
 		for _, a := range interAnalyzers {
 			if run[a.name] {
+				start := time.Now()
 				raw = append(raw, a.fn(pr, p)...)
+				res.Timings[a.name] += time.Since(start)
 			}
 		}
 		for _, d := range raw {
 			if suppress(dirs, d) {
 				res.Suppressed++
+				res.SuppressedByRule[d.Rule]++
 				continue
 			}
 			res.Diagnostics = append(res.Diagnostics, d)

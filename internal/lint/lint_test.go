@@ -48,6 +48,13 @@ var fixtures = []struct {
 	// crossing function boundaries (including a mutually recursive SCC)
 	// before reaching storage emission.
 	{name: "taintinter", virtualPath: "tpcds/internal/datagen", rule: "taintdet"},
+	// The value tier: boundscheck poses as internal/exec/batch.go (the
+	// rule is file-scoped inside exec), nilcheck as internal/storage,
+	// errcontract as internal/plan. Each fixture pairs known-bad shapes
+	// with clean ones that must stay silent.
+	{name: "boundscheck", virtualPath: "tpcds/internal/exec"},
+	{name: "nilcheck", virtualPath: "tpcds/internal/storage"},
+	{name: "errcontract", virtualPath: "tpcds/internal/plan"},
 }
 
 // TestFixtureGoldens runs the analyzers over each known-bad fixture and

@@ -26,6 +26,12 @@ type Package struct {
 	Files []*ast.File
 	Info  *types.Info
 	Types *types.Package
+
+	// Value-tier cache: the three value analyzers (boundscheck,
+	// nilcheck, errcontract) share one abstract-interpretation pass per
+	// package per Program (see valueflow.go).
+	valRes  *valueResult
+	valProg *Program
 }
 
 // Loader parses and type-checks packages using only the standard

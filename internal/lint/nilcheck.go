@@ -1,0 +1,76 @@
+package lint
+
+// nilcheck.go flags the definite-nil value bugs the nilness lattice can
+// prove: dereferencing a pointer known nil on this path (star deref or
+// field access through a nil pointer) and writing to a map known nil.
+// "Known nil" means every path reaching the use leaves the value nil —
+// zero-value declarations, explicit nil assignments, or the nil arm of
+// an `if x != nil` branch. May-be-nil results of (T, error) calls are
+// errcontract's business (use-before-error-check), not nilcheck's, so
+// no finding is ever double-reported between the two rules.
+//
+// Scope: internal/exec, internal/plan, internal/storage, internal/obs —
+// the packages whose error/early-return paths run rarely enough that a
+// latent nil deref survives the test suite.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzeNilCheck is the nilcheck analyzer entry.
+func analyzeNilCheck(pr *Program, p *Package) []Diagnostic {
+	return valueAnalyze(pr, p).diags["nilcheck"]
+}
+
+// checkNilDeref flags *x when x is nil on every path here.
+func (va *valueAnalysis) checkNilDeref(env *valEnv, v *ast.StarExpr) {
+	t := va.p.typeOf(v.X)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return
+	}
+	key := va.p.canonKey(v.X)
+	if key == "" || env.nl[key] != nlNil {
+		return
+	}
+	why := fmt.Sprintf("%s is nil on every path reaching this dereference", keyDisplay(key))
+	va.emit(v, "nilcheck", why, "dereference of nil pointer %s", displayExpr(v.X))
+}
+
+// checkNilField flags x.f (a field access, which dereferences) when x
+// is a pointer known nil. Method calls are exempt: methods may accept
+// nil receivers by design.
+func (va *valueAnalysis) checkNilField(env *valEnv, v *ast.SelectorExpr) {
+	sel := va.p.Info.Selections[v]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	t := va.p.typeOf(v.X)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return
+	}
+	key := va.p.canonKey(v.X)
+	if key == "" || env.nl[key] != nlNil {
+		return
+	}
+	why := fmt.Sprintf("%s is nil on every path reaching this field access", keyDisplay(key))
+	va.emit(v, "nilcheck", why, "field access through nil pointer %s", displayExpr(v.X))
+}
+
+// checkNilMapWrite flags m[k] = v when m is nil on every path here (a
+// nil map read is defined; the write panics).
+func (va *valueAnalysis) checkNilMapWrite(env *valEnv, v *ast.IndexExpr) {
+	key := va.p.canonKey(v.X)
+	if key == "" || env.nl[key] != nlNil {
+		return
+	}
+	why := fmt.Sprintf("%s is nil on every path reaching this write (declared without make?)", keyDisplay(key))
+	va.emit(v, "nilcheck", why, "write to nil map %s", displayExpr(v.X))
+}

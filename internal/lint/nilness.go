@@ -1,0 +1,107 @@
+package lint
+
+// nilness.go is the pointer half of the value tier: a three-point
+// lattice (nil / non-nil / unknown) over pointer-shaped values —
+// pointers, maps, slices, channels, functions, and interfaces. Facts
+// come from literal syntax (&x, composite literals, make, new, func
+// literals are non-nil; an uninitialized var declaration is nil),
+// from branch refinement (`if x != nil` edges, handled in
+// valueflow.go's refineCond), and from PR-8 callee summaries
+// (ReturnsNilErrOn / NonNilResultWhenNilErr).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nil3 is the nilness lattice value. The zero value is unknown (⊤).
+type nil3 uint8
+
+const (
+	nlUnknown nil3 = iota
+	nlNil
+	nlNonNil
+)
+
+func (n nil3) String() string {
+	switch n {
+	case nlNil:
+		return "nil"
+	case nlNonNil:
+		return "non-nil"
+	}
+	return "unknown"
+}
+
+// nilJoin is the lattice join: agreement survives, disagreement is ⊤.
+func nilJoin(a, b nil3) nil3 {
+	if a == b {
+		return a
+	}
+	return nlUnknown
+}
+
+// nilable reports whether values of t carry a meaningful nilness fact:
+// pointers, maps, slices, channels, functions, interfaces, and unsafe
+// pointers. Everything else (ints, structs, strings, ...) has none.
+func nilable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(p *Package, e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// exprNilness classifies an expression's nilness from syntax alone,
+// without consulting the environment: literals and allocating calls.
+// The caller handles identifiers, calls with summaries, and anything
+// environment-dependent.
+func exprNilness(p *Package, e ast.Expr) nil3 {
+	e = unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		if isNilIdent(p, e) {
+			return nlNil
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return nlNonNil // &x
+		}
+	case *ast.CompositeLit:
+		return nlNonNil // T{...}, []T{...}, map[K]V{...}
+	case *ast.FuncLit:
+		return nlNonNil
+	case *ast.CallExpr:
+		if id, ok := unparen(v.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "make", "new", "append":
+				if p.Info.Uses[id] == nil || p.Info.Uses[id].Parent() == types.Universe {
+					// make/new always allocate; append's result is
+					// non-nil when it appends at least one element,
+					// which the caller checks (len(Args) matters).
+					if id.Name != "append" {
+						return nlNonNil
+					}
+				}
+			}
+		}
+	}
+	return nlUnknown
+}

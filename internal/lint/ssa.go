@@ -1,0 +1,373 @@
+package lint
+
+// ssa.go layers an SSA-lite def-use form over the PR-4 CFGs: every
+// assignment-like event becomes a numbered definition, reaching
+// definitions are solved with dataflow.go's generic worklist engine,
+// φ-nodes are reported at join blocks where more than one definition of
+// a variable arrives, and every identifier use is chained to the set of
+// definitions that may reach it.
+//
+// "Lite" means two deliberate departures from textbook SSA, both
+// conservative for the analyses built on top (interval.go, nilness.go):
+//
+//   - no renaming: a use is chained to the full reaching-definition
+//     set rather than being rewritten through φs, so φ-nodes exist for
+//     structural consumers (tests, -why explanations) but are not
+//     threaded into the chains;
+//   - φ placement is reaching-def-based, not dominance-frontier-based:
+//     a φ appears at any join where ≥2 definitions of the same variable
+//     meet, which over-approximates pruned SSA (extra φs never lose
+//     soundness for may-analyses).
+//
+// The same pass computes the reverse postorder and the loop heads
+// (targets of retreating edges under RPO numbering) — the widening
+// points of the interval analysis.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// ssaDef is one definition event of a variable: a parameter/receiver/
+// named-result/captured-variable boundary definition (node == nil) or
+// an assignment, declaration, range binding, or inc/dec in the body.
+type ssaDef struct {
+	id   int
+	obj  types.Object
+	node ast.Node // defining statement; nil for boundary definitions
+}
+
+// ssaPhi is a pseudo-definition at a join block: the listed incoming
+// definitions of obj merge here.
+type ssaPhi struct {
+	obj  types.Object
+	defs []*ssaDef // ascending id
+}
+
+// ssaFunc is the def-use form of one function body.
+type ssaFunc struct {
+	g      *CFG
+	defs   []*ssaDef
+	byObj  map[types.Object][]*ssaDef
+	phis   map[*Block][]*ssaPhi
+	uses   map[*ast.Ident][]*ssaDef // reaching defs at each identifier use
+	preds  map[*Block][]*Block
+	rpo    []*Block
+	rpoIdx map[*Block]int
+	heads  map[*Block]bool // loop heads = widening points
+}
+
+// defBits is a bitset over definition ids.
+type defBits []uint64
+
+func (b defBits) has(i int) bool { return i/64 < len(b) && b[i/64]&(1<<(i%64)) != 0 }
+
+func (b *defBits) set(i int) {
+	for i/64 >= len(*b) {
+		*b = append(*b, 0)
+	}
+	(*b)[i/64] |= 1 << (i % 64)
+}
+
+func (b defBits) clone() defBits {
+	c := make(defBits, len(b))
+	copy(c, b)
+	return c
+}
+
+// or unions src into b, reporting change.
+func (b *defBits) or(src defBits) bool {
+	changed := false
+	for i, w := range src {
+		for i >= len(*b) {
+			*b = append(*b, 0)
+		}
+		if (*b)[i]|w != (*b)[i] {
+			(*b)[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b defBits) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func (b defBits) elems() []int {
+	var out []int
+	for i, w := range b {
+		for j := 0; j < 64; j++ {
+			if w&(1<<j) != 0 {
+				out = append(out, i*64+j)
+			}
+		}
+	}
+	return out
+}
+
+// reachMap is the reaching-definitions fact: for each variable, the set
+// of definitions that may be current.
+type reachMap map[types.Object]defBits
+
+func cloneReach(m reachMap) reachMap {
+	c := make(reachMap, len(m))
+	for k, v := range m {
+		c[k] = v.clone()
+	}
+	return c
+}
+
+func joinReach(dst, src reachMap) bool {
+	changed := false
+	for k, v := range src {
+		if d, ok := dst[k]; ok {
+			if d.or(v) {
+				dst[k] = d
+				changed = true
+			}
+		} else {
+			dst[k] = v.clone()
+			changed = true
+		}
+	}
+	return changed
+}
+
+// newSSA builds the def-use form for one function scope.
+func newSSA(p *Package, fs funcScope) *ssaFunc {
+	s := &ssaFunc{
+		byObj:  map[types.Object][]*ssaDef{},
+		phis:   map[*Block][]*ssaPhi{},
+		uses:   map[*ast.Ident][]*ssaDef{},
+		preds:  map[*Block][]*Block{},
+		rpoIdx: map[*Block]int{},
+		heads:  map[*Block]bool{},
+	}
+	s.g = buildCFG(fs.body, p.terminatesStmt)
+
+	// Boundary definitions: receiver, parameters, named results.
+	addBoundary := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, nm := range f.Names {
+				if obj := p.Info.Defs[nm]; obj != nil {
+					s.addDef(obj, nil)
+				}
+			}
+		}
+	}
+	var ftype *ast.FuncType
+	if fs.decl != nil {
+		addBoundary(fs.decl.Recv)
+		ftype = fs.decl.Type
+	} else {
+		ftype = fs.lit.Type
+	}
+	addBoundary(ftype.Params)
+	addBoundary(ftype.Results)
+
+	// Body definitions, in block/node/AST order.
+	nodeDefs := map[ast.Node][]*ssaDef{}
+	for _, blk := range s.g.Blocks {
+		for _, node := range blk.Nodes {
+			for _, ev := range defEvents(p, node) {
+				nodeDefs[node] = append(nodeDefs[node], s.addDef(ev, node))
+			}
+		}
+	}
+	// Captured variables (and any other var used without a body def)
+	// get boundary definitions so every use resolves.
+	for _, blk := range s.g.Blocks {
+		for _, node := range blk.Nodes {
+			inspectShallow(node, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := useVar(p, id); obj != nil && len(s.byObj[obj]) == 0 {
+						s.addDef(obj, nil)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Reaching definitions: boundary defs reach entry.
+	boundary := reachMap{}
+	for obj, defs := range s.byObj {
+		for _, d := range defs {
+			if d.node == nil {
+				bits := boundary[obj]
+				bits.set(d.id)
+				boundary[obj] = bits
+			}
+		}
+	}
+	transfer := func(blk *Block, in reachMap) reachMap {
+		out := cloneReach(in)
+		for _, node := range blk.Nodes {
+			for _, d := range nodeDefs[node] {
+				bits := defBits{}
+				bits.set(d.id)
+				out[d.obj] = bits // strong update
+			}
+		}
+		return out
+	}
+	ins := solveForward(s.g, boundary, func() reachMap { return reachMap{} },
+		cloneReach, joinReach, transfer)
+
+	// Predecessors, φ placement, and use→def chains from the fixpoint.
+	for _, blk := range s.g.Blocks {
+		for _, succ := range blk.Succs {
+			s.preds[succ] = append(s.preds[succ], blk)
+		}
+	}
+	for _, blk := range s.g.Blocks {
+		if len(s.preds[blk]) >= 2 {
+			var phis []*ssaPhi
+			for obj, bits := range ins[blk] {
+				if bits.count() >= 2 {
+					phi := &ssaPhi{obj: obj}
+					for _, id := range bits.elems() {
+						phi.defs = append(phi.defs, s.defs[id])
+					}
+					phis = append(phis, phi)
+				}
+			}
+			sort.Slice(phis, func(i, j int) bool { return phis[i].defs[0].id < phis[j].defs[0].id })
+			if len(phis) > 0 {
+				s.phis[blk] = phis
+			}
+		}
+		cur := cloneReach(ins[blk])
+		for _, node := range blk.Nodes {
+			inspectShallow(node, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := useVar(p, id); obj != nil {
+						if bits, ok := cur[obj]; ok {
+							for _, di := range bits.elems() {
+								s.uses[id] = append(s.uses[id], s.defs[di])
+							}
+						}
+					}
+				}
+				return true
+			})
+			for _, d := range nodeDefs[node] {
+				bits := defBits{}
+				bits.set(d.id)
+				cur[d.obj] = bits
+			}
+		}
+	}
+
+	s.orderBlocks()
+	return s
+}
+
+func (s *ssaFunc) addDef(obj types.Object, node ast.Node) *ssaDef {
+	d := &ssaDef{id: len(s.defs), obj: obj, node: node}
+	s.defs = append(s.defs, d)
+	s.byObj[obj] = append(s.byObj[obj], d)
+	return d
+}
+
+// defEvents lists the variables defined by one CFG node, in AST order.
+// Only plain identifier targets count: an element or field store mutates
+// existing memory, it does not redefine the variable.
+func defEvents(p *Package, node ast.Node) []types.Object {
+	var out []types.Object
+	add := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(p, id); obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	switch v := node.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range v.Lhs {
+			add(lhs)
+		}
+	case *ast.IncDecStmt:
+		add(v.X)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, nm := range vs.Names {
+						add(nm)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		add(v.Key)
+		add(v.Value)
+	}
+	return out
+}
+
+// useVar resolves id to a variable object when id is a use (not a
+// definition site, not a field selector component, not a package name).
+func useVar(p *Package, id *ast.Ident) types.Object {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// orderBlocks computes the reverse postorder from entry and marks loop
+// heads: the target v of any edge u→v with rpo(v) ≤ rpo(u) is a
+// widening point. Unreachable blocks are appended in index order so
+// every block has a deterministic position.
+func (s *ssaFunc) orderBlocks() {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, succ := range b.Succs {
+			if !seen[succ] {
+				dfs(succ)
+			}
+		}
+		post = append(post, b)
+	}
+	if s.g.Entry != nil {
+		dfs(s.g.Entry)
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		s.rpoIdx[post[i]] = len(s.rpo)
+		s.rpo = append(s.rpo, post[i])
+	}
+	for _, blk := range s.g.Blocks {
+		if _, ok := s.rpoIdx[blk]; !ok {
+			s.rpoIdx[blk] = len(s.rpo)
+			s.rpo = append(s.rpo, blk)
+		}
+	}
+	for _, u := range s.g.Blocks {
+		for _, v := range u.Succs {
+			if s.rpoIdx[v] <= s.rpoIdx[u] {
+				s.heads[v] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package lint
+
+// Structural invariants of the SSA-lite def-use form (ssa.go): φ-nodes
+// appear exactly at join blocks where ≥2 definitions of a variable
+// meet, every identifier use is chained to a complete, well-formed
+// reaching-definition set, and loop heads (the widening points of the
+// interval analysis) are the targets of retreating edges. The fixtures
+// are the two canonical CFG shapes — the if/else diamond and the
+// counted loop — plus a straight-line control.
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSSA type-checks src as a standalone package and returns the
+// def-use form of the named function.
+func buildSSA(t *testing.T, src, fn string) (*Package, *ssaFunc, *ast.FuncDecl) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, _, err := Module(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "tpcds/internal/ssafix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+				return pkg, newSSA(pkg, funcScope{name: fn, decl: fd, body: fd.Body}), fd
+			}
+		}
+	}
+	t.Fatalf("function %s not found in fixture", fn)
+	return nil, nil, nil
+}
+
+// checkWellFormed asserts the invariants every ssaFunc must satisfy,
+// independent of shape: def ids are dense and indexable, byObj agrees
+// with defs, φs sit only at multi-predecessor blocks with ≥2 ascending
+// incoming defs of a single object, every recorded use resolves to a
+// non-empty def set of the same object, and the RPO is a permutation
+// of the blocks with the entry first.
+func checkWellFormed(t *testing.T, s *ssaFunc) {
+	t.Helper()
+	for i, d := range s.defs {
+		if d.id != i {
+			t.Errorf("def %d has id %d; want dense ids", i, d.id)
+		}
+		found := false
+		for _, bd := range s.byObj[d.obj] {
+			if bd == d {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("def %d of %s missing from byObj", d.id, d.obj.Name())
+		}
+	}
+	for blk, phis := range s.phis {
+		if len(s.preds[blk]) < 2 {
+			t.Errorf("φ at block with %d predecessors; joins need ≥2", len(s.preds[blk]))
+		}
+		for _, phi := range phis {
+			if len(phi.defs) < 2 {
+				t.Errorf("φ for %s merges %d defs; want ≥2", phi.obj.Name(), len(phi.defs))
+			}
+			for i, d := range phi.defs {
+				if d.obj != phi.obj {
+					t.Errorf("φ for %s lists a def of %s", phi.obj.Name(), d.obj.Name())
+				}
+				if i > 0 && phi.defs[i-1].id >= d.id {
+					t.Errorf("φ for %s has non-ascending def ids", phi.obj.Name())
+				}
+			}
+		}
+	}
+	for id, defs := range s.uses {
+		if len(defs) == 0 {
+			t.Errorf("use of %s at %v has no reaching definitions", id.Name, id.Pos())
+		}
+		for i, d := range defs {
+			if d.obj.Name() != id.Name {
+				t.Errorf("use of %s chained to a def of %s", id.Name, d.obj.Name())
+			}
+			if d.id < 0 || d.id >= len(s.defs) || s.defs[d.id] != d {
+				t.Errorf("use of %s chained to def with dangling id %d", id.Name, d.id)
+			}
+			if i > 0 && defs[i-1].id >= d.id {
+				t.Errorf("use of %s has non-ascending reaching defs", id.Name)
+			}
+		}
+	}
+	if len(s.rpo) != len(s.g.Blocks) {
+		t.Errorf("rpo covers %d blocks; CFG has %d", len(s.rpo), len(s.g.Blocks))
+	}
+	seen := map[*Block]bool{}
+	for i, blk := range s.rpo {
+		if seen[blk] {
+			t.Errorf("block repeated in rpo")
+		}
+		seen[blk] = true
+		if s.rpoIdx[blk] != i {
+			t.Errorf("rpoIdx disagrees with rpo order at %d", i)
+		}
+	}
+	if s.g.Entry != nil && len(s.rpo) > 0 && s.rpo[0] != s.g.Entry {
+		t.Errorf("entry block is not first in reverse postorder")
+	}
+}
+
+// useOf finds the single identifier use of name inside node.
+func useOf(t *testing.T, s *ssaFunc, node ast.Node, name string) []*ssaDef {
+	t.Helper()
+	var defs []*ssaDef
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if d, ok := s.uses[id]; ok {
+				defs, found = d, true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("no recorded use of %s in %T", name, node)
+	}
+	return defs
+}
+
+const diamondSrc = `package ssafix
+
+func diamond(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}
+`
+
+// TestSSADiamond: both arms of the if/else redefine x, so exactly one
+// φ merges the two arm definitions at the join, the initial definition
+// is strongly killed, and the use in the return sees exactly the φ's
+// operands.
+func TestSSADiamond(t *testing.T) {
+	_, s, fd := buildSSA(t, diamondSrc, "diamond")
+	checkWellFormed(t, s)
+
+	var all []*ssaPhi
+	var joins []*Block
+	for blk, phis := range s.phis {
+		all = append(all, phis...)
+		joins = append(joins, blk)
+	}
+	if len(all) != 1 {
+		t.Fatalf("diamond has %d φ-nodes; want exactly 1: %+v", len(all), all)
+	}
+	phi := all[0]
+	if phi.obj.Name() != "x" {
+		t.Fatalf("φ merges %s; want x", phi.obj.Name())
+	}
+	if len(phi.defs) != 2 {
+		t.Fatalf("φ for x merges %d defs; want the 2 arm assignments", len(phi.defs))
+	}
+	for _, d := range phi.defs {
+		if _, ok := d.node.(*ast.AssignStmt); !ok {
+			t.Errorf("φ operand is %T; want the arm *ast.AssignStmt (x := 0 must be killed)", d.node)
+		}
+	}
+
+	// The join block is the one holding the return statement.
+	var ret *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	onJoin := false
+	for _, node := range joins[0].Nodes {
+		if node == ast.Node(ret) {
+			onJoin = true
+		}
+	}
+	if !onJoin {
+		t.Errorf("the single join block does not hold the return statement")
+	}
+
+	// Def-use: the returned x reaches exactly the φ's operands.
+	defs := useOf(t, s, ret, "x")
+	if len(defs) != 2 || defs[0] != phi.defs[0] || defs[1] != phi.defs[1] {
+		t.Errorf("return use of x reaches %d defs; want the 2 φ operands", len(defs))
+	}
+
+	// No loop ⇒ no widening points.
+	if len(s.heads) != 0 {
+		t.Errorf("diamond has %d loop heads; want 0", len(s.heads))
+	}
+}
+
+const loopSrc = `package ssafix
+
+func loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`
+
+// TestSSALoop: the for-loop head is the single widening point, it
+// carries φs for both induction variables (init def ⊔ back-edge def),
+// the condition's use of i sees both, and the post-loop use of s sees
+// both its initial and its body definition.
+func TestSSALoop(t *testing.T) {
+	_, s, fd := buildSSA(t, loopSrc, "loop")
+	checkWellFormed(t, s)
+
+	if len(s.heads) != 1 {
+		t.Fatalf("loop has %d widening points; want exactly 1", len(s.heads))
+	}
+	var head *Block
+	for blk := range s.heads {
+		head = blk
+	}
+	// The retreating edge makes the head a join; its φs must cover both
+	// variables with two incoming definitions each.
+	byName := map[string]*ssaPhi{}
+	for _, phi := range s.phis[head] {
+		byName[phi.obj.Name()] = phi
+	}
+	for _, name := range []string{"i", "s"} {
+		phi := byName[name]
+		if phi == nil {
+			t.Fatalf("loop head has no φ for %s; got %v", name, byName)
+		}
+		if len(phi.defs) != 2 {
+			t.Errorf("φ for %s merges %d defs; want init + back-edge", name, len(phi.defs))
+		}
+	}
+	if _, ok := byName["i"].defs[1].node.(*ast.IncDecStmt); !ok {
+		t.Errorf("second φ operand of i is %T; want the i++ *ast.IncDecStmt", byName["i"].defs[1].node)
+	}
+
+	// The condition i < n uses i with both definitions reaching.
+	var forStmt *ast.ForStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok {
+			forStmt = f
+		}
+		return true
+	})
+	if got := useOf(t, s, forStmt.Cond, "i"); len(got) != 2 {
+		t.Errorf("condition use of i reaches %d defs; want 2", len(got))
+	}
+
+	// The post-loop return of s sees s := 0 and s += i.
+	var ret *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	if got := useOf(t, s, ret, "s"); len(got) != 2 {
+		t.Errorf("return use of s reaches %d defs; want init + body", len(got))
+	}
+
+	// The head precedes the body in reverse postorder.
+	if s.rpoIdx[head] == 0 {
+		t.Errorf("loop head is the entry block; the init statement must come first")
+	}
+}
+
+const straightSrc = `package ssafix
+
+func straight(a int) int {
+	b := a + 1
+	b = b * 2
+	return b
+}
+`
+
+// TestSSAStraightLine: sequential redefinition without joins produces
+// no φs and no widening points, and each use sees exactly the one
+// dominating definition.
+func TestSSAStraightLine(t *testing.T) {
+	_, s, fd := buildSSA(t, straightSrc, "straight")
+	checkWellFormed(t, s)
+	if len(s.phis) != 0 {
+		t.Errorf("straight-line code has φ-nodes: %v", s.phis)
+	}
+	if len(s.heads) != 0 {
+		t.Errorf("straight-line code has widening points")
+	}
+	var ret *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	defs := useOf(t, s, ret, "b")
+	if len(defs) != 1 {
+		t.Fatalf("return use of b reaches %d defs; want the single latest", len(defs))
+	}
+	if as, ok := defs[0].node.(*ast.AssignStmt); !ok || len(as.Rhs) != 1 {
+		t.Errorf("latest def of b is %T; want the b = b * 2 assignment", defs[0].node)
+	}
+}

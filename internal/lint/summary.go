@@ -66,6 +66,11 @@ type Summary struct {
 	ParamToSink  uint32 // param i may flow into storage emission (transitively)
 	RecvToSink   bool   // receiver state may flow into storage emission
 
+	// Value-tier error facts (computed flow-sensitively by
+	// computeErrFacts after the bottom-up fixpoint, callees first).
+	ReturnsNilErrOn        uint32 // error result r is nil on every return
+	NonNilResultWhenNilErr uint32 // result i is non-nil whenever the trailing error is nil
+
 	CallsUnknown bool // body contains a call the graph cannot resolve
 }
 
@@ -104,6 +109,8 @@ func (s *Summary) String() string {
 	flag(s.RecvToRet, "recv-to-ret")
 	bits(s.ParamToSink, "param-to-sink")
 	flag(s.RecvToSink, "recv-to-sink")
+	bits(s.ReturnsNilErrOn, "nil-err")
+	bits(s.NonNilResultWhenNilErr, "nonnil-on-ok")
 	flag(s.CallsUnknown, "calls-unknown")
 	if len(parts) == 0 {
 		return "pure"
@@ -148,6 +155,14 @@ func (pr *Program) computeSummaries(store *SummaryStore) {
 			changed = false
 			for _, n := range comp {
 				next := pr.computeSummary(n)
+				// computeSummary does not produce the value-tier error
+				// facts; preserve them across fixpoint iterations (they
+				// are filled by computeErrFacts below, and restored
+				// entries never reach this loop).
+				if n.sum != nil {
+					next.ReturnsNilErrOn = n.sum.ReturnsNilErrOn
+					next.NonNilResultWhenNilErr = n.sum.NonNilResultWhenNilErr
+				}
 				if n.sum == nil || *n.sum != *next {
 					n.sum = next
 					changed = true
@@ -155,6 +170,9 @@ func (pr *Program) computeSummaries(store *SummaryStore) {
 			}
 		}
 	}
+	// Error facts need the finished summaries (the value engine consults
+	// mutation bits) and run callees-first so `return f()` forwards.
+	pr.computeErrFacts(cached)
 	if store != nil {
 		store.update(pr)
 	}
@@ -611,10 +629,17 @@ func (sw *sumWalk) applyExternalCall(call *ast.CallExpr, held bool) {
 	}
 }
 
-// typeOf returns the expression's type, nil when untyped.
+// typeOf returns the expression's type, nil when untyped. Identifiers
+// fall back to their object: the lhs of a := define has no Types entry
+// (it is a definition, not an evaluated expression).
 func (p *Package) typeOf(e ast.Expr) types.Type {
 	if tv, ok := p.Info.Types[e]; ok {
 		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := objOf(p, id); obj != nil {
+			return obj.Type()
+		}
 	}
 	return nil
 }

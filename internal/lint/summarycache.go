@@ -71,6 +71,9 @@ func (s *SummaryStore) pkgHash(pr *Program, p *Package) string {
 		byPath[q.Path] = q
 	}
 	h := fnv.New64a()
+	// Format version: bumped when the Summary schema grows so stale
+	// stores recompute instead of restoring zero-valued new fields.
+	h.Write([]byte("summary-v2\x00"))
 	var names []string
 	for _, f := range p.Files {
 		names = append(names, p.Fset.File(f.Pos()).Name())

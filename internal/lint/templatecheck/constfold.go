@@ -1,0 +1,208 @@
+package templatecheck
+
+// constfold is the constant-predicate lint: after representative
+// substitution every qgen token is a literal, so a predicate whose
+// operands are all literals has one fixed truth value — the template
+// either always keeps or always drops every row, which is never what a
+// benchmark filter means. The pass folds literal arithmetic and
+// comparisons in WHERE, join ON, and HAVING predicates and flags
+//
+//   - comparisons that fold to a constant (always true / always false),
+//   - BETWEEN predicates whose folded bounds are reversed (the range
+//     is empty: always false, or always true under NOT), and
+//   - fully-literal BETWEEN and IN-list predicates.
+//
+// Predicates mentioning a column never fold — the point is to catch
+// tautologies a substitution rewrite or a template edit left behind,
+// not to reason about data. NULL operands never fold either (SQL
+// three-valued logic makes their truth value non-constant in spirit:
+// the predicate is unknown, and the unknown-handling is the query's
+// business).
+
+import (
+	"strings"
+
+	"tpcds/internal/sql"
+)
+
+// constVal is the folded value of a literal expression: a number or a
+// string (dates fold as their ISO text, which compares lexically in
+// date order).
+type constVal struct {
+	num   float64
+	str   string
+	isNum bool
+}
+
+// constValue folds e when every leaf is a non-NULL literal. Arithmetic
+// folds over numbers; anything else (columns, functions, subqueries,
+// NULL) stops the fold.
+func constValue(e sql.Expr) (constVal, bool) {
+	switch v := e.(type) {
+	case *sql.Lit:
+		switch v.Kind {
+		case sql.LitNull:
+			return constVal{}, false
+		case sql.LitString, sql.LitDate:
+			return constVal{str: v.Str}, true
+		default:
+			return constVal{num: v.Num, isNum: true}, true
+		}
+	case *sql.UnaryOp:
+		if v.Op == "-" {
+			if x, ok := constValue(v.X); ok && x.isNum {
+				return constVal{num: -x.num, isNum: true}, true
+			}
+		}
+	case *sql.BinOp:
+		l, lok := constValue(v.L)
+		r, rok := constValue(v.R)
+		if lok && rok && l.isNum && r.isNum {
+			switch v.Op {
+			case "+":
+				return constVal{num: l.num + r.num, isNum: true}, true
+			case "-":
+				return constVal{num: l.num - r.num, isNum: true}, true
+			case "*":
+				return constVal{num: l.num * r.num, isNum: true}, true
+			case "/":
+				if r.num != 0 {
+					return constVal{num: l.num / r.num, isNum: true}, true
+				}
+			}
+		}
+	}
+	return constVal{}, false
+}
+
+// compare orders two folded values when they are of the same family.
+func (a constVal) compare(b constVal) (int, bool) {
+	if a.isNum != b.isNum {
+		return 0, false
+	}
+	if a.isNum {
+		switch {
+		case a.num < b.num:
+			return -1, true
+		case a.num > b.num:
+			return 1, true
+		}
+		return 0, true
+	}
+	return strings.Compare(a.str, b.str), true
+}
+
+func truth(ok bool) string {
+	if ok {
+		return "true"
+	}
+	return "false"
+}
+
+// checkConstPredicates walks the boolean structure of one predicate
+// position (WHERE, ON, HAVING) and flags every leaf whose truth value
+// is fixed after substitution. anchor positions findings that contain
+// no column reference (a fully-literal predicate has none).
+func (c *checker) checkConstPredicates(e sql.Expr, anchor int) {
+	if e == nil {
+		return
+	}
+	pos := func(x sql.Expr) int {
+		if p := c.posOf(x); p != 0 {
+			return p
+		}
+		return anchor
+	}
+	switch v := e.(type) {
+	case *sql.BinOp:
+		switch v.Op {
+		case "AND", "OR":
+			c.checkConstPredicates(v.L, anchor)
+			c.checkConstPredicates(v.R, anchor)
+			return
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, lok := constValue(v.L)
+			r, rok := constValue(v.R)
+			if !lok || !rok {
+				return
+			}
+			cmp, ok := l.compare(r)
+			if !ok {
+				return
+			}
+			var val bool
+			switch v.Op {
+			case "=":
+				val = cmp == 0
+			case "<>":
+				val = cmp != 0
+			case "<":
+				val = cmp < 0
+			case "<=":
+				val = cmp <= 0
+			case ">":
+				val = cmp > 0
+			case ">=":
+				val = cmp >= 0
+			}
+			c.errorf(pos(v), "predicate %s is always %s after substitution",
+				v.Render(), truth(val))
+		}
+	case *sql.UnaryOp:
+		if v.Op == "NOT" {
+			c.checkConstPredicates(v.X, anchor)
+		}
+	case *sql.Between:
+		lo, lok := constValue(v.Lo)
+		hi, hok := constValue(v.Hi)
+		if !lok || !hok {
+			return
+		}
+		if cmp, ok := lo.compare(hi); ok && cmp > 0 {
+			c.errorf(pos(v), "BETWEEN range %s .. %s is empty: predicate is always %s after substitution",
+				v.Lo.Render(), v.Hi.Render(), truth(v.Not))
+			return
+		}
+		// Bounds are ordered; the predicate is still constant when the
+		// tested expression is itself a literal.
+		if x, ok := constValue(v.X); ok {
+			lc, ok1 := x.compare(lo)
+			hc, ok2 := x.compare(hi)
+			if ok1 && ok2 {
+				val := lc >= 0 && hc <= 0
+				if v.Not {
+					val = !val
+				}
+				c.errorf(pos(v), "predicate %s is always %s after substitution",
+					v.Render(), truth(val))
+			}
+		}
+	case *sql.In:
+		if v.Sub != nil || len(v.List) == 0 {
+			return
+		}
+		x, ok := constValue(v.X)
+		if !ok {
+			return
+		}
+		hit, foldable := false, true
+		for _, le := range v.List {
+			lv, ok := constValue(le)
+			if !ok {
+				foldable = false
+				break
+			}
+			if cmp, ok := x.compare(lv); ok && cmp == 0 {
+				hit = true
+			}
+		}
+		if foldable {
+			val := hit
+			if v.Not {
+				val = !val
+			}
+			c.errorf(pos(v), "predicate %s is always %s after substitution",
+				v.Render(), truth(val))
+		}
+	}
+}

@@ -300,6 +300,15 @@ func (c *checker) checkBlock(s *sql.SelectStmt, ctes map[string][]col) []col {
 	for _, cond := range conds {
 		c.checkJoinPredicate(cond, sc)
 	}
+
+	// Constant-predicate lint: filters whose truth value is fixed after
+	// representative substitution (see constfold.go).
+	anchor := c.posOfBlock(s)
+	c.checkConstPredicates(s.Where, anchor)
+	for _, ref := range s.From {
+		c.checkConstPredicates(ref.On, anchor)
+	}
+	c.checkConstPredicates(s.Having, anchor)
 	return outs
 }
 

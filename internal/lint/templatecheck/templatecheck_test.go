@@ -85,6 +85,87 @@ func TestSyntheticCorruptions(t *testing.T) {
 	}
 }
 
+// TestConstantPredicates exercises the constant-predicate lint: after
+// representative substitution a fully-literal predicate has one fixed
+// truth value, which the checker must fold and flag — and predicates
+// that merely look constant (columns, NULLs, subqueries) must not fold.
+func TestConstantPredicates(t *testing.T) {
+	cases := []struct {
+		name string
+		tmpl qgen.Template
+		want []string
+	}{
+		{
+			name: "always-true comparison",
+			tmpl: qgen.Template{ID: 911, SQL: "\nSELECT ss_quantity FROM store_sales WHERE ss_quantity > 0 AND 1 = 1\n"},
+			want: []string{`q911.sql:2:25: predicate (1 = 1) is always true after substitution`},
+		},
+		{
+			name: "always-false comparison with folded arithmetic",
+			tmpl: qgen.Template{ID: 912, SQL: "\nSELECT ss_quantity FROM store_sales WHERE 2 + 2 < 4\n"},
+			want: []string{`q912.sql:2:25: predicate ((2 + 2) < 4) is always false after substitution`},
+		},
+		{
+			name: "empty BETWEEN range",
+			tmpl: qgen.Template{ID: 913, SQL: "\nSELECT ss_quantity FROM store_sales WHERE ss_quantity BETWEEN 10 AND 5\n"},
+			want: []string{`q913.sql:2:43: BETWEEN range 10 .. 5 is empty: predicate is always false after substitution`},
+		},
+		{
+			name: "empty NOT BETWEEN range is a tautology",
+			tmpl: qgen.Template{ID: 914, SQL: "\nSELECT ss_quantity FROM store_sales WHERE ss_quantity NOT BETWEEN 10 AND 5\n"},
+			want: []string{`q914.sql:2:43: BETWEEN range 10 .. 5 is empty: predicate is always true after substitution`},
+		},
+		{
+			name: "empty date BETWEEN range",
+			tmpl: qgen.Template{ID: 915, SQL: "\nSELECT ss_quantity FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk AND d_date BETWEEN '2001-12-31' AND '2001-01-01'\n"},
+			want: []string{`q915.sql:2:85: BETWEEN range '2001-12-31' .. '2001-01-01' is empty: predicate is always false after substitution`},
+		},
+		{
+			name: "literal BETWEEN over an ordered range",
+			tmpl: qgen.Template{ID: 916, SQL: "\nSELECT ss_quantity FROM store_sales WHERE 7 BETWEEN 1 AND 5\n"},
+			want: []string{`q916.sql:2:25: predicate (7 BETWEEN 1 AND 5) is always false after substitution`},
+		},
+		{
+			name: "literal IN list",
+			tmpl: qgen.Template{ID: 917, SQL: "\nSELECT ss_quantity FROM store_sales WHERE 3 IN (1, 2, 3)\n"},
+			want: []string{`q917.sql:2:25: predicate (3 IN (1, 2, 3)) is always true after substitution`},
+		},
+		{
+			name: "constant leaf inside OR and HAVING",
+			tmpl: qgen.Template{ID: 918, SQL: "\nSELECT ss_store_sk, SUM(ss_quantity) FROM store_sales WHERE ss_quantity > 0 OR 0 = 1 GROUP BY ss_store_sk HAVING 2 > 1\n"},
+			want: []string{
+				`q918.sql:2:43: predicate (0 = 1) is always false after substitution`,
+				`q918.sql:2:43: predicate (2 > 1) is always true after substitution`,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := render(templatecheck.CheckTemplate(tc.tmpl))
+			want := strings.Join(tc.want, "\n") + "\n"
+			if got != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+	clean := []struct {
+		name string
+		sql  string
+	}{
+		{"column keeps the predicate live", "\nSELECT ss_quantity FROM store_sales WHERE ss_quantity > 5\n"},
+		{"NULL never folds", "\nSELECT ss_quantity FROM store_sales WHERE NULL = 1\n"},
+		{"token substitution is not constant against a column", "\nSELECT d_year FROM date_dim WHERE d_year = [YEAR]\n"},
+		{"division by literal zero does not fold", "\nSELECT ss_quantity FROM store_sales WHERE ss_quantity > 1 / 0\n"},
+	}
+	for _, tc := range clean {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := render(templatecheck.CheckTemplate(qgen.Template{ID: 919, SQL: tc.sql})); got != "" {
+				t.Errorf("clean shape flagged:\n%s", got)
+			}
+		})
+	}
+}
+
 // TestCorruptedRealTemplate corrupts a copy of a shipped template and
 // asserts the checker localizes the damage: a clean template plus one
 // typo'd column must yield exactly the unknown-column findings for the

@@ -1,0 +1,99 @@
+package exec
+
+// boundscheck fixture: index, slice, and divisor shapes the value tier
+// must flag, next to clean shapes that must stay silent. The file poses
+// as internal/exec/batch.go so the rule's file scoping applies.
+
+// ---- known-bad shapes ----
+
+// badConstIndex indexes one past a constant-sized allocation.
+func badConstIndex() int {
+	s := make([]int, 4)
+	return s[4]
+}
+
+// badInclusiveLoop runs the classic off-by-one: i reaches len(vals).
+func badInclusiveLoop(vals []int64) int64 {
+	var t int64
+	for i := 0; i <= len(vals); i++ {
+		t += vals[i]
+	}
+	return t
+}
+
+// badParamIndex consumes an unconstrained index parameter.
+func badParamIndex(vals []int64, i int) int64 {
+	return vals[i]
+}
+
+// badDivisor divides by a parameter nothing proves non-zero.
+func badDivisor(total, workers int) int {
+	return total / workers
+}
+
+// badSliceHigh reslices past a length nothing relates to n.
+func badSliceHigh(vals []int64, n int) []int64 {
+	return vals[:n]
+}
+
+// badReversedSlice cannot prove lo ≤ hi for swapped bounds.
+func badReversedSlice(vals []int64, lo, hi int) []int64 {
+	return vals[hi:lo]
+}
+
+// ---- clean shapes ----
+
+// cleanLoop is the canonical exclusive-bound scan.
+func cleanLoop(vals []int64) int64 {
+	var t int64
+	for i := 0; i < len(vals); i++ {
+		t += vals[i]
+	}
+	return t
+}
+
+// cleanGuardedIndex excludes both out-of-range sides before the use.
+func cleanGuardedIndex(vals []int64, i int) int64 {
+	if i < 0 || i >= len(vals) {
+		return 0
+	}
+	return vals[i]
+}
+
+// cleanCompaction is the widened-loop selection compaction: w only
+// advances on kept elements, so the in-place writes and the final
+// reslice stay in bounds across the loop widening.
+func cleanCompaction(keep []int32) []int32 {
+	w := 0
+	for _, v := range keep {
+		if v > 0 {
+			keep[w] = v
+			w++
+		}
+	}
+	return keep[:w]
+}
+
+// cleanClampedBatch walks [0, n) in batch-sized chunks over a scratch
+// buffer: end−base ≤ batch = len(buf) through the min fold.
+func cleanClampedBatch(n, batch int) int {
+	if batch < 1 {
+		batch = 1
+	}
+	out := 0
+	buf := make([]int32, batch)
+	for base := 0; base < n; base += batch {
+		end := min(base+batch, n)
+		chunk := buf[:end-base]
+		out += len(chunk)
+	}
+	return out
+}
+
+// cleanGuardedDivisor clamps the divisor before dividing.
+func cleanGuardedDivisor(total, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	return total / workers
+}

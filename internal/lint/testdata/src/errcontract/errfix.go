@@ -1,0 +1,90 @@
+package plan
+
+// errcontract fixture: (T, error) results consumed before or despite
+// their companion error, and wraps that lose the original chain, next
+// to the err-checked early-return shapes that must stay silent.
+
+import (
+	"errors"
+	"fmt"
+)
+
+type tree struct {
+	root string
+}
+
+func parse(q string) (*tree, error) {
+	if q == "" {
+		return nil, errors.New("empty query")
+	}
+	return &tree{root: q}, nil
+}
+
+// ---- known-bad shapes ----
+
+// badUseBeforeCheck consumes the result while the companion error is
+// still unchecked.
+func badUseBeforeCheck(q string) string {
+	t, err := parse(q)
+	r := t.root
+	_ = err
+	return r
+}
+
+// badUseOnErrPath consumes the result on the branch that proved the
+// error non-nil.
+func badUseOnErrPath(q string) (string, error) {
+	t, err := parse(q)
+	if err != nil {
+		return t.root, err
+	}
+	return t.root, nil
+}
+
+// badLostWrap formats the original error with %v, severing the chain.
+func badLostWrap(q string) error {
+	_, err := parse(q)
+	if err != nil {
+		return fmt.Errorf("parsing %q: %v", q, err)
+	}
+	return nil
+}
+
+// badDroppedOriginal constructs a fresh error while the live one is
+// known non-nil.
+func badDroppedOriginal(q string) error {
+	_, err := parse(q)
+	if err != nil {
+		return errors.New("parse failed")
+	}
+	return nil
+}
+
+// ---- clean shapes ----
+
+// cleanEarlyReturn is the idiomatic check-then-use contract.
+func cleanEarlyReturn(q string) (string, error) {
+	t, err := parse(q)
+	if err != nil {
+		return "", err
+	}
+	return t.root, nil
+}
+
+// cleanWrap preserves the chain with %w.
+func cleanWrap(q string) error {
+	_, err := parse(q)
+	if err != nil {
+		return fmt.Errorf("parsing %q: %w", q, err)
+	}
+	return nil
+}
+
+// cleanNilArmUse consumes the result only on the err == nil arm.
+func cleanNilArmUse(q string) string {
+	t, err := parse(q)
+	if err == nil {
+		return t.root
+	}
+	return ""
+}

@@ -1,0 +1,65 @@
+package storage
+
+// nilcheck fixture: definite-nil map writes and pointer dereferences
+// the nilness lattice must flag, next to guarded shapes that must stay
+// silent.
+
+type node struct {
+	next *node
+	val  int
+}
+
+// ---- known-bad shapes ----
+
+// badNilMapWrite writes through a map whose only definition is the
+// zero value.
+func badNilMapWrite(k string) {
+	var idx map[string]int
+	idx[k] = 1
+}
+
+// badNilField reads a field through a pointer nil on every path.
+func badNilField() int {
+	var p *node
+	return p.val
+}
+
+// badNilArm dereferences on the branch that just proved p nil.
+func badNilArm(p *node) int {
+	if p != nil {
+		return p.val
+	}
+	return p.val
+}
+
+// badNilStar is the plain star-deref of a zero-value pointer.
+func badNilStar() int {
+	var p *int
+	return *p
+}
+
+// ---- clean shapes ----
+
+// cleanMadeMap writes through a freshly constructed map.
+func cleanMadeMap(k string) map[string]int {
+	idx := map[string]int{}
+	idx[k] = 1
+	return idx
+}
+
+// cleanLazyInit is the idiomatic nil-guarded lazy initialization.
+func cleanLazyInit(idx map[string]int, k string) map[string]int {
+	if idx == nil {
+		idx = make(map[string]int)
+	}
+	idx[k] = 1
+	return idx
+}
+
+// cleanGuardedDeref excludes nil before the field read.
+func cleanGuardedDeref(p *node) int {
+	if p == nil {
+		return 0
+	}
+	return p.val
+}

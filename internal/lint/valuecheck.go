@@ -1,0 +1,142 @@
+package lint
+
+// valuecheck.go is the report-pass walker of the value tier: replay
+// every CFG node against its fixpoint in-state and dispatch each
+// expression shape to the rule-specific obligations in boundscheck.go,
+// nilcheck.go, and errcontract.go. Short-circuit operators refine the
+// environment for their right operand exactly as branch edges do, so
+// `i < len(s) && v[i] > 0` proves its own index.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkNode checks one CFG node under its in-state env.
+func (va *valueAnalysis) checkNode(env *valEnv, node ast.Node) {
+	switch v := node.(type) {
+	case *ast.AssignStmt:
+		for _, r := range v.Rhs {
+			va.checkExpr(env, r)
+		}
+		for _, l := range v.Lhs {
+			va.checkLHS(env, l)
+		}
+	case *ast.ReturnStmt:
+		va.checkReturn(env, v)
+	case *ast.RangeStmt:
+		va.checkConsume(env, v.X)
+		va.checkExpr(env, v.X)
+	case *ast.IncDecStmt:
+		va.checkExpr(env, v.X)
+	case ast.Expr:
+		va.checkExpr(env, v)
+	default:
+		// Remaining statement forms (ExprStmt, Send, Defer, Go, Decl,
+		// Case/Comm clauses...): check each top-level expression; the
+		// recursion inside checkExpr covers the rest.
+		inspectShallow(node, func(n ast.Node) bool {
+			if n == node {
+				return true
+			}
+			if e, ok := n.(ast.Expr); ok {
+				va.checkExpr(env, e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkExpr recursively checks one expression tree.
+func (va *valueAnalysis) checkExpr(env *valEnv, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch v := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.LAND:
+			va.checkExpr(env, v.X)
+			refined := env.clone()
+			va.refineCond(refined, v.X, true)
+			va.checkExpr(refined, v.Y)
+		case token.LOR:
+			va.checkExpr(env, v.X)
+			refined := env.clone()
+			va.refineCond(refined, v.X, false)
+			va.checkExpr(refined, v.Y)
+		default:
+			va.checkExpr(env, v.X)
+			va.checkExpr(env, v.Y)
+			if v.Op == token.QUO || v.Op == token.REM {
+				va.checkDivisor(env, v)
+			}
+		}
+	case *ast.IndexExpr:
+		va.checkExpr(env, v.X)
+		va.checkExpr(env, v.Index)
+		va.checkConsume(env, v.X)
+		va.checkIndex(env, v)
+	case *ast.SliceExpr:
+		va.checkExpr(env, v.X)
+		va.checkExpr(env, v.Low)
+		va.checkExpr(env, v.High)
+		va.checkExpr(env, v.Max)
+		va.checkConsume(env, v.X)
+		va.checkSlice(env, v)
+	case *ast.StarExpr:
+		va.checkExpr(env, v.X)
+		va.checkConsume(env, v.X)
+		va.checkNilDeref(env, v)
+	case *ast.SelectorExpr:
+		va.checkExpr(env, v.X)
+		va.checkConsume(env, v.X)
+		va.checkNilField(env, v)
+	case *ast.CallExpr:
+		va.checkExpr(env, v.Fun)
+		for _, a := range v.Args {
+			va.checkExpr(env, a)
+		}
+	case *ast.UnaryExpr:
+		va.checkExpr(env, v.X)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			va.checkExpr(env, el)
+		}
+	case *ast.KeyValueExpr:
+		va.checkExpr(env, v.Key)
+		va.checkExpr(env, v.Value)
+	case *ast.TypeAssertExpr:
+		va.checkExpr(env, v.X)
+	case *ast.FuncLit:
+		// A literal's body is its own scope (runScope visits it).
+	}
+}
+
+// checkLHS checks a store target: element stores get the bounds and
+// nil-map obligations, path stores the nil-deref ones.
+func (va *valueAnalysis) checkLHS(env *valEnv, lhs ast.Expr) {
+	switch v := unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		va.checkExpr(env, v.X)
+		va.checkExpr(env, v.Index)
+		va.checkConsume(env, v.X)
+		if t := va.p.typeOf(v.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				va.checkNilMapWrite(env, v)
+				return
+			}
+		}
+		va.checkIndex(env, v)
+	case *ast.StarExpr:
+		va.checkExpr(env, v.X)
+		va.checkConsume(env, v.X)
+		va.checkNilDeref(env, v)
+	case *ast.SelectorExpr:
+		va.checkExpr(env, v.X)
+		va.checkConsume(env, v.X)
+		va.checkNilField(env, v)
+	}
+}

@@ -113,6 +113,7 @@ func (c *Counter) Add(d int64) {
 	if c == nil {
 		return
 	}
+	//lint:ignore boundscheck shardIndex masks with len(c.shards)-1 inside the callee (power-of-two shard count); interprocedural return ranges are outside the intraprocedural domain
 	c.shards[shardIndex()].n.Add(d)
 }
 
@@ -198,6 +199,7 @@ func (h *Histogram) Observe(v int64) {
 		return
 	}
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	//lint:ignore boundscheck sort.Search returns i <= len(h.bounds) and buckets is allocated with len(bounds)+1 slots; the cross-field length relation is outside the per-variable domain
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
@@ -285,6 +287,9 @@ func (h *Histogram) Quantile(q float64) int64 {
 		// Mid-Observe window (count visible, max CAS not yet landed):
 		// the overflow bucket has no upper bound to report, so fall
 		// back to the largest finite bound rather than the sentinel.
+		if len(h.bounds) == 0 {
+			return 0 // only the overflow bucket exists
+		}
 		return h.bounds[len(h.bounds)-1]
 	}
 	return m
