@@ -12,17 +12,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"tpcds/internal/audit"
 	"tpcds/internal/driver"
 	"tpcds/internal/metric"
 	"tpcds/internal/obs"
+	"tpcds/internal/obs/debugd"
 	"tpcds/internal/plan"
 	"tpcds/internal/qgen"
 	"tpcds/internal/queries"
@@ -43,6 +46,51 @@ func writeDigest(path string, queries []driver.QueryTiming) error {
 	}
 	sort.Strings(lines)
 	return os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
+}
+
+// runCompare diffs two bench-json artifacts per template and reports
+// regressions beyond the threshold. Exit status 1 means at least one
+// template regressed — the CI gate for the performance trajectory.
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "dsbench: -compare needs exactly two artifacts: dsbench -compare before.json after.json")
+		return 2
+	}
+	load := func(path string) (metric.BenchRun, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return metric.BenchRun{}, err
+		}
+		return metric.ReadBenchJSON(data)
+	}
+	before, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsbench: %s: %v\n", args[0], err)
+		return 2
+	}
+	after, err := load(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsbench: %s: %v\n", args[1], err)
+		return 2
+	}
+	deltas := metric.CompareBench(before, after, threshold)
+	regressions := 0
+	fmt.Printf("bench compare: %s -> %s (threshold %.0f%%)\n", args[0], args[1], threshold*100)
+	fmt.Printf("  tmpl   before p50   after p50   ratio\n")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSED"
+			regressions++
+		}
+		fmt.Printf("  q%-4d %11v %11v   %.2fx%s\n", d.ID, d.BeforeP50, d.AfterP50, d.Ratio, mark)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d of %d templates regressed beyond %.0f%%\n", regressions, len(deltas), threshold*100)
+		return 1
+	}
+	fmt.Printf("no template regressed beyond %.0f%% (%d compared)\n", threshold*100, len(deltas))
+	return 0
 }
 
 func run() int {
@@ -71,7 +119,17 @@ func run() int {
 	rowExec := flag.Bool("rowexec", false, "force row-at-a-time execution (the differential oracle path)")
 	planner := flag.String("planner", "cost", "join planner: cost (statistics + plan cache) or greedy (fixed heuristic baseline)")
 	digestOut := flag.String("digest", "", "write per-query result checksums to this file (for cross-planner diffing)")
+	feedback := flag.Bool("feedback", false, "profile every query and dump the per-template estimate-vs-actual worst offenders")
+	benchJSON := flag.String("bench-json", "", "write the schema-versioned machine-readable run artifact to this file")
+	compareMode := flag.Bool("compare", false, "diff two bench-json artifacts (dsbench -compare before.json after.json) instead of running")
+	threshold := flag.Float64("threshold", 0.25, "with -compare, flag templates whose p50 regressed beyond this fraction")
+	debugAddr := flag.String("debug-addr", "", "serve live diagnostics (/metrics /queries /spans /debug/pprof) on this address during the run")
+	spanLimit := flag.Int("span-limit", 0, "bound the tracer's completed-span ring to the most recent N spans (0 = unbounded)")
 	flag.Parse()
+
+	if *compareMode {
+		return runCompare(flag.Args(), *threshold)
+	}
 
 	cfg := driver.Config{
 		SF: *sf, Streams: *streams, Seed: *seed,
@@ -80,11 +138,35 @@ func run() int {
 		QueryTimeout: *timeout, OnError: *onError, MaxConcurrent: *maxConcurrent,
 		Price: metric.PriceModel{HardwareUSD: *hw, SoftwareUSD: *sw, MaintenanceUSD: *maint},
 	}
-	if *traceOut != "" || *eventsOut != "" {
+	if *traceOut != "" || *eventsOut != "" || *debugAddr != "" {
 		cfg.Tracer = obs.NewTracer()
+		cfg.Tracer.SetSpanLimit(*spanLimit)
 	}
-	if *metrics {
+	// The bench artifact and the feedback report need the per-template
+	// histograms / q-error counters, so those modes imply a registry.
+	if *metrics || *benchJSON != "" || *feedback || *debugAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	if *feedback {
+		cfg.Profile = true
+	}
+	if *debugAddr != "" {
+		cfg.InFlight = driver.NewInFlight()
+		srv, err := debugd.Start(context.Background(), *debugAddr, debugd.Config{
+			Tracer: cfg.Tracer, Metrics: cfg.Metrics, Queries: cfg.InFlight,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "debugd listening on http://%s\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+			}
+		}()
 	}
 	if *pprofDir != "" {
 		stop, err := obs.StartProfiles(*pprofDir)
@@ -150,6 +232,41 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d query digests to %s\n", len(res.Queries), *digestOut)
+	}
+
+	if *benchJSON != "" {
+		art := metric.NewBenchRun(res.Report, *seed, *planner)
+		art.Counters = cfg.Metrics.CounterValues()
+		if h := cfg.Metrics.Histogram(driver.QErrorHistogram); h.Count() > 0 {
+			art.QError = &metric.BenchQErrorSummary{
+				Count:    h.Count(),
+				P50x1000: h.Quantile(0.50),
+				P95x1000: h.Quantile(0.95),
+				Maxx1000: h.Max(),
+			}
+		}
+		f, werr := os.Create(*benchJSON)
+		if werr == nil {
+			werr = metric.WriteBenchJSON(f, art)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote bench artifact (%d templates) to %s\n", len(art.Templates), *benchJSON)
+	}
+
+	if *feedback && len(res.Report.Misestimates) > 0 {
+		fmt.Printf("\nEstimate-vs-actual feedback (worst operator per template, %d templates):\n",
+			len(res.Report.Misestimates))
+		fmt.Printf("  tmpl   q-error          est       actual  nodes  operator\n")
+		for _, m := range res.Report.Misestimates {
+			fmt.Printf("  q%-4d %8.1f %12.0f %12d %6d  %s\n",
+				m.ID, m.QError, m.Est, m.Actual, m.Nodes, m.Op)
+		}
 	}
 
 	if cfg.Metrics != nil {

@@ -5,7 +5,8 @@
 //
 //	dsql -sf 0.001 -e "SELECT i_category, COUNT(*) c FROM item GROUP BY i_category ORDER BY c DESC"
 //	echo "SELECT ..." | dsql -sf 0.001
-//	dsql -sf 0.001 -e "..." -trace out.json -metrics
+//	dsql -sf 0.001 -e "EXPLAIN ANALYZE SELECT ..."   # per-operator runtime profile
+//	dsql -sf 0.001 -e "..." -trace out.json -metrics -debug-addr :6060
 package main
 
 import (
@@ -14,11 +15,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"tpcds/internal/datagen"
 	"tpcds/internal/exec"
 	"tpcds/internal/obs"
+	"tpcds/internal/obs/debugd"
 	"tpcds/internal/plan"
 )
 
@@ -40,6 +43,7 @@ func run() int {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the query to this file")
 	metrics := flag.Bool("metrics", false, "print the engine metrics dump after the query")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
+	debugAddr := flag.String("debug-addr", "", "serve live diagnostics (/metrics /queries /spans /debug/pprof) on this address while running")
 	flag.Parse()
 
 	text := *query
@@ -50,6 +54,16 @@ func run() int {
 			return 1
 		}
 		text = string(data)
+	}
+	// EXPLAIN ANALYZE <select>: execute the query with per-operator
+	// runtime accounting and print the plan trace plus the profile tree
+	// instead of the result rows.
+	const analyzePrefix = "explain analyze"
+	analyze := false
+	if trimmed := strings.TrimSpace(text); len(trimmed) >= len(analyzePrefix) &&
+		strings.EqualFold(trimmed[:len(analyzePrefix)], analyzePrefix) {
+		analyze = true
+		text = trimmed[len(analyzePrefix):]
 	}
 
 	if *pprofDir != "" {
@@ -71,8 +85,23 @@ func run() int {
 		root = tracer.Root("dsql", "driver")
 	}
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *debugAddr != "" {
 		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		srv, err := debugd.Start(context.Background(), *debugAddr, debugd.Config{Tracer: tracer, Metrics: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "debugd listening on http://%s\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
+			}
+		}()
 	}
 
 	loadStart := time.Now()
@@ -97,6 +126,7 @@ func run() int {
 	eng.SetBatchSize(*batch)
 	eng.SetVectorized(!*rowExec)
 	eng.SetMetrics(reg)
+	eng.SetProfiling(analyze)
 	fmt.Fprintf(os.Stderr, "loaded SF %v in %v\n", *sf, time.Since(loadStart).Round(time.Millisecond))
 
 	ctx := context.Background()
@@ -122,9 +152,15 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dsql: %v\n", err)
 		return 1
 	}
-	fmt.Print(res.String())
+	if analyze {
+		// EXPLAIN ANALYZE output is the plan trace with the profile tree;
+		// the result itself is summarized, not printed.
+		fmt.Print(tr.String())
+	} else {
+		fmt.Print(res.String())
+	}
 	fmt.Fprintf(os.Stderr, "%d rows in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
-	if *explain {
+	if *explain && !analyze {
 		fmt.Fprint(os.Stderr, tr.String())
 	}
 	if reg != nil {

@@ -1,0 +1,116 @@
+package driver
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tpcds/internal/obs"
+)
+
+// InFlight is the driver's registry of currently executing queries —
+// the data source behind the debugd /queries endpoint. Streams register
+// each query on admission and deregister on completion; the debugd
+// handler snapshots the set concurrently. All methods are safe for
+// concurrent use.
+type InFlight struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]*inflightQuery
+}
+
+// NewInFlight returns an empty in-flight query registry.
+func NewInFlight() *InFlight {
+	return &InFlight{m: make(map[uint64]*inflightQuery)}
+}
+
+// inflightQuery is one registered query execution. The identity fields
+// are written once at Begin; phase and rows are updated by the query's
+// coordinator goroutine through the obs.QueryStatus interface and read
+// by snapshotting goroutines under the entry mutex.
+type inflightQuery struct {
+	id       uint64
+	run      int
+	stream   int
+	template int
+	start    time.Time
+
+	mu    sync.Mutex
+	phase string
+	rows  int64
+}
+
+// SetPhase implements obs.QueryStatus.
+func (q *inflightQuery) SetPhase(p string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.phase = p
+	q.mu.Unlock()
+}
+
+// SetRows implements obs.QueryStatus.
+func (q *inflightQuery) SetRows(n int64) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.rows = n
+	q.mu.Unlock()
+}
+
+// Begin registers a query execution and returns its status handle. The
+// handle doubles as the engine-side obs.QueryStatus, so the executor's
+// phase and row progress land here without the driver polling anything.
+func (r *InFlight) Begin(run, stream, template int) *inflightQuery {
+	if r == nil {
+		return nil
+	}
+	q := &inflightQuery{run: run, stream: stream, template: template,
+		start: time.Now(), phase: "queued"}
+	r.mu.Lock()
+	r.next++
+	q.id = r.next
+	r.m[q.id] = q
+	r.mu.Unlock()
+	return q
+}
+
+// End deregisters a completed query. Nil-safe for the unregistered
+// path.
+func (r *InFlight) End(q *inflightQuery) {
+	if r == nil || q == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.m, q.id)
+	r.mu.Unlock()
+}
+
+// ActiveQueries implements obs.QuerySource: a snapshot of every query
+// currently executing, sorted by admission ID so the endpoint's output
+// order is stable.
+func (r *InFlight) ActiveQueries() []obs.ActiveQuery {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	qs := make([]*inflightQuery, 0, len(r.m))
+	for _, q := range r.m {
+		qs = append(qs, q)
+	}
+	r.mu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].id < qs[j].id })
+	out := make([]obs.ActiveQuery, len(qs))
+	for i, q := range qs {
+		q.mu.Lock()
+		out[i] = obs.ActiveQuery{
+			ID: q.id, Run: q.run, Stream: q.stream, Template: q.template,
+			Phase: q.phase, Rows: q.rows,
+			ElapsedNs: time.Since(q.start).Nanoseconds(),
+		}
+		q.mu.Unlock()
+	}
+	return out
+}

@@ -326,6 +326,10 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		n := len(rows)
 		gv = make([][]storage.Value, n)
 		av = make([][]storage.Value, n)
+		// The per-row value arrays are the parallel aggregation's
+		// dominant scratch; they live until the last mask is emitted,
+		// so they count toward the aggregate node's peak only.
+		b.qc.growScratch(int64(n) * int64(len(groupExprs)+len(specs)+2) * valueBytes)
 		counts := forEachMorsel(b.qc, workers, n, morsel, func(_, _, lo, hi int) {
 			for r := lo; r < hi; r++ {
 				row := rows[r]
@@ -359,6 +363,10 @@ func (e *Engine) aggregate(stmt *sql.SelectStmt, b *binder, rows [][]storage.Val
 		}
 		keys := make([]string, n)
 		parts := make([]int, n)
+		// Per-mask key/partition vectors (string header + int per row),
+		// released when this mask's groups have been emitted.
+		b.qc.growScratch(int64(n) * 24)
+		defer b.qc.shrinkScratch(int64(n) * 24)
 		counts := forEachMorsel(b.qc, workers, n, morsel, func(_, _, lo, hi int) {
 			var buf []byte
 			for r := lo; r < hi; r++ {

@@ -177,6 +177,15 @@ func (tf *tableFilter) newScratch(batch int) *batchScratch {
 	return sc
 }
 
+// valueBytes approximates the in-memory size of one storage.Value
+// (kind tag + int64 + float64 + string header) for scratch accounting.
+const valueBytes = 48
+
+// bytes reports the scratch buffer footprint for profile accounting.
+func (sc *batchScratch) bytes() int64 {
+	return int64(len(sc.sel))*4 + int64(len(sc.tri)) + int64(len(sc.row))*valueBytes
+}
+
 // apply runs every kernel over sel, compacting survivors in place, then
 // finishes with the uncompiled conjuncts on whatever is left.
 func (tf *tableFilter) apply(sel []int32, sc *batchScratch) []int32 {
@@ -233,6 +242,8 @@ func (tf *tableFilter) scanRange(qc *qctx, batch, lo, hi int, fn func(sel []int3
 		batch = 1
 	}
 	sc := tf.newScratch(batch)
+	qc.growScratch(sc.bytes())
+	defer qc.shrinkScratch(sc.bytes())
 	buf := sc.sel
 	if len(buf) < batch {
 		panic("exec: scratch selection vector smaller than batch")
@@ -259,6 +270,8 @@ func (tf *tableFilter) scanIDs(qc *qctx, batch int, ids []int32, fn func(sel []i
 		batch = 1
 	}
 	sc := tf.newScratch(batch)
+	qc.growScratch(sc.bytes())
+	defer qc.shrinkScratch(sc.bytes())
 	buf := sc.sel
 	if len(buf) < batch {
 		panic("exec: scratch selection vector smaller than batch")

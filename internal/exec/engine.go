@@ -67,6 +67,12 @@ type Engine struct {
 	// check per recording site.
 	em *execMetrics
 
+	// profiling enables per-operator runtime accounting (EXPLAIN
+	// ANALYZE): every query builds a profile tree mirroring the plan
+	// shape, surfaced as Trace.Profile. Off by default; the disabled
+	// path allocates nothing.
+	profiling bool
+
 	// queryHook, when set, runs at the start of every Query/QueryContext
 	// call inside the per-query recover scope — the fault-injection
 	// point for robustness tests (a hook panic becomes that query's
@@ -181,6 +187,18 @@ func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.planCache.Stat
 // heuristics — the stats-vs-heuristics ablation. Not safe to call
 // concurrently with queries.
 func (e *Engine) SetUseStatistics(on bool) { e.useHeuristicsOnly = !on }
+
+// SetProfiling toggles per-operator runtime accounting. With it on,
+// every query records actual rows in/out, batches, morsels, wall time
+// and peak scratch bytes per operator into Trace.Profile (the EXPLAIN
+// ANALYZE surface); estimates from the cost planner ride along so the
+// profile reports per-operator q-error. Profiling never changes
+// results (the differential tests run with it on to prove it). Not
+// safe to call concurrently with queries.
+func (e *Engine) SetProfiling(on bool) { e.profiling = on }
+
+// Profiling reports whether per-operator accounting is enabled.
+func (e *Engine) Profiling() bool { return e.profiling }
 
 // SetQueryHook installs a hook invoked at the start of every query
 // inside the per-query recover scope. It exists for fault injection:

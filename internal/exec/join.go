@@ -67,7 +67,8 @@ func (e *Engine) joinRows(b *binder, stmt *sql.SelectStmt, filters []filterInfo,
 		e.setDecision(decision)
 		tr.Decision = decision
 		if decision.Strategy == plan.StarTransform {
-			rows, ok := e.runStar(b, filters, edges, residual, dimOfTable, &tr)
+			starEst := shape.CombinedSelectivity() * float64(shape.FactRows)
+			rows, ok := e.runStar(b, filters, edges, residual, dimOfTable, starEst, &tr)
 			if ok {
 				tr.Strategy = plan.StarTransform
 				tr.JoinOrder = []string{shape.FactName + " (bitmap-driven)"}
@@ -76,7 +77,7 @@ func (e *Engine) joinRows(b *binder, stmt *sql.SelectStmt, filters []filterInfo,
 			}
 		}
 	}
-	rows, order := e.executeJoinOrder(b, planned.Order, filters, edges, residual, lefts, &tr)
+	rows, order := e.executeJoinOrder(b, planned.Order, planned.StepEst, filters, edges, residual, lefts, &tr)
 	tr.JoinOrder = order
 	tr.BaseRows = len(rows)
 	return rows, tr, nil
@@ -207,7 +208,11 @@ func (e *Engine) estimateFiltered(b *binder, ti int, filters []filterInfo) float
 // join columns (row ids only — spans are copied on match) and probed.
 // Both planners produce orders satisfying the probe-major order
 // invariant, so execution needs no knowledge of which one planned.
-func (e *Engine) executeJoinOrder(b *binder, order []int, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin, tr *Trace) ([][]storage.Value, []string) {
+// stepEst carries the cost planner's per-step output estimates aligned
+// with order (stepEst[k] estimates the intermediate cardinality after
+// joining order[k]); nil under the greedy planner. Estimates feed only
+// the profile — execution never branches on them.
+func (e *Engine) executeJoinOrder(b *binder, order []int, stepEst []float64, filters []filterInfo, edges []joinEdge, residual []bexpr, lefts []leftJoin, tr *Trace) ([][]storage.Value, []string) {
 	if len(order) == 0 {
 		panic("exec: empty join order")
 	}
@@ -215,8 +220,12 @@ func (e *Engine) executeJoinOrder(b *binder, order []int, filters []filterInfo, 
 	current := e.scanFiltered(b, driver, filters, tr)
 	joined := map[int]bool{driver: true}
 	desc := []string{b.tableAt(driver).binding + " (driver)"}
-	for _, ti := range order[1:] {
-		current = e.innerHashJoin(b, current, ti, filters, edges, joined, tr)
+	for k, ti := range order[1:] {
+		est := -1.0
+		if s := k + 1; s >= 0 && s < len(stepEst) {
+			est = stepEst[s]
+		}
+		current = e.innerHashJoin(b, current, ti, filters, edges, joined, est, tr)
 		joined[ti] = true
 		desc = append(desc, b.tableAt(ti).binding)
 	}
@@ -329,12 +338,17 @@ func (b *binder) fillSpan(ti int, r int32, dst []storage.Value) {
 	}
 }
 
-// innerHashJoin joins current rows with table ti.
-func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, filters []filterInfo, edges []joinEdge, joined map[int]bool, tr *Trace) [][]storage.Value {
+// innerHashJoin joins current rows with table ti. stepEst is the
+// planner's output estimate for this join step (negative when none).
+func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, filters []filterInfo, edges []joinEdge, joined map[int]bool, stepEst float64, tr *Trace) [][]storage.Value {
 	probe, build := joinKeys(edges, joined, ti)
 	if len(probe) == 0 {
 		// No connecting edge: cartesian product (rare; small sides only).
 		sp := b.qc.startOp("cartesian", b.tableAt(ti).binding)
+		b.qc.opRowsIn(sp, int64(len(current)))
+		if stepEst >= 0 {
+			b.qc.opEst(stepEst)
+		}
 		defer b.qc.endOp(sp)
 		var ids []int32
 		b.forEachFiltered(ti, filters, func(r int, _ []storage.Value) {
@@ -350,6 +364,7 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 				out = append(out, m)
 			}
 		}
+		b.qc.opRowsOut(sp, int64(len(out)))
 		return out
 	}
 	// Build on the smaller side: when the new table is much larger than
@@ -357,10 +372,10 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 	// filtered fact), hash the current rows instead and stream the big
 	// table past them.
 	if est := e.estimateFiltered(b, ti, filters); est > 2*float64(len(current)) {
-		return e.streamJoin(b, current, ti, probe, build, filters, tr)
+		return e.streamJoin(b, current, ti, probe, build, filters, stepEst, tr)
 	}
 	ht := e.buildHashTable(b, ti, filters, probe, build, tr)
-	return e.probeJoin(b, current, ti, probe, ht, tr)
+	return e.probeJoin(b, current, ti, probe, ht, stepEst, tr)
 }
 
 // leftHashJoin outer-joins current rows with the lj table: rows without
@@ -369,7 +384,7 @@ func (e *Engine) innerHashJoin(b *binder, current [][]storage.Value, ti int, fil
 // the serial output order).
 func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin, filters []filterInfo, tr *Trace) [][]storage.Value {
 	sp := b.qc.startOp("left", b.tableAt(lj.table).binding)
-	sp.SetAttrInt("rows_in", int64(len(current)))
+	b.qc.opRowsIn(sp, int64(len(current)))
 	defer b.qc.endOp(sp)
 	var probe, build []*colExpr
 	for _, ed := range lj.edges {
@@ -434,7 +449,7 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 			b.qc.tick()
 			out = probeOne(l, out)
 		}
-		sp.SetAttrInt("rows_out", int64(len(out)))
+		b.qc.opRowsOut(sp, int64(len(out)))
 		return out
 	}
 	numMorsels := (n + morsel - 1) / morsel
@@ -449,6 +464,6 @@ func (e *Engine) leftHashJoin(b *binder, current [][]storage.Value, lj leftJoin,
 	})
 	tr.addWork(counts)
 	rows := concatRows(outs)
-	sp.SetAttrInt("rows_out", int64(len(rows)))
+	b.qc.opRowsOut(sp, int64(len(rows)))
 	return rows
 }

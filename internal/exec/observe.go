@@ -71,9 +71,16 @@ func (q *qctx) countMorsel() {
 	q.em.morsels.Add(1)
 }
 
-// countBatch records one vectorized batch. Safe from any goroutine.
+// countBatch records one vectorized batch, into both the engine
+// counter and the current operator's profile node. Safe from any
+// goroutine: the node pointer is published before workers spawn
+// (opSpan discipline) and its batch counter is atomic.
 func (q *qctx) countBatch() {
-	if q == nil || q.em == nil {
+	if q == nil {
+		return
+	}
+	q.pcur.AddBatches(1)
+	if q.em == nil {
 		return
 	}
 	q.em.batches.Add(1)

@@ -2,10 +2,14 @@ package exec
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
+	"tpcds/internal/datagen"
 	"tpcds/internal/obs"
+	"tpcds/internal/qgen"
+	"tpcds/internal/queries"
 )
 
 // TestDisabledObservabilityAllocatesNothing pins the "disabled means
@@ -18,8 +22,18 @@ func TestDisabledObservabilityAllocatesNothing(t *testing.T) {
 	if qc.qspan != nil || qc.em != nil {
 		t.Fatal("plain context should produce a disabled qctx")
 	}
+	if qc.prof != nil {
+		t.Fatal("engine without SetProfiling(true) should not build a profile tree")
+	}
 	allocs := testing.AllocsPerRun(1000, func() {
 		sp := qc.startOp("scan", "store_sales")
+		qc.opRowsIn(sp, 4096)
+		qc.opEst(4096)
+		qc.countBatch()
+		qc.growScratch(1 << 20)
+		qc.shrinkScratch(1 << 20)
+		qc.opMorsels(4)
+		qc.opRowsOut(sp, 4096)
 		qc.endOp(sp)
 		qc.countScan(4096)
 		qc.countBuild(512)
@@ -31,6 +45,9 @@ func TestDisabledObservabilityAllocatesNothing(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled observability allocates %v per run, want 0", allocs)
+	}
+	if p := qc.profile(); p != nil {
+		t.Fatal("disabled profile path produced a snapshot")
 	}
 }
 
@@ -94,5 +111,133 @@ func TestQuerySpansCoverOperators(t *testing.T) {
 	}
 	if got := reg.Counter("exec_hash_build_rows").Value(); got == 0 {
 		t.Errorf("exec_hash_build_rows = 0, want > 0 for a hash join")
+	}
+}
+
+// TestProfileMirrorsSpans pins the structural contract behind EXPLAIN
+// ANALYZE: startOp pushes a span and a profile node from the same call
+// with the same name, so for any query the profile tree must have
+// exactly the operator spans' names with the same parent edges (morsel
+// worker spans excluded — they are trace lanes, not plan operators).
+func TestProfileMirrorsSpans(t *testing.T) {
+	db := randDB(5, 2000, 16)
+	e := parallelEngine(New(db))
+	e.SetProfiling(true)
+	for _, q := range []string{
+		`SELECT d_s, COUNT(*) c, SUM(f_m) m FROM f, d WHERE f_k = d_k GROUP BY d_s ORDER BY m DESC`,
+		`SELECT DISTINCT f_v FROM f`,
+		`SELECT f_o, d_g FROM f LEFT OUTER JOIN d ON f_k = d_k`,
+	} {
+		tracer := obs.NewTracer()
+		root := tracer.Root("q", "driver")
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		res, tr, err := e.QueryTracedContext(ctx, q)
+		root.End()
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s: no rows", q)
+		}
+		if tr.Profile == nil {
+			t.Fatalf("%s: profiling on but trace has no profile", q)
+		}
+
+		// Edge multiset from the spans: operator name -> parent operator
+		// name ("query" when the parent is the query span itself).
+		snap := tracer.Snapshot()
+		byID := map[uint64]obs.SpanRecord{}
+		for _, s := range snap {
+			byID[s.ID] = s
+		}
+		spanEdges := map[string]int{}
+		for _, s := range snap {
+			if s.Cat != "exec" || strings.HasPrefix(s.Name, "morsel") {
+				continue
+			}
+			parent := "query"
+			if p, ok := byID[s.Parent]; ok && p.Cat == "exec" {
+				parent = p.Name
+			}
+			spanEdges[s.Name+" <- "+parent]++
+		}
+		profEdges := map[string]int{}
+		var walk func(p *obs.OpProfile, parent string)
+		walk = func(p *obs.OpProfile, parent string) {
+			profEdges[p.Name+" <- "+parent]++
+			for _, c := range p.Children {
+				walk(c, p.Name)
+			}
+		}
+		for _, c := range tr.Profile.Children {
+			walk(c, "query")
+		}
+		if !reflect.DeepEqual(spanEdges, profEdges) {
+			t.Errorf("%s:\nspan edges    %v\nprofile edges %v", q, spanEdges, profEdges)
+		}
+		// Accounting sanity on the snapshot: the root saw wall time and
+		// some node carries the scanned rows.
+		if tr.Profile.WallNs <= 0 {
+			t.Errorf("%s: profile root wall = %d", q, tr.Profile.WallNs)
+		}
+		var sawRows bool
+		tr.Profile.Walk(func(n *obs.OpProfile) { sawRows = sawRows || n.RowsOut > 0 })
+		if !sawRows {
+			t.Errorf("%s: no profile node recorded rows_out", q)
+		}
+	}
+}
+
+// TestProfiledEqualsUnprofiled is the EXPLAIN ANALYZE bit-identity
+// sweep: all 99 templates, serial-unprofiled (the oracle) vs
+// serial-profiled vs parallel-profiled over the same database, must
+// produce identical results — per-operator accounting never alters
+// what the query returns. Every profiled trace must carry a profile
+// with estimate feedback on at least one join node.
+func TestProfiledEqualsUnprofiled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-99 profiled differential skipped in -short")
+	}
+	db := datagen.New(0.0005, 7).GenerateAll()
+	oracle := New(db)
+	oracle.SetParallelism(1)
+	serialProf := New(db)
+	serialProf.SetParallelism(1)
+	serialProf.SetProfiling(true)
+	parProf := parallelEngine(New(db))
+	parProf.SetProfiling(true)
+	ctx := context.Background()
+	sawEst := false
+	for _, tpl := range queries.All() {
+		text, err := qgen.Instantiate(tpl, qgen.StreamSeed(1, 0, tpl.ID))
+		if err != nil {
+			t.Fatalf("query %d: %v", tpl.ID, err)
+		}
+		want, err := oracle.Query(text)
+		if err != nil {
+			t.Fatalf("query %d oracle: %v", tpl.ID, err)
+		}
+		for name, e := range map[string]*Engine{"serial": serialProf, "parallel": parProf} {
+			got, tr, err := e.QueryTracedContext(ctx, text)
+			if err != nil {
+				t.Fatalf("query %d %s profiled: %v", tpl.ID, name, err)
+			}
+			if !reflect.DeepEqual(want.Columns, got.Columns) || len(want.Rows) != len(got.Rows) {
+				t.Fatalf("query %d %s: shape differs under profiling", tpl.ID, name)
+			}
+			for ri := range want.Rows {
+				if !reflect.DeepEqual(want.Rows[ri], got.Rows[ri]) {
+					t.Fatalf("query %d %s row %d: %v vs %v under profiling",
+						tpl.ID, name, ri, want.Rows[ri], got.Rows[ri])
+				}
+			}
+			if tr.Profile == nil {
+				t.Fatalf("query %d %s: no profile in trace", tpl.ID, name)
+			}
+			tr.Profile.Walk(func(n *obs.OpProfile) { sawEst = sawEst || n.HasEst })
+		}
+	}
+	if !sawEst {
+		t.Error("no profile node in the whole sweep carried a cardinality estimate")
 	}
 }

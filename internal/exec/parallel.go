@@ -92,6 +92,7 @@ func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel,
 			runMorsel(qc, opsp, 0, m, lo, hi, fn)
 			counts[0]++
 		}
+		qc.opMorsels(int64(numMorsels))
 		return counts
 	}
 	// Ownership: this coordinator goroutine owns every worker it spawns
@@ -140,6 +141,14 @@ func forEachMorsel(qc *qctx, workers, n, morselRows int, fn func(worker, morsel,
 		panic(panicVal)
 	}
 	qc.checkNow()
+	// Fold the morsel count into the current operator's profile node.
+	// Per-worker counts are summed after the barrier on the coordinator,
+	// so the aggregate is the same whatever the worker schedule was.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	qc.opMorsels(int64(total))
 	return counts
 }
 
@@ -236,13 +245,16 @@ func (e *Engine) scanFiltered(b *binder, ti int, filters []filterInfo, tr *Trace
 	inst := &b.tables[ti]
 	n := inst.tab.NumRows()
 	sp := b.qc.startOp("scan", inst.binding)
-	sp.SetAttrInt("rows_in", int64(n))
+	b.qc.opRowsIn(sp, int64(n))
+	if b.qc.profiling() {
+		b.qc.opEst(e.estimateFiltered(b, ti, filters))
+	}
 	defer b.qc.endOp(sp)
 	workers := e.workers()
 	morsel := e.morselSize()
 	if workers <= 1 || n <= morsel {
 		rows := b.filteredRows(ti, filters)
-		sp.SetAttrInt("rows_out", int64(len(rows)))
+		b.qc.opRowsOut(sp, int64(len(rows)))
 		return rows
 	}
 	b.qc.countScan(n)
@@ -290,7 +302,7 @@ func (e *Engine) scanFiltered(b *binder, ti int, filters []filterInfo, tr *Trace
 	}
 	tr.addWork(counts)
 	rows := concatRows(outs)
-	sp.SetAttrInt("rows_out", int64(len(rows)))
+	b.qc.opRowsOut(sp, int64(len(rows)))
 	return rows
 }
 
@@ -322,6 +334,29 @@ type buildEntry struct {
 	key  string
 }
 
+// buildEntryBytes approximates the in-memory size of one buildEntry
+// (row id + int key + string header) for scratch accounting; the
+// profile reports accounted scratch, not a byte-exact heap measurement.
+const buildEntryBytes = 32
+
+// builtRows counts the rows indexed by a hash table — the build
+// operator's rows_out. One map walk per partition; callers pay it only
+// when observability is enabled.
+func builtRows(ht *hashTable) int64 {
+	var n int64
+	for _, p := range ht.parts {
+		for _, ids := range p {
+			n += int64(len(ids))
+		}
+	}
+	for _, p := range ht.iparts {
+		for _, ids := range p {
+			n += int64(len(ids))
+		}
+	}
+	return n
+}
+
 // buildHashTable indexes the filtered rows of table ti by the build key
 // columns. Large tables use a two-phase partitioned build: a parallel
 // morsel scan collects (row id, key) pairs, then one worker per
@@ -334,16 +369,27 @@ func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, probe, 
 	inst := &b.tables[ti]
 	n := inst.tab.NumRows()
 	sp := b.qc.startOp("build", inst.binding)
-	sp.SetAttrInt("rows_in", int64(n))
+	b.qc.opRowsIn(sp, int64(n))
+	if b.qc.profiling() {
+		b.qc.opEst(e.estimateFiltered(b, ti, filters))
+	}
 	defer b.qc.endOp(sp)
 	useInt := e.vectorized && intJoinKey(probe, build)
 	workers := e.workers()
 	morsel := e.morselSize()
 	if workers <= 1 || n <= morsel {
+		var ht *hashTable
 		if useInt {
-			return &hashTable{iparts: []map[int64][]int32{b.buildHashInt(ti, filters, build[0])}}
+			ht = &hashTable{iparts: []map[int64][]int32{b.buildHashInt(ti, filters, build[0])}}
+		} else {
+			ht = &hashTable{parts: []map[string][]int32{b.buildHash(ti, filters, build)}}
 		}
-		return &hashTable{parts: []map[string][]int32{b.buildHash(ti, filters, build)}}
+		if sp != nil || b.qc.profiling() {
+			// Summing the per-key row lists costs one map walk, paid only
+			// when some observer will see the number.
+			b.qc.opRowsOut(sp, builtRows(ht))
+		}
+		return ht
 	}
 	b.qc.countScan(n)
 	numMorsels := (n + morsel - 1) / morsel
@@ -407,7 +453,11 @@ func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, probe, 
 		built += len(chunk)
 	}
 	b.qc.countBuild(built)
-	sp.SetAttrInt("rows_out", int64(built))
+	b.qc.opRowsOut(sp, int64(built))
+	// The (row id, key) staging entries are the build's dominant scratch:
+	// they are dropped once the partition insert below completes.
+	b.qc.growScratch(int64(built) * buildEntryBytes)
+	defer b.qc.shrinkScratch(int64(built) * buildEntryBytes)
 	if useInt {
 		ht := &hashTable{iparts: make([]map[int64][]int32, workers)}
 		parallelFor(workers, func(p int) {
@@ -446,11 +496,15 @@ func (e *Engine) buildHashTable(b *binder, ti int, filters []filterInfo, probe, 
 
 // probeJoin probes ht with every current row, emitting joined rows in
 // the serial iteration order (per-morsel buffers concatenated in
-// order).
-func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe []*colExpr, ht *hashTable, tr *Trace) [][]storage.Value {
+// order). stepEst is the planner's output-cardinality estimate for the
+// join step (negative when the active planner produced none).
+func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe []*colExpr, ht *hashTable, stepEst float64, tr *Trace) [][]storage.Value {
 	n := len(current)
 	sp := b.qc.startOp("probe", b.tables[ti].binding)
-	sp.SetAttrInt("rows_in", int64(n))
+	b.qc.opRowsIn(sp, int64(n))
+	if stepEst >= 0 {
+		b.qc.opEst(stepEst)
+	}
 	defer b.qc.endOp(sp)
 	workers := e.workers()
 	morsel := e.morselSize()
@@ -484,7 +538,7 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 			b.qc.tick()
 			out = probeOne(l, out)
 		}
-		sp.SetAttrInt("rows_out", int64(len(out)))
+		b.qc.opRowsOut(sp, int64(len(out)))
 		return out
 	}
 	numMorsels := (n + morsel - 1) / morsel
@@ -498,7 +552,7 @@ func (e *Engine) probeJoin(b *binder, current [][]storage.Value, ti int, probe [
 	})
 	tr.addWork(counts)
 	rows := concatRows(outs)
-	sp.SetAttrInt("rows_out", int64(len(rows)))
+	b.qc.opRowsOut(sp, int64(len(rows)))
 	return rows
 }
 
@@ -520,9 +574,12 @@ type matchPair struct {
 // order. The scan phase therefore collects (li, r) match pairs
 // (globally r-ascending after morsel-order concatenation), buckets
 // them by li (preserving r order), and materializes bucket by bucket.
-func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe, build []*colExpr, filters []filterInfo, tr *Trace) [][]storage.Value {
+func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe, build []*colExpr, filters []filterInfo, stepEst float64, tr *Trace) [][]storage.Value {
 	sp := b.qc.startOp("stream", b.tables[ti].binding)
-	sp.SetAttrInt("rows_in", int64(b.tables[ti].tab.NumRows()))
+	b.qc.opRowsIn(sp, int64(b.tables[ti].tab.NumRows()))
+	if stepEst >= 0 {
+		b.qc.opEst(stepEst)
+	}
 	defer b.qc.endOp(sp)
 	b.qc.countBuild(len(current))
 	useInt := e.vectorized && intJoinKey(probe, build)
@@ -649,7 +706,12 @@ func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe,
 	}
 
 	// Phase 2: bucket pairs by current row. Pairs arrive r-ascending, so
-	// each bucket stays r-ascending — the probe-major invariant.
+	// each bucket stays r-ascending — the probe-major invariant. The
+	// pair list is the stream join's dominant scratch; it is dropped
+	// after materialization.
+	const matchPairBytes = 8
+	b.qc.growScratch(int64(len(pairs)) * matchPairBytes)
+	defer b.qc.shrinkScratch(int64(len(pairs)) * matchPairBytes)
 	buckets := make([][]int32, len(current))
 	for _, p := range pairs {
 		b.qc.tick()
@@ -688,6 +750,6 @@ func (e *Engine) streamJoin(b *binder, current [][]storage.Value, ti int, probe,
 		tr.addWork(counts)
 		rows = concatRows(outs)
 	}
-	sp.SetAttrInt("rows_out", int64(len(rows)))
+	b.qc.opRowsOut(sp, int64(len(rows)))
 	return rows
 }

@@ -246,11 +246,15 @@ func scopeSig(ctes map[string]*storage.Table) string {
 // identical subqueries — TPC-DS templates love `(select avg(...) from
 // ...)` guards repeated across union blocks — run once.
 func (b *binder) subqueryResult(sub *sql.SelectStmt) (*Result, []schema.Type, error) {
+	sp := b.qc.startOp("subquery", "")
+	defer b.qc.endOp(sp)
 	key := ""
 	if b.eng.planner == plan.CostBased {
 		key = "sub|" + plan.Fingerprint(sub, true) + scopeSig(b.ctes)
 		if ent, ok := b.qc.cse[key]; ok {
 			b.qc.countCSEHit()
+			// Memo hit stays a leaf node — the profile's view of CSE reuse.
+			b.qc.opRowsOut(sp, int64(len(ent.res.Rows)))
 			return ent.res, ent.types, nil
 		}
 	}
@@ -258,6 +262,7 @@ func (b *binder) subqueryResult(sub *sql.SelectStmt) (*Result, []schema.Type, er
 	if err != nil {
 		return nil, nil, err
 	}
+	b.qc.opRowsOut(sp, int64(len(res.Rows)))
 	if key != "" {
 		if b.qc.cse == nil {
 			b.qc.cse = map[string]cseEntry{}
@@ -287,15 +292,17 @@ func (e *Engine) costPlan(b *binder, stmt *sql.SelectStmt, filters []filterInfo,
 			pinned = append(pinned, ti)
 		}
 	}
+	g := e.buildJoinGraph(b, filters, edges, isLeft)
 	jp := plan.Search(plan.SearchInput{
-		Graph:           e.buildJoinGraph(b, filters, edges, isLeft),
+		Graph:           g,
 		Driver:          driver,
 		Pinned:          pinned,
 		Free:            freeList,
 		GreedyOrder:     gOrder,
 		GreedyConnected: connected,
 	})
-	c := plan.Cached{Order: jp.Order, Cost: jp.Cost, EstRows: jp.EstRows, Source: jp.Source}
+	c := plan.Cached{Order: jp.Order, Cost: jp.Cost, EstRows: jp.EstRows,
+		Source: jp.Source, StepEst: g.StepCards(jp.Order)}
 	e.planCache.Put(key, c, planDeps(b))
 	return c, false
 }

@@ -33,6 +33,20 @@ type qctx struct {
 	// the operator span captured before they are spawned.
 	qspan *obs.Span
 	cur   *obs.Span
+	// prof is the root of the query's runtime profile tree (EXPLAIN
+	// ANALYZE); nil means profiling is disabled and every profile
+	// helper is a free no-op. pcur is the innermost open operator node,
+	// maintained in lockstep with cur by startOp/endOp. Both are
+	// coordinator-goroutine fields; morsel workers may read pcur (the
+	// coordinator writes it strictly before spawning and strictly after
+	// joining workers, the same happens-before discipline as cur) but
+	// touch only its atomic counters.
+	prof *obs.OpNode
+	pcur *obs.OpNode
+	// status is the driver's in-flight registry entry for this query
+	// (nil outside the driver); the coordinator reports coarse phase
+	// and row progress through it for the live diagnostics endpoint.
+	status obs.QueryStatus
 	// em carries the engine's metric handles (nil when no registry is
 	// installed); workers update them through sharded atomics.
 	em *execMetrics
@@ -75,14 +89,28 @@ func (e *Engine) newQctx(ctx context.Context) *qctx {
 		//lint:ignore ctxflow nil-ctx fallback for the documented context-free wrappers; never overrides a caller-supplied ctx
 		ctx = context.Background()
 	}
-	return &qctx{ctx: ctx, phase: "parse", qspan: obs.SpanFromContext(ctx), em: e.em}
+	q := &qctx{ctx: ctx, phase: "parse", qspan: obs.SpanFromContext(ctx), em: e.em}
+	q.status = obs.StatusFromContext(ctx)
+	if q.status != nil {
+		q.status.SetPhase("parse")
+	}
+	if e.profiling {
+		q.prof = obs.NewProfile("query")
+	}
+	return q
 }
 
 // setPhase records the operator about to run. Coordinator goroutine
 // only; workers never call it.
 func (q *qctx) setPhase(p string) {
-	if q != nil {
-		q.phase = p
+	if q == nil {
+		return
+	}
+	q.phase = p
+	if q.status != nil {
+		// Phase strings are compile-time constants, so forwarding them
+		// to the in-flight registry allocates nothing.
+		q.status.SetPhase(p)
 	}
 }
 
@@ -133,21 +161,33 @@ func (q *qctx) tick() {
 // startOp opens an operator span ("scan store_sales", "build item")
 // nested under the innermost open operator — or the query span for
 // top-level phases — and makes it current so morsel workers parent
-// their per-morsel spans under the right operator. Coordinator
-// goroutine only. With tracing disabled this is a nil check and
-// nothing else: the name is assembled only on the enabled path, so the
-// hot path stays allocation-free.
+// their per-morsel spans under the right operator. When profiling is
+// enabled it also pushes a profile node with the same name, so the
+// profile tree mirrors the span tree by construction. Coordinator
+// goroutine only. With both tracing and profiling disabled this is a
+// nil check and nothing else: the name is assembled only on the
+// enabled path, so the hot path stays allocation-free.
 func (q *qctx) startOp(verb, detail string) *obs.Span {
-	if q == nil || q.qspan == nil {
+	if q == nil || (q.qspan == nil && q.prof == nil) {
+		return nil
+	}
+	name := verb
+	if detail != "" {
+		name = verb + " " + detail
+	}
+	if q.prof != nil {
+		node := q.pcur
+		if node == nil {
+			node = q.prof
+		}
+		q.pcur = node.StartChild(name)
+	}
+	if q.qspan == nil {
 		return nil
 	}
 	parent := q.cur
 	if parent == nil {
 		parent = q.qspan
-	}
-	name := verb
-	if detail != "" {
-		name = verb + " " + detail
 	}
 	sp := parent.ChildCat(name, "exec")
 	q.cur = sp
@@ -155,9 +195,19 @@ func (q *qctx) startOp(verb, detail string) *obs.Span {
 }
 
 // endOp completes an operator span and restores its parent as the
-// current operator. Tolerates the nil span startOp returns when
-// tracing is off. Coordinator goroutine only.
+// current operator; with profiling enabled it also pops the matching
+// profile node (startOp/endOp calls are strictly paired, so the node
+// stack stays in lockstep even when tracing is off and sp is nil).
+// Coordinator goroutine only.
 func (q *qctx) endOp(sp *obs.Span) {
+	if q != nil && q.prof != nil && q.pcur != nil {
+		q.pcur.End()
+		if p := q.pcur.Parent(); p != q.prof {
+			q.pcur = p
+		} else {
+			q.pcur = nil
+		}
+	}
 	if sp == nil {
 		return
 	}
@@ -169,6 +219,81 @@ func (q *qctx) endOp(sp *obs.Span) {
 			q.cur = nil
 		}
 	}
+}
+
+// profiling reports whether this query records a profile tree. Used to
+// gate work (like estimate computation) that only the profile consumes.
+func (q *qctx) profiling() bool { return q != nil && q.prof != nil }
+
+// opRowsIn records rows entering the current operator on both the
+// operator span (as an attribute) and the profile node. Coordinator
+// goroutine only; free when observability is off.
+func (q *qctx) opRowsIn(sp *obs.Span, n int64) {
+	sp.SetAttrInt("rows_in", n)
+	if q != nil {
+		q.pcur.AddRowsIn(n)
+	}
+}
+
+// opRowsOut records rows leaving the current operator, mirrors them
+// into the in-flight status (live "rows so far" for diagnostics), and
+// annotates the span. Coordinator goroutine only.
+func (q *qctx) opRowsOut(sp *obs.Span, n int64) {
+	sp.SetAttrInt("rows_out", n)
+	if q == nil {
+		return
+	}
+	q.pcur.AddRowsOut(n)
+	if q.status != nil {
+		q.status.SetRows(n)
+	}
+}
+
+// opEst records the planner's output-cardinality estimate for the
+// current operator, enabling estimate-vs-actual q-error in the
+// profile. Coordinator goroutine only.
+func (q *qctx) opEst(rows float64) {
+	if q == nil {
+		return
+	}
+	q.pcur.SetEst(rows)
+}
+
+// opMorsels folds a parallel join's per-worker morsel counts into the
+// current operator node. Coordinator goroutine only (called after the
+// morsel barrier).
+func (q *qctx) opMorsels(n int64) {
+	if q == nil {
+		return
+	}
+	q.pcur.AddMorsels(n)
+}
+
+// growScratch / shrinkScratch account transient operator working
+// memory (selection vectors, hash partitions, group arrays) against
+// the current profile node. Safe from any goroutine: the node pointer
+// is published before workers spawn and the counters are atomic.
+func (q *qctx) growScratch(b int64) {
+	if q == nil {
+		return
+	}
+	q.pcur.GrowScratch(b)
+}
+
+func (q *qctx) shrinkScratch(b int64) {
+	if q == nil {
+		return
+	}
+	q.pcur.ShrinkScratch(b)
+}
+
+// profile snapshots the query's profile tree (nil when profiling is
+// off). Coordinator goroutine only, after all workers have joined.
+func (q *qctx) profile() *obs.OpProfile {
+	if q == nil || q.prof == nil {
+		return nil
+	}
+	return q.prof.Snapshot()
 }
 
 // opSpan returns the span per-morsel worker spans should parent under:

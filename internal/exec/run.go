@@ -66,6 +66,7 @@ func (e *Engine) QueryTracedContext(ctx context.Context, q string) (res *Result,
 	}
 	tr.Decorrelated = qc.decorrelated
 	tr.CSEHits = qc.cseHits
+	tr.Profile = qc.profile()
 	e.setTrace(tr)
 	return res, tr, nil
 }
@@ -103,6 +104,7 @@ func (e *Engine) RunContext(ctx context.Context, stmt *sql.SelectStmt) (res *Res
 	if err == nil {
 		tr.Decorrelated = qc.decorrelated
 		tr.CSEHits = qc.cseHits
+		tr.Profile = qc.profile()
 		e.setTrace(tr)
 	}
 	return res, err
@@ -151,11 +153,16 @@ func (e *Engine) runStatement(qc *qctx, stmt *sql.SelectStmt, outer map[string]*
 // pattern) shares both the evaluation and — because statistics are
 // keyed by table instance — the gathered statistics.
 func (e *Engine) materializeCTE(qc *qctx, cte sql.CTE, ctes map[string]*storage.Table) (*storage.Table, error) {
+	sp := qc.startOp("cte", cte.Name)
+	defer qc.endOp(sp)
 	key := ""
 	if e.planner == plan.CostBased {
 		key = "cte|" + plan.Fingerprint(cte.Select, true) + scopeSig(ctes)
 		if ent, ok := qc.cse[key]; ok && ent.tab != nil {
 			qc.countCSEHit()
+			// Memo hit: the node stays a leaf (no nested operator work),
+			// which is exactly what CSE reuse looks like in the profile.
+			qc.opRowsOut(sp, int64(ent.tab.NumRows()))
 			return ent.tab, nil
 		}
 	}
@@ -167,6 +174,7 @@ func (e *Engine) materializeCTE(qc *qctx, cte sql.CTE, ctes map[string]*storage.
 	if err != nil {
 		return nil, err
 	}
+	qc.opRowsOut(sp, int64(tab.NumRows()))
 	if key != "" {
 		if qc.cse == nil {
 			qc.cse = map[string]cseEntry{}
@@ -554,6 +562,8 @@ func (e *Engine) finish(qc *qctx, rows [][]storage.Value, projs, sortKeys []bexp
 	if len(sortKeys) > 0 {
 		sortSp := qc.startOp("sort", "")
 		sortSp.SetAttrInt("rows", int64(len(outs)))
+		qc.opRowsIn(nil, int64(len(outs)))
+		qc.opRowsOut(nil, int64(len(outs)))
 		sort.SliceStable(outs, func(a, b int) bool {
 			for i := range sortKeys {
 				c := storage.Compare(outs[a].keys[i], outs[b].keys[i])

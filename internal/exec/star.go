@@ -109,7 +109,7 @@ func (e *Engine) starShape(b *binder, filters []filterInfo, edges []joinEdge, le
 // merged (AND), and only the qualifying fact rows are fetched and joined
 // back to the dimensions by key lookup (bitmap join). The fact fetch
 // runs in morsels over the qualifying row ids.
-func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, dims map[int]dimSpec, tr *Trace) ([][]storage.Value, bool) {
+func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, residual []bexpr, dims map[int]dimSpec, est float64, tr *Trace) ([][]storage.Value, bool) {
 	// Identify the fact: the one table not in dims.
 	fact := -1
 	for ti := range b.tables {
@@ -123,6 +123,8 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 	}
 	factInst := b.tableAt(fact)
 	sp := b.qc.startOp("star", factInst.binding)
+	b.qc.opRowsIn(sp, int64(factInst.tab.NumRows()))
+	b.qc.opEst(est)
 	defer b.qc.endOp(sp)
 
 	// Index each dimension's qualifying rows by surrogate key (row ids
@@ -246,7 +248,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 			tf.scanIDs(b.qc, batch, ids, func(sel []int32) {
 				out = fetchSel(sel, row, out)
 			})
-			sp.SetAttrInt("rows_out", int64(len(out)))
+			b.qc.opRowsOut(sp, int64(len(out)))
 			return out, true
 		}
 		numMorsels := (n + morsel - 1) / morsel
@@ -262,7 +264,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 		})
 		tr.addWork(counts)
 		rows := concatRows(outs)
-		sp.SetAttrInt("rows_out", int64(len(rows)))
+		b.qc.opRowsOut(sp, int64(len(rows)))
 		return rows, true
 	}
 	if workers <= 1 || n <= morsel {
@@ -272,7 +274,7 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 			b.qc.tick()
 			out = fetch(int(r), row, out)
 		}
-		sp.SetAttrInt("rows_out", int64(len(out)))
+		b.qc.opRowsOut(sp, int64(len(out)))
 		return out, true
 	}
 	numMorsels := (n + morsel - 1) / morsel
@@ -288,6 +290,6 @@ func (e *Engine) runStar(b *binder, filters []filterInfo, edges []joinEdge, resi
 	})
 	tr.addWork(counts)
 	rows := concatRows(outs)
-	sp.SetAttrInt("rows_out", int64(len(rows)))
+	b.qc.opRowsOut(sp, int64(len(rows)))
 	return rows, true
 }

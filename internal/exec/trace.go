@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tpcds/internal/obs"
 	"tpcds/internal/plan"
 )
 
@@ -41,6 +42,12 @@ type Trace struct {
 	// operator took the serial path.
 	Parallelism   int
 	WorkerMorsels []int
+
+	// Profile is the per-operator runtime accounting tree (EXPLAIN
+	// ANALYZE): actual rows, batches, wall time, and peak scratch per
+	// operator, with the planner's estimate and q-error where one
+	// exists. Nil unless Engine.SetProfiling(true) was called.
+	Profile *obs.OpProfile
 }
 
 // addWork folds one parallel operator's per-worker morsel counts into
@@ -91,6 +98,10 @@ func (t Trace) String() string {
 	if len(t.WorkerMorsels) > 0 {
 		fmt.Fprintf(&sb, "parallelism: %d workers, morsels per worker %v\n",
 			t.Parallelism, t.WorkerMorsels)
+	}
+	if t.Profile != nil {
+		sb.WriteString("profile:\n")
+		sb.WriteString(t.Profile.String())
 	}
 	return sb.String()
 }

@@ -25,22 +25,32 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // obsPkgPath is the observability package whose recording calls are
-// the one sanctioned destination for wall-clock values.
+// the one sanctioned destination for wall-clock values. Subpackages
+// (internal/obs/debugd, the diagnostics endpoint) share the sanction:
+// they are part of the same observability boundary and never touch
+// generated data.
 const obsPkgPath = "tpcds/internal/obs"
 
+// isObsPkg reports whether path is internal/obs or one of its
+// subpackages.
+func isObsPkg(path string) bool {
+	return path == obsPkgPath || strings.HasPrefix(path, obsPkgPath+"/")
+}
+
 // isObsCall reports whether call invokes a function or method defined
-// in internal/obs (Registry.Histogram, Histogram.ObserveDuration,
-// Span.SetAttrInt, obs.NewTracer, …).
+// in internal/obs or a subpackage (Registry.Histogram,
+// Histogram.ObserveDuration, Span.SetAttrInt, debugd.Start, …).
 func (p *Package) isObsCall(call *ast.CallExpr) bool {
 	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	obj := p.Info.Uses[sel.Sel]
-	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == obsPkgPath
+	return obj != nil && obj.Pkg() != nil && isObsPkg(obj.Pkg().Path())
 }
 
 // posRange is a half-open source interval [lo, hi).

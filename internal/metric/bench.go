@@ -1,0 +1,192 @@
+package metric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// BenchSchemaVersion identifies the bench-json artifact layout. Bump it
+// on any incompatible change; readers reject versions they don't know,
+// so a trajectory directory never silently mixes layouts.
+const BenchSchemaVersion = 1
+
+// BenchTemplate is one template's execution-latency summary across all
+// streams and both query runs, in nanoseconds.
+type BenchTemplate struct {
+	ID    int   `json:"id"`
+	Count int64 `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+// BenchQErrorSummary condenses the plan_qerror_x1000 distribution of a
+// profiled run (values are q-error × 1000; 1000 = perfect estimate).
+type BenchQErrorSummary struct {
+	Count    int64 `json:"count"`
+	P50x1000 int64 `json:"p50_x1000"`
+	P95x1000 int64 `json:"p95_x1000"`
+	Maxx1000 int64 `json:"max_x1000"`
+}
+
+// BenchRun is the schema-versioned machine-readable artifact of one
+// benchmark run — the unit of the BENCH_*.json performance trajectory.
+// Counters marshal with sorted keys (encoding/json map order), so two
+// runs of the same seed diff cleanly.
+type BenchRun struct {
+	SchemaVersion int     `json:"schema_version"`
+	SF            float64 `json:"sf"`
+	Streams       int     `json:"streams"`
+	Seed          uint64  `json:"seed"`
+	Planner       string  `json:"planner,omitempty"`
+	QphDS         float64 `json:"qphds"`
+
+	LoadNs int64 `json:"load_ns"`
+	QR1Ns  int64 `json:"qr1_ns"`
+	DMNs   int64 `json:"dm_ns"`
+	QR2Ns  int64 `json:"qr2_ns"`
+
+	Templates    []BenchTemplate     `json:"templates"`
+	Counters     map[string]int64    `json:"counters,omitempty"`
+	QError       *BenchQErrorSummary `json:"qerror,omitempty"`
+	Misestimates []Misestimate       `json:"misestimates,omitempty"`
+}
+
+// NewBenchRun assembles the artifact from a finished report. Counters
+// and the q-error summary are optional extras the caller fills from
+// its registry.
+func NewBenchRun(rep Report, seed uint64, planner string) BenchRun {
+	b := BenchRun{
+		SchemaVersion: BenchSchemaVersion,
+		SF:            rep.SF,
+		Streams:       rep.Streams,
+		Seed:          seed,
+		Planner:       planner,
+		QphDS:         rep.QphDS,
+		LoadNs:        rep.Timings.Load.Nanoseconds(),
+		QR1Ns:         rep.Timings.QR1.Nanoseconds(),
+		DMNs:          rep.Timings.DM.Nanoseconds(),
+		QR2Ns:         rep.Timings.QR2.Nanoseconds(),
+		Misestimates:  rep.Misestimates,
+	}
+	for _, l := range rep.Latencies {
+		b.Templates = append(b.Templates, BenchTemplate{
+			ID: l.ID, Count: l.Count,
+			P50Ns: l.P50.Nanoseconds(), P95Ns: l.P95.Nanoseconds(), MaxNs: l.Max.Nanoseconds(),
+		})
+	}
+	sort.Slice(b.Templates, func(i, j int) bool { return b.Templates[i].ID < b.Templates[j].ID })
+	return b
+}
+
+// WriteBenchJSON writes the artifact as indented JSON (stable field and
+// map-key order; trailing newline for line-oriented tools).
+func WriteBenchJSON(w io.Writer, b BenchRun) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metric: encoding bench artifact: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("metric: writing bench artifact: %w", err)
+	}
+	return nil
+}
+
+// ReadBenchJSON parses and validates an artifact.
+func ReadBenchJSON(data []byte) (BenchRun, error) {
+	var b BenchRun
+	if err := json.Unmarshal(data, &b); err != nil {
+		return BenchRun{}, fmt.Errorf("metric: bench artifact is not valid JSON: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return BenchRun{}, err
+	}
+	return b, nil
+}
+
+// Validate checks the invariants the CI smoke job asserts about an
+// artifact: known schema version, sane run parameters, and internally
+// consistent per-template summaries.
+func (b BenchRun) Validate() error {
+	if b.SchemaVersion != BenchSchemaVersion {
+		return fmt.Errorf("metric: bench artifact schema version %d (want %d)",
+			b.SchemaVersion, BenchSchemaVersion)
+	}
+	if b.SF <= 0 {
+		return fmt.Errorf("metric: bench artifact has non-positive scale factor %v", b.SF)
+	}
+	if b.Streams <= 0 {
+		return fmt.Errorf("metric: bench artifact has non-positive stream count %d", b.Streams)
+	}
+	if len(b.Templates) == 0 {
+		return fmt.Errorf("metric: bench artifact has no per-template summaries")
+	}
+	lastID := 0
+	for _, t := range b.Templates {
+		if t.ID < 1 || t.ID > QueriesPerStream {
+			return fmt.Errorf("metric: bench artifact template id %d out of range 1..%d",
+				t.ID, QueriesPerStream)
+		}
+		if t.ID <= lastID {
+			return fmt.Errorf("metric: bench artifact template ids not strictly increasing at q%d", t.ID)
+		}
+		lastID = t.ID
+		if t.Count <= 0 {
+			return fmt.Errorf("metric: bench artifact q%d has non-positive count %d", t.ID, t.Count)
+		}
+		if t.P50Ns < 0 || t.P50Ns > t.P95Ns || t.P95Ns > t.MaxNs {
+			return fmt.Errorf("metric: bench artifact q%d has inconsistent quantiles p50=%d p95=%d max=%d",
+				t.ID, t.P50Ns, t.P95Ns, t.MaxNs)
+		}
+	}
+	return nil
+}
+
+// BenchDelta is one template's latency change between two artifacts
+// (Ratio = after/before on p50; Regressed marks a ratio beyond the
+// comparison threshold).
+type BenchDelta struct {
+	ID        int
+	BeforeP50 time.Duration
+	AfterP50  time.Duration
+	Ratio     float64
+	Regressed bool
+}
+
+// CompareBench diffs two artifacts per template: templates present in
+// both are compared on p50 exec latency, and a template whose ratio
+// exceeds 1+threshold is flagged as a regression (threshold 0.25 =
+// "flag anything 25% slower"). Deltas come back sorted worst-first so
+// the report leads with the damage.
+func CompareBench(before, after BenchRun, threshold float64) []BenchDelta {
+	prev := make(map[int]BenchTemplate, len(before.Templates))
+	for _, t := range before.Templates {
+		prev[t.ID] = t
+	}
+	var out []BenchDelta
+	for _, t := range after.Templates {
+		p, ok := prev[t.ID]
+		if !ok || p.P50Ns <= 0 {
+			continue
+		}
+		ratio := float64(t.P50Ns) / float64(p.P50Ns)
+		out = append(out, BenchDelta{
+			ID:        t.ID,
+			BeforeP50: time.Duration(p.P50Ns),
+			AfterP50:  time.Duration(t.P50Ns),
+			Ratio:     ratio,
+			Regressed: ratio > 1+threshold,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

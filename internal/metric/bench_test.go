@@ -1,0 +1,152 @@
+package metric
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// benchFixture is a minimal valid artifact.
+func benchFixture() BenchRun {
+	return BenchRun{
+		SchemaVersion: BenchSchemaVersion,
+		SF:            0.01, Streams: 4, Seed: 42, Planner: "cost", QphDS: 1234.5,
+		LoadNs: 100, QR1Ns: 200, DMNs: 50, QR2Ns: 210,
+		Templates: []BenchTemplate{
+			{ID: 1, Count: 8, P50Ns: 1000, P95Ns: 2000, MaxNs: 3000},
+			{ID: 4, Count: 8, P50Ns: 5000, P95Ns: 9000, MaxNs: 12000},
+			{ID: 74, Count: 8, P50Ns: 4000, P95Ns: 6000, MaxNs: 7000},
+		},
+		Counters: map[string]int64{"exec_rows_scanned": 99, "exec_batches": 7},
+		QError:   &BenchQErrorSummary{Count: 120, P50x1000: 1400, P95x1000: 41000, Maxx1000: 78000},
+	}
+}
+
+// TestBenchJSONRoundTrip: the artifact writes, re-reads, and validates;
+// the serialization is byte-stable (sorted counter keys included).
+func TestBenchJSONRoundTrip(t *testing.T) {
+	b := benchFixture()
+	var sb1, sb2 strings.Builder
+	if err := WriteBenchJSON(&sb1, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchJSON(&sb2, b); err != nil {
+		t.Fatal(err)
+	}
+	if sb1.String() != sb2.String() {
+		t.Error("two writes of the same artifact differ")
+	}
+	if !strings.HasSuffix(sb1.String(), "\n") {
+		t.Error("artifact missing trailing newline")
+	}
+	// Counter keys marshal sorted.
+	out := sb1.String()
+	if strings.Index(out, "exec_batches") > strings.Index(out, "exec_rows_scanned") {
+		t.Error("counter keys not sorted in output")
+	}
+	back, err := ReadBenchJSON([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.QphDS != b.QphDS || back.Seed != b.Seed || len(back.Templates) != 3 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.QError == nil || back.QError.P95x1000 != 41000 {
+		t.Errorf("q-error summary lost: %+v", back.QError)
+	}
+}
+
+// TestBenchValidateRejects enumerates the malformed artifacts the CI
+// smoke job must catch.
+func TestBenchValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*BenchRun)
+		want   string
+	}{
+		{"future schema", func(b *BenchRun) { b.SchemaVersion = BenchSchemaVersion + 1 }, "schema version"},
+		{"zero sf", func(b *BenchRun) { b.SF = 0 }, "scale factor"},
+		{"zero streams", func(b *BenchRun) { b.Streams = 0 }, "stream count"},
+		{"no templates", func(b *BenchRun) { b.Templates = nil }, "no per-template"},
+		{"id zero", func(b *BenchRun) { b.Templates[0].ID = 0 }, "out of range"},
+		{"id 100", func(b *BenchRun) { b.Templates[2].ID = 100 }, "out of range"},
+		{"unsorted ids", func(b *BenchRun) { b.Templates[1].ID = 1 }, "strictly increasing"},
+		{"zero count", func(b *BenchRun) { b.Templates[1].Count = 0 }, "non-positive count"},
+		{"p50 > p95", func(b *BenchRun) { b.Templates[0].P50Ns = 2500 }, "inconsistent quantiles"},
+		{"p95 > max", func(b *BenchRun) { b.Templates[0].P95Ns = 9999 }, "inconsistent quantiles"},
+	}
+	for _, c := range cases {
+		b := benchFixture()
+		c.mutate(&b)
+		err := b.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the artifact", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if err := benchFixture().Validate(); err != nil {
+		t.Errorf("fixture itself invalid: %v", err)
+	}
+	// ReadBenchJSON rejects both bad JSON and valid JSON failing
+	// validation.
+	if _, err := ReadBenchJSON([]byte("{")); err == nil {
+		t.Error("ReadBenchJSON accepted truncated JSON")
+	}
+	if _, err := ReadBenchJSON([]byte("{}")); err == nil {
+		t.Error("ReadBenchJSON accepted an empty artifact")
+	}
+}
+
+// TestCompareBenchFlagsRegression injects a synthetic 2x slowdown into
+// one template (the CI smoke scenario) and checks exactly that template
+// is flagged at the default 25% threshold, with deltas sorted
+// worst-first.
+func TestCompareBenchFlagsRegression(t *testing.T) {
+	before := benchFixture()
+	after := benchFixture()
+	for i := range after.Templates {
+		if after.Templates[i].ID == 4 {
+			after.Templates[i].P50Ns *= 2 // synthetic regression
+		}
+		if after.Templates[i].ID == 74 {
+			after.Templates[i].P50Ns = after.Templates[i].P50Ns * 9 / 10 // mild improvement
+		}
+	}
+	deltas := CompareBench(before, after, 0.25)
+	if len(deltas) != 3 {
+		t.Fatalf("%d deltas, want 3", len(deltas))
+	}
+	if deltas[0].ID != 4 || !deltas[0].Regressed || deltas[0].Ratio != 2 {
+		t.Errorf("worst delta = %+v, want q4 flagged at 2x", deltas[0])
+	}
+	for _, d := range deltas[1:] {
+		if d.Regressed {
+			t.Errorf("q%d flagged at ratio %v below threshold", d.ID, d.Ratio)
+		}
+	}
+	if deltas[0].BeforeP50 != 5000*time.Nanosecond || deltas[0].AfterP50 != 10000*time.Nanosecond {
+		t.Errorf("delta durations wrong: %+v", deltas[0])
+	}
+	// Order: worst ratio first.
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i].Ratio > deltas[i-1].Ratio {
+			t.Errorf("deltas out of order at %d: %v after %v", i, deltas[i].Ratio, deltas[i-1].Ratio)
+		}
+	}
+
+	// Identical artifacts: nothing flagged.
+	for _, d := range CompareBench(before, benchFixture(), 0.25) {
+		if d.Regressed {
+			t.Errorf("identical artifacts flagged q%d", d.ID)
+		}
+	}
+	// Templates only in one artifact are skipped, not crashed on.
+	after2 := benchFixture()
+	after2.Templates = append(after2.Templates, BenchTemplate{ID: 99, Count: 1, P50Ns: 1, P95Ns: 1, MaxNs: 1})
+	if got := len(CompareBench(before, after2, 0.25)); got != 3 {
+		t.Errorf("%d deltas with an after-only template, want 3", got)
+	}
+}

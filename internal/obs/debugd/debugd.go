@@ -1,0 +1,183 @@
+// Package debugd is the zero-dependency live diagnostics endpoint: a
+// small HTTP server exposing the observability surfaces a running
+// benchmark already maintains — the metrics registry, the in-flight
+// query set, the recent-span ring — plus the runtime's pprof handlers.
+// dsbench and dsql mount it behind -debug-addr; it is the day-one
+// observability surface a dsqld service would reuse.
+//
+// Every handler reads snapshots through the obs package's concurrency
+// contracts (Registry and Tracer are safe for concurrent use; the
+// query source snapshots under its own lock), so the server is safe
+// under -race with live query streams. Shutdown stops accepting,
+// drains in-flight handlers, and joins the serve goroutine — no
+// goroutine outlives it.
+package debugd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"tpcds/internal/obs"
+)
+
+// Config wires the diagnostic surfaces into the server. Any field may
+// be nil; the corresponding endpoint then serves an empty document
+// rather than an error, so a partially instrumented run still gets a
+// working endpoint.
+type Config struct {
+	// Tracer backs /spans (recent completed spans; bound it with
+	// Tracer.SetSpanLimit for service-style runs).
+	Tracer *obs.Tracer
+	// Metrics backs /metrics (the registry's sorted text dump).
+	Metrics *obs.Registry
+	// Queries backs /queries (the driver's in-flight query registry).
+	Queries obs.QuerySource
+}
+
+// Server is a running diagnostics endpoint.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+	// The serve goroutine is cancellation-driven: it parks on the
+	// ownership context (derived from the caller's ctx) once Serve
+	// returns, stop cancels that context, and close(done) is the join —
+	// Shutdown receives on done, so no goroutine outlives the server.
+	// serveErr is written before close(done) and read after the receive,
+	// so the join orders it.
+	stop     context.CancelFunc
+	done     chan struct{}
+	serveErr error
+}
+
+// Start listens on addr (":0" picks a free port — tests and one-off
+// runs read the bound address back via Addr) and serves until
+// Shutdown. ctx bounds the server's lifetime from the caller's side:
+// the serve goroutine is owned by a cancellation scope derived from
+// it, which Shutdown also cancels.
+func Start(ctx context.Context, addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugd: %w", err)
+	}
+	s := &Server{cfg: cfg, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/spans", s.handleSpans)
+	// The pprof handlers register on the default mux at import; mount
+	// them explicitly so this server works with its own mux and the
+	// process never serves diagnostics it did not opt into.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	// The serve goroutine is owned by this cancellation scope: whichever
+	// way Serve returns, the goroutine parks on the context until
+	// Shutdown (or the caller) cancels it, so it provably never outlives
+	// the server, and close(done) is the join Shutdown receives on.
+	sctx, cancel := context.WithCancel(ctx)
+	s.stop = cancel
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal Shutdown result; a real listener
+		// failure is held for Shutdown to report.
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = err
+		}
+		<-sctx.Done()
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port), resolving ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops accepting connections, waits for in-flight handlers
+// up to ctx's deadline, and joins the serve goroutine, so no goroutine
+// leaks past it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// Cancel first so the serve goroutine's park is already released
+	// when Serve returns.
+	s.stop()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	if err == nil {
+		err = s.serveErr
+	}
+	if err != nil {
+		return fmt.Errorf("debugd: shutdown: %w", err)
+	}
+	return nil
+}
+
+// handleIndex lists the mounted endpoints.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := fmt.Fprint(w, "tpcds debugd\n"+
+		"  /metrics        registry text dump (sorted)\n"+
+		"  /queries        active queries (JSON)\n"+
+		"  /spans          recent spans as JSONL; ?format=chrome for trace_event JSON\n"+
+		"  /debug/pprof/   runtime profiles\n"); err != nil {
+		return // client went away mid-write; nothing left to serve
+	}
+}
+
+// handleMetrics serves the registry's deterministic text dump.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.cfg.Metrics.WriteText(w); err != nil {
+		// Headers are gone; all that is left is to stop writing.
+		return
+	}
+}
+
+// handleQueries serves the current in-flight query snapshot as a JSON
+// array (always an array — an idle system serves []).
+func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	qs := []obs.ActiveQuery{}
+	if s.cfg.Queries != nil {
+		if aq := s.cfg.Queries.ActiveQueries(); aq != nil {
+			qs = aq
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(qs); err != nil {
+		return // client went away mid-write
+	}
+}
+
+// handleSpans serves the tracer's completed-span snapshot: JSONL by
+// default, the Chrome trace_event document with ?format=chrome.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tracer == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteChromeTrace(w, s.cfg.Tracer); err != nil {
+			return // client went away mid-write
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := obs.WriteJSONL(w, s.cfg.Tracer); err != nil {
+		return // client went away mid-write
+	}
+}

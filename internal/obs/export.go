@@ -182,6 +182,21 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
+// CounterValues snapshots every counter's current value by name — the
+// machine-readable sibling of WriteText for run artifacts. Nil-safe.
+func (r *Registry) CounterValues() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
 // sortedKeysC returns map keys in sorted order (map iteration order is
 // random; exports must be stable).
 func sortedKeysC(m map[string]int64) []string {

@@ -50,9 +50,9 @@ type SpanRecord struct {
 	// TID is the exporter lane: Chrome trace viewers stack spans with
 	// the same tid on one horizontal track, so streams and morsel
 	// workers get distinct lanes.
-	TID     int   `json:"tid"`
-	StartNs int64 `json:"start_ns"`
-	DurNs   int64 `json:"dur_ns"`
+	TID     int    `json:"tid"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
 	Attrs   []Attr `json:"attrs,omitempty"`
 }
 
@@ -63,12 +63,41 @@ type Tracer struct {
 	epoch time.Time
 	ids   atomic.Uint64
 
-	mu   sync.Mutex
-	done []SpanRecord
+	mu    sync.Mutex
+	done  []SpanRecord
+	limit int // max retained records; 0 = unbounded (batch default)
+	next  int // ring cursor, meaningful only when limit > 0 and full
 }
 
 // NewTracer returns an enabled tracer whose epoch is now.
 func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// SetSpanLimit bounds the number of completed spans the tracer retains:
+// once n spans are held, each newly completed span overwrites the
+// oldest. n <= 0 restores the default unbounded retention used by
+// batch runs (a benchmark wants its whole timeline); service-style
+// runs set a limit so span memory stays flat no matter how long the
+// process lives. Safe to call concurrently with span completion.
+func (t *Tracer) SetSpanLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 {
+		t.limit, t.next = 0, 0
+		return
+	}
+	t.limit = n
+	if len(t.done) > n {
+		// Keep the n most recently completed records.
+		kept := make([]SpanRecord, n)
+		copy(kept, t.done[len(t.done)-n:])
+		t.done = kept
+	}
+	// The ring cursor restarts at the oldest retained record.
+	t.next = 0
+}
 
 // Span is one in-progress measurement. A span is created by exactly
 // one goroutine and must be ended by a goroutine that happens-after
@@ -202,7 +231,14 @@ func (s *Span) End() time.Duration {
 	}
 	s.tr.mu.Lock()
 	defer s.tr.mu.Unlock()
-	s.tr.done = append(s.tr.done, rec)
+	if n := s.tr.next; s.tr.limit > 0 && len(s.tr.done) >= s.tr.limit && n >= 0 && n < len(s.tr.done) {
+		// Bounded ring: overwrite the oldest retained record. Snapshot
+		// sorts by start time, so physical ring order never leaks out.
+		s.tr.done[n] = rec
+		s.tr.next = (n + 1) % s.tr.limit
+	} else {
+		s.tr.done = append(s.tr.done, rec)
+	}
 	return d
 }
 

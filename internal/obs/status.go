@@ -1,0 +1,67 @@
+package obs
+
+import "context"
+
+// QueryStatus is the engine-facing half of an in-flight query registry:
+// the driver registers a query, puts the status handle in the query
+// context, and the engine reports coarse progress through it. The
+// interface lives here (not in driver) so exec depends only on obs and
+// the diagnostics server can consume registries from any component.
+//
+// Implementations must be safe for concurrent use: the engine's
+// coordinator goroutine writes while diagnostics readers snapshot. The
+// engine only passes phase strings that are compile-time constants, so
+// a correct implementation adds no allocation to the query path.
+type QueryStatus interface {
+	// SetPhase records the current execution phase (parse, bind, join,
+	// aggregate, project, sort, ...).
+	SetPhase(phase string)
+	// SetRows records the number of rows produced so far (the output
+	// row count of the most recently completed operator).
+	SetRows(n int64)
+}
+
+// ActiveQuery is one in-flight query as exported by a diagnostics
+// snapshot: identity, progress, and elapsed time. Plain data, safe to
+// serialize.
+type ActiveQuery struct {
+	ID       uint64 `json:"id"`
+	Run      int    `json:"run,omitempty"`
+	Stream   int    `json:"stream"`
+	Template int    `json:"template"`
+	Phase    string `json:"phase"`
+	Rows     int64  `json:"rows"`
+	// ElapsedNs is the time since the query entered execution, as of
+	// the snapshot.
+	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+// QuerySource produces point-in-time snapshots of in-flight queries.
+// The driver's inflight registry implements it; debugd serves it.
+// Snapshots must be deterministic given the same set of in-flight
+// queries (sorted by ID).
+type QuerySource interface {
+	ActiveQueries() []ActiveQuery
+}
+
+// statusKey is the private context key for query-status propagation.
+type statusKey struct{}
+
+// ContextWithStatus returns ctx carrying st, so the driver's in-flight
+// registry entry reaches the engine without widening any signature. A
+// nil status returns ctx unchanged.
+func ContextWithStatus(ctx context.Context, st QueryStatus) context.Context {
+	if st == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, statusKey{}, st)
+}
+
+// StatusFromContext returns the query status carried by ctx, or nil.
+func StatusFromContext(ctx context.Context) QueryStatus {
+	if ctx == nil {
+		return nil
+	}
+	st, _ := ctx.Value(statusKey{}).(QueryStatus)
+	return st
+}

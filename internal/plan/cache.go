@@ -15,6 +15,12 @@ type Cached struct {
 	Cost    float64
 	EstRows float64
 	Source  string
+	// StepEst[k] is the cost model's estimated intermediate cardinality
+	// after joining Order[k] (StepEst[0] = driver's filtered estimate).
+	// It feeds the runtime profile's estimate-vs-actual comparison and
+	// never influences execution. Like Order, it is published by
+	// Cache.Put and must not be mutated afterwards.
+	StepEst []float64
 }
 
 type cacheEntry struct {
